@@ -1,0 +1,360 @@
+package sdnavail_test
+
+// Benchmark harness: one benchmark per paper table and figure, plus
+// substrate microbenchmarks. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks regenerate the full sweep behind the figure,
+// so their wall time is the cost of reproducing that figure's data.
+
+import (
+	"testing"
+	"time"
+
+	"sdnavail"
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/chaos"
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/experiments"
+	"sdnavail/internal/markov"
+	"sdnavail/internal/mc"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/relmath"
+	"sdnavail/internal/topology"
+)
+
+// ---- paper tables ----
+
+func BenchmarkTableI(b *testing.B) {
+	prof := profile.OpenContrail3x()
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableI(prof)
+		if len(t.Rows) != 20 {
+			b.Fatal("table I wrong shape")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	prof := profile.OpenContrail3x()
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableII(prof)
+		if len(t.Rows) != 2 {
+			b.Fatal("table II wrong shape")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	prof := profile.OpenContrail3x()
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableIII(prof)
+		if len(t.Rows) != 5 {
+			b.Fatal("table III wrong shape")
+		}
+	}
+}
+
+// ---- paper figures ----
+
+func BenchmarkFig3HWSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig3(41)
+		if len(fig.Series) != 3 {
+			b.Fatal("fig3 wrong shape")
+		}
+	}
+}
+
+func BenchmarkFig4CPSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig4(41)
+		if len(fig.Series) != 4 {
+			b.Fatal("fig4 wrong shape")
+		}
+	}
+}
+
+func BenchmarkFig5DPSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiments.Fig5(41)
+		if len(fig.Series) != 4 {
+			b.Fatal("fig5 wrong shape")
+		}
+	}
+}
+
+// ---- ablation tables (§V.D / §VII observations) ----
+
+func BenchmarkAblationRackSeparation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RackAblation()
+	}
+}
+
+func BenchmarkAblationSupervisor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.SupervisorAblation()
+	}
+}
+
+func BenchmarkAblationMaintenance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.MaintenanceAblation()
+	}
+}
+
+func BenchmarkAblationClusterSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ClusterSizeAblation()
+	}
+}
+
+// ---- individual model evaluations ----
+
+func BenchmarkHWSmall(b *testing.B) {
+	m := analytic.NewHWModel()
+	p := analytic.Defaults()
+	for i := 0; i < b.N; i++ {
+		_ = m.Small(p)
+	}
+}
+
+func BenchmarkHWMedium(b *testing.B) {
+	m := analytic.NewHWModel()
+	p := analytic.Defaults()
+	for i := 0; i < b.N; i++ {
+		_ = m.Medium(p)
+	}
+}
+
+func BenchmarkHWLarge(b *testing.B) {
+	m := analytic.NewHWModel()
+	p := analytic.Defaults()
+	for i := 0; i < b.N; i++ {
+		_ = m.Large(p)
+	}
+}
+
+func benchmarkOption(b *testing.B, opt analytic.Option) {
+	m := analytic.NewModel(profile.OpenContrail3x(), opt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Evaluate()
+	}
+}
+
+func BenchmarkSW1S(b *testing.B) { benchmarkOption(b, analytic.Option1S) }
+func BenchmarkSW2S(b *testing.B) { benchmarkOption(b, analytic.Option2S) }
+func BenchmarkSW1L(b *testing.B) { benchmarkOption(b, analytic.Option1L) }
+func BenchmarkSW2L(b *testing.B) { benchmarkOption(b, analytic.Option2L) }
+
+// ---- validation simulator (paper future work) ----
+
+func BenchmarkMonteCarloReplication(b *testing.B) {
+	prof := profile.OpenContrail3x()
+	topo := topology.NewLarge(prof.ClusterRoles, 3)
+	p := analytic.Params{AC: 0.995, AV: 0.9995, AH: 0.999, AR: 0.998, A: 0.999, AS: 0.995}
+	cfg := mc.NewConfig(prof, topo, analytic.SupervisorRequired, p)
+	cfg.Horizon = 1e5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := mc.New(cfg, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
+		if res.Events == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+// ---- substrate microbenchmarks ----
+
+func BenchmarkKofN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = relmath.KofN(2, 3, 0.9995)
+	}
+}
+
+func BenchmarkBlockEval(b *testing.B) {
+	node := relmath.InSeries(relmath.Unit("role"), relmath.Unit("vm"), relmath.Unit("host"))
+	system := relmath.InSeries(relmath.Replicate(2, 3, node), relmath.Unit("rack"))
+	env := relmath.Env{"role": 0.9995, "vm": 0.99995, "host": 0.9999, "rack": 0.99999}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := system.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuorumStorePut(b *testing.B) {
+	s := cluster.NewQuorumStore("bench", 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put("key", "value"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuorumStoreGet(b *testing.B) {
+	s := cluster.NewQuorumStore("bench", 3)
+	if err := s.Put("key", "value"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get("key"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBusPublish(b *testing.B) {
+	bus := cluster.NewBus()
+	defer bus.Close()
+	sub, err := bus.Subscribe("t", "c", 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for range sub.C() {
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(cluster.Message{Topic: "t", Payload: i})
+	}
+}
+
+// ---- live testbed end-to-end ----
+
+func newBenchCluster(b *testing.B) *cluster.Cluster {
+	b.Helper()
+	prof := profile.OpenContrail3x()
+	topo := topology.NewSmall(prof.ClusterRoles, 3)
+	c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	return c
+}
+
+func BenchmarkClusterProbeCP(b *testing.B) {
+	c := newBenchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ProbeCP(5 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterProbeDP(b *testing.B) {
+	c := newBenchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ProbeDP(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterCreateNetwork(b *testing.B) {
+	c := newBenchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CreateNetwork("bench", "10.0.0.0/24"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSectionIIIScenario measures the full live section III replay —
+// the end-to-end cost of the paper's failure-mode narrative on the
+// testbed. Scenario steps are wall-clock paced, so this benchmark reports
+// a nearly constant ~150 ms per run.
+func BenchmarkSectionIIIScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		prof := profile.OpenContrail3x()
+		topo := topology.NewSmall(prof.ClusterRoles, 3)
+		c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := chaos.RunScenario(c, chaos.SectionIII(25*time.Millisecond),
+			25*time.Millisecond, 5*time.Millisecond, 20*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		c.Stop()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPublicAPIEvaluate measures the façade's end-to-end evaluation.
+func BenchmarkPublicAPIEvaluate(b *testing.B) {
+	m := sdnavail.NewModel(sdnavail.OpenContrail3x(), sdnavail.Option2L)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Evaluate()
+	}
+}
+
+// ---- extension benchmarks ----
+
+func BenchmarkOutageFrequencyEstimate(b *testing.B) {
+	m := analytic.NewModel(profile.OpenContrail3x(), analytic.Option2S)
+	rt := analytic.DefaultRepairTimes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.CPOutageEstimate(rt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImportanceRanking(b *testing.B) {
+	m := analytic.NewModel(profile.OpenContrail3x(), analytic.Option2S)
+	rt := analytic.DefaultRepairTimes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Importance(analytic.CPMetric, rt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCTMCSteadyState(b *testing.B) {
+	c, err := markov.BirthDeath(7, 0.001, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMissionReliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := markov.KofNMissionReliability(2, 3, 1.0/5000, 1, 8766); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

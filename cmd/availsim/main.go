@@ -1,0 +1,119 @@
+// Command availsim runs the Monte Carlo discrete-event availability
+// simulator and compares its estimates against the closed-form analytic
+// models — the validation the paper names as future work.
+//
+// Usage:
+//
+//	availsim [-topology small|medium|large] [-scenario 1|2]
+//	         [-reps n] [-horizon hours] [-seed s] [-compute n]
+//	         [-av f] [-ah f] [-ar f] [-a f] [-as f]
+//
+// The default parameters are degraded from the paper's (more frequent
+// failures) so a laptop-scale run converges tightly; pass the paper's
+// values explicitly for production-grade rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/mc"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/relmath"
+	"sdnavail/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "availsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, simulates, and writes the comparison to out.
+func run(args []string, out io.Writer) error {
+	flag := flag.NewFlagSet("availsim", flag.ContinueOnError)
+	var (
+		topoName = flag.String("topology", "large", "deployment topology: small, medium or large")
+		scenario = flag.Int("scenario", 2, "supervisor scenario: 1 (not required) or 2 (required)")
+		reps     = flag.Int("reps", 8, "independent replications")
+		horizon  = flag.Float64("horizon", 4e5, "simulated hours per replication")
+		seed     = flag.Int64("seed", 1, "random seed")
+		compute  = flag.Int("compute", 4, "simulated vRouter compute hosts")
+		av       = flag.Float64("av", 0.9995, "VM availability A_V")
+		ah       = flag.Float64("ah", 0.999, "host availability A_H")
+		ar       = flag.Float64("ar", 0.998, "rack availability A_R")
+		a        = flag.Float64("a", 0.999, "supervised process availability A")
+		as       = flag.Float64("as", 0.995, "manual process availability A_S")
+	)
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+
+	var kind topology.Kind
+	switch *topoName {
+	case "small":
+		kind = topology.Small
+	case "medium":
+		kind = topology.Medium
+	case "large":
+		kind = topology.Large
+	default:
+		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+	sc := analytic.SupervisorNotRequired
+	if *scenario == 2 {
+		sc = analytic.SupervisorRequired
+	} else if *scenario != 1 {
+		return fmt.Errorf("scenario must be 1 or 2")
+	}
+
+	prof := profile.OpenContrail3x()
+	topo, err := topology.ByKind(kind, prof.ClusterRoles, 3)
+	if err != nil {
+		return err
+	}
+	params := analytic.Params{AC: 0.995, AV: *av, AH: *ah, AR: *ar, A: *a, AS: *as}
+	cfg := mc.NewConfig(prof, topo, sc, params)
+	cfg.Horizon = *horizon
+	cfg.Seed = *seed
+	cfg.ComputeHosts = *compute
+
+	opt := analytic.Option{Kind: kind, Scenario: sc}
+	fmt.Fprintf(out, "simulating option %s: %d replications × %.0f hours (seed %d)\n",
+		opt.Label(), *reps, *horizon, *seed)
+	est, err := mc.Run(cfg, *reps, 0.99)
+	if err != nil {
+		return err
+	}
+
+	model := analytic.NewModel(prof, opt)
+	model.Params = cfg.Params()
+	cp, dp := model.Evaluate()
+
+	fmt.Fprintf(out, "\n%-22s %-14s %-24s %s\n", "metric", "analytic", "simulated (99% CI)", "agree")
+	row := func(name string, analyticV float64, ci interface{ Contains(float64) bool }, mean, half float64) {
+		agree := mean-half-4e-4 <= analyticV && analyticV <= mean+half+4e-4
+		fmt.Fprintf(out, "%-22s %-14.6f %.6f ± %.6f      %v\n", name, analyticV, mean, half, agree)
+	}
+	row("control plane A_CP", cp, est.CP, est.CP.Mean, est.CP.HalfWide)
+	row("shared DP A_SDP", model.SharedDP(), est.SharedDP, est.SharedDP.Mean, est.SharedDP.HalfWide)
+	row("host DP A_DP", dp, est.HostDP, est.HostDP.Mean, est.HostDP.HalfWide)
+
+	var events int
+	var outages int
+	var meanOutage float64
+	for _, r := range est.Results {
+		events += r.Events
+		outages += r.CPOutages
+		meanOutage += r.CPMeanOutageHours
+	}
+	meanOutage /= float64(len(est.Results))
+	fmt.Fprintf(out, "\n%d events total; %d CP outages, mean duration %.2f h\n", events, outages, meanOutage)
+	fmt.Fprintf(out, "simulated CP downtime: %.1f min/year equivalent\n",
+		relmath.DowntimeMinutesPerYear(est.CP.Mean))
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulationRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run skipped in -short mode")
+	}
+	var sb strings.Builder
+	err := run([]string{"-topology", "small", "-scenario", "2", "-reps", "2", "-horizon", "50000"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"simulating option 2S", "control plane A_CP", "host DP A_DP",
+		"CP outages", "min/year equivalent",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulationErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-topology", "nope"}, &sb); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if err := run([]string{"-scenario", "3"}, &sb); err == nil {
+		t.Error("bad scenario accepted")
+	}
+	if err := run([]string{"-reps", "0"}, &sb); err == nil {
+		t.Error("zero reps accepted")
+	}
+	if err := run([]string{"-wat"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Command chaosctl boots the live controller testbed and runs
+// fault-injection experiments against it, reporting observed control-plane
+// and data-plane availability.
+//
+// Usage:
+//
+//	chaosctl [-topology small|large] [-hosts n]
+//	         [-scenario section3|dbquorum|rack|campaign]
+//	         [-step d] [-duration d] [-mbf d] [-repair d] [-seed s]
+//	         [-snapshot]
+//
+// Scenarios:
+//
+//	section3  — the paper's §III control failure narrative
+//	partition — majority network partition and heal
+//	dbquorum  — Cassandra quorum loss and repair
+//	rack      — full rack outage and operator recovery sweep
+//	campaign  — randomized Poisson fault injection over all processes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sdnavail/internal/chaos"
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosctl:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, boots the testbed, executes the scenario, and writes
+// the report to out.
+func run(args []string, out io.Writer) error {
+	flag := flag.NewFlagSet("chaosctl", flag.ContinueOnError)
+	var (
+		topoName = flag.String("topology", "small", "deployment topology: small or large")
+		hosts    = flag.Int("hosts", 3, "vRouter compute hosts")
+		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition or campaign")
+		step     = flag.Duration("step", 250*time.Millisecond, "delay between scripted injections")
+		duration = flag.Duration("duration", 2*time.Second, "campaign duration")
+		mbf      = flag.Duration("mbf", 100*time.Millisecond, "campaign mean time between faults")
+		repair   = flag.Duration("repair", 80*time.Millisecond, "campaign operator repair delay")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		snapshot = flag.Bool("snapshot", false, "print the process snapshot after the run")
+	)
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+
+	prof := profile.OpenContrail3x()
+	var topo *topology.Topology
+	switch *topoName {
+	case "small":
+		topo = topology.NewSmall(prof.ClusterRoles, 3)
+	case "large":
+		topo = topology.NewLarge(prof.ClusterRoles, 3)
+	default:
+		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+
+	c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: *hosts})
+	if err != nil {
+		return err
+	}
+	if err := c.Start(); err != nil {
+		return err
+	}
+	defer c.Stop()
+
+	fmt.Fprintf(out, "testbed up: %s topology, %d compute hosts, %d processes\n",
+		topo.Name, *hosts, len(c.Snapshot()))
+
+	var rep chaos.Report
+	switch *scenario {
+	case "section3":
+		rep, err = chaos.RunScenario(c, chaos.SectionIII(*step), *step, 0, 0)
+	case "dbquorum":
+		rep, err = chaos.RunScenario(c, chaos.DatabaseQuorumLoss(*step), *step, 0, 0)
+	case "rack":
+		rack := topo.Racks[0].Name
+		rep, err = chaos.RunScenario(c, chaos.RackOutage(rack, []int{0, 1, 2}, *step), 2**step, 0, 0)
+	case "partition":
+		rep, err = chaos.RunScenario(c, chaos.MajorityPartition(*step), 2**step, 0, 0)
+	case "campaign":
+		var hostNames []string
+		for _, r := range topo.Racks {
+			for _, h := range r.Hosts {
+				hostNames = append(hostNames, h.Name)
+			}
+		}
+		cp := chaos.Campaign{
+			Seed:              *seed,
+			Duration:          *duration,
+			MeanBetweenFaults: *mbf,
+			RepairAfter:       *repair,
+			Processes:         true,
+			Hosts:             true,
+		}
+		rep, err = cp.Run(c, hostNames, nil)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.String())
+
+	if *snapshot {
+		fmt.Fprintln(out, "\nfinal process snapshot:")
+		for _, st := range c.Snapshot() {
+			mark := "up"
+			if !st.Alive {
+				mark = "DOWN"
+			}
+			fmt.Fprintf(out, "  %-10s node %d  %-26s %-4s (restarts: %d)\n",
+				st.Role, st.Node, st.Name, mark, st.Restarts)
+		}
+	}
+	return nil
+}

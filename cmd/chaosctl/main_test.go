@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live scenarios skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			"section3",
+			[]string{"-scenario", "section3", "-step", "60ms", "-hosts", "2"},
+			[]string{"testbed up", "kill control-1", "forwarding tables flush", "observed CP availability"},
+		},
+		{
+			"dbquorum",
+			[]string{"-scenario", "dbquorum", "-step", "60ms", "-hosts", "2"},
+			[]string{"quorum lost", "observed DP availability"},
+		},
+		{
+			"partition",
+			[]string{"-scenario", "partition", "-step", "80ms", "-hosts", "2", "-topology", "large"},
+			[]string{"isolate controller nodes", "heal partition"},
+		},
+		{
+			"campaign",
+			[]string{"-scenario", "campaign", "-duration", "150ms", "-mbf", "40ms", "-repair", "30ms", "-hosts", "2", "-snapshot"},
+			[]string{"chaos report", "final process snapshot"},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(c.args, &sb); err != nil {
+				t.Fatalf("run(%v): %v", c.args, err)
+			}
+			out := sb.String()
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q in:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-topology", "nope"}, &sb); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if err := run([]string{"-scenario", "nope"}, &sb); err == nil {
+		t.Error("bad scenario accepted")
+	}
+	if err := run([]string{"-hosts", "0"}, &sb); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if err := run([]string{"-zzz"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation: Fig. 3 (HW-centric sweep), Figs. 4-5 (SW-centric CP/DP
+// sweeps), Tables I-III, the headline downtime table, the ablation tables
+// behind the §V.D/§VII observations, and the Monte Carlo validation the
+// paper defers to future work.
+//
+// Usage:
+//
+//	figures [-fig 3|4|5|all] [-tables] [-ablations] [-validate]
+//	        [-format ascii|csv] [-points n] [-reps n] [-horizon h]
+//
+// With no selection flags it prints everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sdnavail/internal/experiments"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and writes the requested figures and tables to out.
+func run(args []string, out io.Writer) error {
+	flag := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		fig        = flag.String("fig", "", "figure to regenerate: 3, 4, 5 or all")
+		tables     = flag.Bool("tables", false, "print Tables I-III and the headline table")
+		ablations  = flag.Bool("ablations", false, "print the ablation tables")
+		extensions = flag.Bool("extensions", false, "print the extension tables (outage frequency, weak links, assumption checks)")
+		validate   = flag.Bool("validate", false, "run the Monte Carlo validation experiment")
+		format     = flag.String("format", "ascii", "figure output: ascii or csv")
+		points     = flag.Int("points", 41, "sweep points per series")
+		reps       = flag.Int("reps", 8, "validation replications")
+		horizon    = flag.Float64("horizon", 3e5, "validation simulated hours per replication")
+		seed       = flag.Int64("seed", 1, "validation seed")
+	)
+	if err := flag.Parse(args); err != nil {
+		return err
+	}
+
+	all := *fig == "" && !*tables && !*ablations && !*extensions && !*validate
+	if all {
+		*fig = "all"
+		*tables = true
+		*ablations = true
+		*extensions = true
+		*validate = true
+	}
+
+	if *tables {
+		prof := profile.OpenContrail3x()
+		fmt.Fprintln(out, experiments.TableI(prof).Text())
+		fmt.Fprintln(out, experiments.TableII(prof).Text())
+		fmt.Fprintln(out, experiments.TableIII(prof).Text())
+		fmt.Fprintln(out, experiments.HeadlineTable().Text())
+	}
+
+	emit := func(f report.Figure) {
+		if *format == "csv" {
+			fmt.Fprintf(out, "# %s — %s\n", f.ID, f.Title)
+			fmt.Fprint(out, f.CSV())
+		} else {
+			fmt.Fprint(out, f.ASCII(72, 20))
+		}
+		fmt.Fprintln(out)
+	}
+	switch *fig {
+	case "":
+	case "3":
+		emit(experiments.Fig3(*points))
+	case "4":
+		emit(experiments.Fig4(*points))
+	case "5":
+		emit(experiments.Fig5(*points))
+	case "all":
+		emit(experiments.Fig3(*points))
+		emit(experiments.Fig4(*points))
+		emit(experiments.Fig5(*points))
+	default:
+		return fmt.Errorf("unknown figure %q (want 3, 4, 5 or all)", *fig)
+	}
+
+	if *ablations {
+		for _, t := range experiments.Ablations() {
+			fmt.Fprintln(out, t.Text())
+		}
+	}
+
+	if *extensions {
+		for _, t := range experiments.Extensions() {
+			fmt.Fprintln(out, t.Text())
+		}
+	}
+
+	if *validate {
+		_, t := experiments.Validation(*reps, *horizon, *seed)
+		fmt.Fprintln(out, t.Text())
+		fmt.Fprintln(out, experiments.DowntimeDistributionTable(*reps, *horizon, *seed).Text())
+	}
+	return nil
+}

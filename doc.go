@@ -1,0 +1,41 @@
+// Package sdnavail is an availability-modeling and fault-injection toolkit
+// for distributed SDN controllers, reproducing and extending "Distributed
+// Software Defined Networking Controller Failure Mode and Availability
+// Analysis" (Reeser, Tesseyre, Callaway — ISPASS 2019).
+//
+// The toolkit has three layers:
+//
+//   - Analytic models (the paper's contribution): closed-form HW-centric
+//     availability for the Small/Medium/Large reference deployment
+//     topologies (paper equations 2-8) and SW-centric process-level models
+//     for the 1S/2S/1L/2L options (equations 9-15), parameterized by a
+//     controller Profile that encodes the paper's Tables I-III. Profiles
+//     for OpenContrail 3.x and two illustrative alternates are built in;
+//     any distributed controller can be described by populating a Profile.
+//
+//   - A Monte Carlo discrete-event simulator (the paper's stated future
+//     work) that builds the full rack/host/VM/process hierarchy, drives
+//     failure and repair cycles with supervisor semantics, and validates
+//     the closed forms.
+//
+//   - A live in-process controller-cluster testbed with a chaos harness:
+//     goroutine processes for every Table I process, a quorum store,
+//     sequencer and event log for the Database role, a BGP-style control
+//     mesh, vRouter agents with dual control connections and rediscovery,
+//     and per-node-role supervisors with auto-restart. Fault-injection
+//     scenarios replay the paper's section III failure narrative on
+//     running code while probes measure observed availability.
+//
+// Quick start:
+//
+//	prof := sdnavail.OpenContrail3x()
+//	model := sdnavail.NewModel(prof, sdnavail.Option2L)
+//	cp, dp := model.Evaluate()
+//	fmt.Printf("A_CP = %.7f (%.1f min/year)\n", cp, sdnavail.DowntimeMinutesPerYear(cp))
+//	_ = dp
+//
+// The cmd directory provides four executables: availcalc (tables and
+// closed-form results), availsim (Monte Carlo validation), figures
+// (regenerate every paper figure and table), and chaosctl (live testbed
+// scenarios). The examples directory holds runnable walkthroughs.
+package sdnavail

@@ -1,0 +1,81 @@
+// Automation: the paper closes by noting that "identifying these process
+// weak links allows service provider operations to develop automation to
+// reduce downtime". This example demonstrates exactly that on the live
+// testbed: the same Database quorum outage is injected twice — once with
+// no remediation and once with an operator bot watching — and the observed
+// control-plane availability is compared.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sdnavail"
+)
+
+func runIncident(withBot bool) (availability float64, restarts int) {
+	prof := sdnavail.OpenContrail3x()
+	topo := sdnavail.NewSmallTopology(prof.ClusterRoles, 3)
+	c, err := sdnavail.NewCluster(sdnavail.ClusterConfig{
+		Profile: prof, Topology: topo, ComputeHosts: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := c.Start(); err != nil {
+		panic(err)
+	}
+	defer c.Stop()
+
+	var op *sdnavail.Operator
+	if withBot {
+		op = sdnavail.NewOperator(30 * time.Millisecond) // scaled R_S
+		if err := op.Start(c); err != nil {
+			panic(err)
+		}
+		defer op.Stop()
+	}
+
+	// The §VI.G dominant failure mode: two replicas of a manual-restart
+	// Database process die; no supervisor will ever bring them back.
+	incident := []sdnavail.ChaosAction{
+		sdnavail.ChaosStep(0, "kill cassandra (Config) on node 1", func(c *sdnavail.Cluster) error {
+			return c.KillProcess("Database", 0, "cassandra-db (Config)")
+		}),
+		sdnavail.ChaosStep(50*time.Millisecond, "kill cassandra (Config) on node 2", func(c *sdnavail.Cluster) error {
+			return c.KillProcess("Database", 1, "cassandra-db (Config)")
+		}),
+	}
+	rep, err := sdnavail.RunScenario(c, incident, 500*time.Millisecond, 4*time.Millisecond, 40*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	if op != nil {
+		restarts = op.Restarts()
+	}
+	return rep.CPAvailability, restarts
+}
+
+func main() {
+	fmt.Println("Incident: double cassandra-db (Config) failure (quorum lost).")
+	fmt.Println("Database processes are manual-restart — supervisors cannot help.")
+
+	bare, _ := runIncident(false)
+	fmt.Printf("\nwithout automation: observed CP availability %.3f (outage persists\n", bare)
+	fmt.Println("  until a human notices; in production that is R_S ≈ 1 hour)")
+
+	healed, restarts := runIncident(true)
+	fmt.Printf("\nwith a 30ms-response operator bot: observed CP availability %.3f\n", healed)
+	fmt.Printf("  (%d automatic restarts performed)\n", restarts)
+
+	fmt.Println("\nThe analytic view of the same lever: cutting the manual restart time")
+	fmt.Println("R_S moves A_S, the dominant CP weak link outside the rack:")
+	for _, rs := range []float64{1, 0.25, 0.05} {
+		p := sdnavail.DefaultParams().WithProcessTimes(5000, 0.1, rs)
+		m := sdnavail.NewModel(sdnavail.OpenContrail3x(), sdnavail.Option2L)
+		m.Params = p
+		cp := m.ControlPlane()
+		fmt.Printf("  R_S = %4.2f h  →  A_CP = %.8f  (%.2f min/year)\n",
+			rs, cp, sdnavail.DowntimeMinutesPerYear(cp))
+	}
+}

@@ -1,0 +1,110 @@
+// Custom controller: the paper claims its framework extends to any
+// distributed SDN controller "simply by populating the tables
+// appropriately". This example does exactly that: it describes a
+// hypothetical next-generation controller from scratch — different roles,
+// different process inventory, different quorum requirements — derives its
+// Tables II and III automatically, and runs the same availability
+// analysis used for OpenContrail.
+package main
+
+import (
+	"fmt"
+
+	"sdnavail"
+	"sdnavail/internal/profile"
+)
+
+// fabricMind describes a made-up controller with two clustered roles: a
+// combined api+intent "Brain" role with an embedded consensus log, and a
+// "Telemetry" role, plus an eBPF-style per-host dataplane with a single
+// critical process.
+func fabricMind() *sdnavail.Profile {
+	p := &sdnavail.Profile{
+		Name:         "FabricMind 1.0",
+		Description:  "Hypothetical intent-based controller: Brain role with embedded raft log, Telemetry role, eBPF host dataplane.",
+		ClusterRoles: []sdnavail.Role{"Brain", "Telemetry"},
+		HostRole:     "HostPlane",
+		Processes: []sdnavail.Process{
+			{
+				Name: "intent-api", Role: "Brain", Restart: sdnavail.AutoRestart,
+				CP: sdnavail.OneOf, DP: sdnavail.NotRequired,
+				FailureEffect: "Northbound intent API unavailable on the node.",
+			},
+			{
+				Name: "compiler", Role: "Brain", Restart: sdnavail.AutoRestart,
+				CP: sdnavail.OneOf, DP: sdnavail.NotRequired,
+				FailureEffect: "Intents are not compiled into flow state.",
+			},
+			{
+				Name: "raft-log", Role: "Brain", Restart: sdnavail.AutoRestart,
+				CP: sdnavail.Majority, DP: sdnavail.NotRequired,
+				FailureEffect: "Without a log majority, cluster state freezes.",
+			},
+			{
+				Name: "flow-pusher", Role: "Brain", Restart: sdnavail.AutoRestart,
+				CP: sdnavail.OneOf, DP: sdnavail.OneOf,
+				FailureEffect: "Host planes fail over to a surviving pusher; losing all stops reprogramming.",
+			},
+			{
+				Name: "supervisor-brain", Role: "Brain", Restart: sdnavail.ManualRestart,
+				CP: sdnavail.NotRequired, DP: sdnavail.NotRequired, Supervisor: true,
+				FailureEffect: "Brain runs unsupervised until restart.",
+			},
+			{
+				Name: "ts-store", Role: "Telemetry", Restart: sdnavail.ManualRestart,
+				CP: sdnavail.Majority, DP: sdnavail.NotRequired,
+				FailureEffect: "Telemetry history loses quorum.",
+			},
+			{
+				Name: "ts-query", Role: "Telemetry", Restart: sdnavail.AutoRestart,
+				CP: sdnavail.OneOf, DP: sdnavail.NotRequired,
+				FailureEffect: "Telemetry queries fail.",
+			},
+			{
+				Name: "supervisor-telemetry", Role: "Telemetry", Restart: sdnavail.ManualRestart,
+				CP: sdnavail.NotRequired, DP: sdnavail.NotRequired, Supervisor: true,
+				FailureEffect: "Telemetry runs unsupervised until restart.",
+			},
+			{
+				Name: "ebpf-datapath", Role: "HostPlane", Restart: sdnavail.AutoRestart,
+				CP: sdnavail.NotRequired, DP: sdnavail.OneOf, PerHost: true,
+				FailureEffect: "Host forwarding stops.",
+			},
+			{
+				Name: "supervisor-hostplane", Role: "HostPlane", Restart: sdnavail.ManualRestart,
+				CP: sdnavail.NotRequired, DP: sdnavail.NotRequired, Supervisor: true,
+				FailureEffect: "Host plane runs unsupervised.",
+			},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func main() {
+	custom := fabricMind()
+
+	fmt.Printf("Profile: %s\n%s\n\n", custom.Name, custom.Description)
+	fmt.Print(profile.TableIIText(custom))
+	fmt.Println()
+	fmt.Print(profile.TableIIIText(custom))
+
+	fmt.Println("\n== Same analysis, new controller ==")
+	fmt.Printf("  %-6s %-24s %-11s %-12s %-10s %s\n", "option", "profile", "A_CP", "CP downtime", "A_DP", "DP downtime")
+	for _, prof := range []*sdnavail.Profile{custom, sdnavail.OpenContrail3x()} {
+		for _, opt := range []sdnavail.Option{sdnavail.Option2S, sdnavail.Option2L} {
+			m := sdnavail.NewModel(prof, opt)
+			cp, dp := m.Evaluate()
+			fmt.Printf("  %-6s %-24s %.7f  %5.2f m/y   %.6f  %5.1f m/y\n",
+				opt.Label(), prof.Name, cp, sdnavail.DowntimeMinutesPerYear(cp),
+				dp, sdnavail.DowntimeMinutesPerYear(dp))
+		}
+	}
+
+	fmt.Println("\nFabricMind's DP does better (one critical host process instead of")
+	fmt.Println("two), while its CP carries two quorum components (raft-log, ts-store)")
+	fmt.Println("against OpenContrail's four — the framework quantifies both effects")
+	fmt.Println("from the tables alone.")
+}

@@ -1,0 +1,124 @@
+// Placement study: the paper's HW-centric analysis compares three fixed
+// reference topologies; the exact enumerator prices *any* placement, which
+// is what an operator weighing rack budgets actually needs. This example
+// evaluates five candidate layouts for the same 3-node cluster — the three
+// reference designs plus two custom ones — and ranks them by control-plane
+// downtime.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"sdnavail"
+)
+
+// dbRackSplit isolates the Database quorum in its own rack; Config,
+// Control and Analytics share the first rack.
+func dbRackSplit(prof *sdnavail.Profile) *sdnavail.Topology {
+	t := &sdnavail.Topology{
+		Name:        "DB-in-own-rack (2 racks)",
+		ClusterSize: 3,
+		Roles:       prof.ClusterRoles,
+	}
+	front := sdnavail.Rack{Name: "R1"}
+	for i := 0; i < 3; i++ {
+		host := sdnavail.Host{Name: fmt.Sprintf("HF%d", i+1)}
+		for _, role := range prof.ClusterRoles[:3] {
+			letter := string(role[0])
+			if role == "Config" {
+				letter = "G"
+			}
+			host.VMs = append(host.VMs, sdnavail.TopologyVM{
+				Name:       fmt.Sprintf("%s%d", letter, i+1),
+				Placements: []sdnavail.Placement{{Role: role, Node: i}},
+			})
+		}
+		front.Hosts = append(front.Hosts, host)
+	}
+	back := sdnavail.Rack{Name: "R2"}
+	for i := 0; i < 3; i++ {
+		back.Hosts = append(back.Hosts, sdnavail.Host{
+			Name: fmt.Sprintf("HB%d", i+1),
+			VMs: []sdnavail.TopologyVM{{
+				Name:       fmt.Sprintf("D%d", i+1),
+				Placements: []sdnavail.Placement{{Role: "Database", Node: i}},
+			}},
+		})
+	}
+	t.Racks = []sdnavail.Rack{front, back}
+	return t
+}
+
+// twoPlusOneNodes spreads whole nodes over two racks 2+1 but keeps each
+// node's roles on one host (a cheaper Medium).
+func twoPlusOneNodes(prof *sdnavail.Profile) *sdnavail.Topology {
+	small := sdnavail.NewSmallTopology(prof.ClusterRoles, 3)
+	t := &sdnavail.Topology{
+		Name:        "GCAD nodes split 2+1 (2 racks)",
+		ClusterSize: 3,
+		Roles:       prof.ClusterRoles,
+	}
+	hosts := small.Racks[0].Hosts
+	t.Racks = []sdnavail.Rack{
+		{Name: "R1", Hosts: []sdnavail.Host{hosts[0], hosts[1]}},
+		{Name: "R2", Hosts: []sdnavail.Host{hosts[2]}},
+	}
+	return t
+}
+
+func main() {
+	prof := sdnavail.OpenContrail3x()
+	candidates := []*sdnavail.Topology{
+		sdnavail.NewSmallTopology(prof.ClusterRoles, 3),
+		sdnavail.NewMediumTopology(prof.ClusterRoles, 3),
+		sdnavail.NewLargeTopology(prof.ClusterRoles, 3),
+		dbRackSplit(prof),
+		twoPlusOneNodes(prof),
+	}
+
+	type result struct {
+		name       string
+		racks      int
+		cpDowntime float64
+		dpDowntime float64
+	}
+	var results []result
+	for _, topo := range candidates {
+		if err := topo.Validate(); err != nil {
+			panic(topo.Name + ": " + err.Error())
+		}
+		m := sdnavail.NewExactModel(prof, topo, sdnavail.SupervisorRequired)
+		cp, err := m.ControlPlane()
+		if err != nil {
+			panic(err)
+		}
+		dp, err := m.DataPlane()
+		if err != nil {
+			panic(err)
+		}
+		racks, _, _ := topo.Counts()
+		results = append(results, result{
+			name:       topo.Name,
+			racks:      racks,
+			cpDowntime: sdnavail.DowntimeMinutesPerYear(cp),
+			dpDowntime: sdnavail.DowntimeMinutesPerYear(dp),
+		})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].cpDowntime < results[j].cpDowntime })
+
+	fmt.Println("Exact placement comparison (supervisor required, paper defaults)")
+	fmt.Printf("%-32s %-6s %-14s %s\n", "layout", "racks", "CP m/y", "DP m/y")
+	for _, r := range results {
+		fmt.Printf("%-32s %-6d %-14.2f %.1f\n", r.name, r.racks, r.cpDowntime, r.dpDowntime)
+	}
+
+	fmt.Println("\nWhat the ranking shows:")
+	fmt.Println("  - Large (3 racks) wins: no rack carries a quorum.")
+	fmt.Println("  - Every 2-rack design loses to the 1-rack Small: whichever rack")
+	fmt.Println("    holds a CP-critical majority is a single point of failure, and")
+	fmt.Println("    the second rack only adds failure modes. Giving the Database its")
+	fmt.Println("    own rack makes BOTH racks single points of failure — the worst")
+	fmt.Println("    of the five. \"One rack or three, but not two\" is robust even")
+	fmt.Println("    against creative 2-rack placements.")
+}

@@ -1,0 +1,3 @@
+module sdnavail
+
+go 1.22

@@ -1,0 +1,238 @@
+package analytic
+
+import (
+	"fmt"
+	"sort"
+
+	"sdnavail/internal/relmath"
+)
+
+// This file extends the steady-state availability models with
+// frequency-duration analysis and component-importance ranking.
+//
+// Steady-state availability says how many minutes per year a plane is
+// down; it does not say whether that is one two-day outage every 500 years
+// or a minute-long blip every month — a distinction the paper's §V.D
+// discussion of "highly-publicized extended outages" turns on. For a
+// monotone system of independent Markov on/off components, the exact
+// outage frequency is
+//
+//	F = Σ_c λ_c · A_c · I_B(c)
+//
+// where I_B(c) = ∂A_sys/∂A_c is the Birnbaum importance of component c.
+// With A_c = μ_c/(λ_c+μ_c) this simplifies to Σ_c (1-A_c)/MTTR_c · I_B(c).
+// Components of the same class (all supervised processes, all hosts, ...)
+// share availability parameters, so the class derivative ∂A_sys/∂A_class
+// already sums the per-component importances. The derivatives are taken
+// by central finite differences on the closed forms.
+
+// RepairTimes carries the mean-time-to-restore assumptions (hours) that
+// turn the availability parameters into failure rates. The defaults mirror
+// the paper's: R = 0.1 h auto restart, R_S = 1 h manual restart, 1 h VM
+// recovery, 4 h Same-Day host repair, 48 h rack rebuild.
+type RepairTimes struct {
+	Auto   float64 // supervised process restart (R)
+	Manual float64 // manual process restart (R_S)
+	VM     float64
+	Host   float64
+	Rack   float64
+}
+
+// DefaultRepairTimes returns the paper-aligned repair times.
+func DefaultRepairTimes() RepairTimes {
+	return RepairTimes{Auto: 0.1, Manual: 1, VM: 1, Host: 4, Rack: 48}
+}
+
+// Validate reports non-positive repair times.
+func (rt RepairTimes) Validate() error {
+	for _, v := range []float64{rt.Auto, rt.Manual, rt.VM, rt.Host, rt.Rack} {
+		if v <= 0 {
+			return fmt.Errorf("analytic: repair times must be positive: %+v", rt)
+		}
+	}
+	return nil
+}
+
+// paramClass identifies one availability parameter of the SW-centric
+// model, for derivatives and importance attribution.
+type paramClass struct {
+	name string
+	get  func(*Params) *float64
+	mttr func(RepairTimes) float64
+}
+
+func swParamClasses() []paramClass {
+	return []paramClass{
+		{"A (supervised processes)", func(p *Params) *float64 { return &p.A }, func(rt RepairTimes) float64 { return rt.Auto }},
+		{"A_S (manual/unsupervised processes)", func(p *Params) *float64 { return &p.AS }, func(rt RepairTimes) float64 { return rt.Manual }},
+		{"A_V (VMs)", func(p *Params) *float64 { return &p.AV }, func(rt RepairTimes) float64 { return rt.VM }},
+		{"A_H (hosts)", func(p *Params) *float64 { return &p.AH }, func(rt RepairTimes) float64 { return rt.Host }},
+		{"A_R (racks)", func(p *Params) *float64 { return &p.AR }, func(rt RepairTimes) float64 { return rt.Rack }},
+	}
+}
+
+// derivative computes ∂metric/∂class by a central finite difference,
+// re-evaluating the model with the class availability nudged both ways.
+func (m *Model) derivative(metric func(*Model) float64, class paramClass) float64 {
+	const h = 1e-7
+	lo, hi := *m, *m
+	loP, hiP := m.Params, m.Params
+	*class.get(&loP) -= h
+	*class.get(&hiP) += h
+	lo.Params, hi.Params = loP, hiP
+	return (metric(&hi) - metric(&lo)) / (2 * h)
+}
+
+// OutageEstimate is the frequency-duration view of a plane.
+type OutageEstimate struct {
+	// Availability is the plane's steady-state availability.
+	Availability float64
+	// FrequencyPerYear is the expected number of distinct outages per
+	// year.
+	FrequencyPerYear float64
+	// MeanTimeBetweenOutagesYears is the expected time between outage
+	// onsets, in years (the reciprocal of the frequency).
+	MeanTimeBetweenOutagesYears float64
+	// MeanOutageMinutes is the expected duration of one outage.
+	MeanOutageMinutes float64
+}
+
+const hoursPerYear = 24 * 365.25
+
+// outageEstimate computes the frequency-duration quantities for a metric.
+func (m *Model) outageEstimate(metric func(*Model) float64, rt RepairTimes) (OutageEstimate, error) {
+	if err := m.Validate(); err != nil {
+		return OutageEstimate{}, err
+	}
+	if err := rt.Validate(); err != nil {
+		return OutageEstimate{}, err
+	}
+	a := metric(m)
+	var freqPerHour float64
+	for _, class := range swParamClasses() {
+		ap := *class.get(&m.Params)
+		if ap >= 1 { // a perfect class never fails
+			continue
+		}
+		ib := m.derivative(metric, class)
+		if ib < 0 {
+			ib = 0 // clamp finite-difference noise on irrelevant classes
+		}
+		freqPerHour += (1 - ap) / class.mttr(rt) * ib
+	}
+	est := OutageEstimate{
+		Availability:     a,
+		FrequencyPerYear: freqPerHour * hoursPerYear,
+	}
+	if freqPerHour > 0 {
+		est.MeanTimeBetweenOutagesYears = 1 / est.FrequencyPerYear
+		est.MeanOutageMinutes = (1 - a) / freqPerHour * 60
+	}
+	return est, nil
+}
+
+// CPOutageEstimate returns the frequency-duration view of the SDN control
+// plane.
+func (m *Model) CPOutageEstimate(rt RepairTimes) (OutageEstimate, error) {
+	return m.outageEstimate((*Model).ControlPlane, rt)
+}
+
+// DPOutageEstimate returns the frequency-duration view of one host's data
+// plane.
+func (m *Model) DPOutageEstimate(rt RepairTimes) (OutageEstimate, error) {
+	return m.outageEstimate((*Model).DataPlane, rt)
+}
+
+// ImportanceEntry ranks one parameter class as a weak link.
+type ImportanceEntry struct {
+	// Class names the parameter class.
+	Class string
+	// Birnbaum is ∂A_plane/∂A_class: the probability that the class is
+	// critical (summed over its components).
+	Birnbaum float64
+	// DowntimeShareMinutesPerYear is the first-order downtime attributable
+	// to the class: (1-A_class)·Birnbaum, converted to minutes/year. For a
+	// pure series system the shares partition the plane's downtime; for
+	// redundant (k-of-n) structures multi-failure states are attributed to
+	// every participating class, so the shares sum to at least the
+	// downtime.
+	DowntimeShareMinutesPerYear float64
+	// ImprovementPotentialMinutesPerYear is the exact downtime eliminated
+	// if every component of the class were perfect (A_class → 1): the
+	// ceiling on what automation targeting this class can buy, per the
+	// paper's §VII improvement-focus discussion.
+	ImprovementPotentialMinutesPerYear float64
+	// OutagesPerYear is the class's contribution to outage frequency.
+	OutagesPerYear float64
+}
+
+// Importance returns the weak-link ranking of the plane metric: every
+// parameter class with its Birnbaum importance, first-order downtime
+// share, and outage-frequency contribution, sorted by downtime share
+// descending. This is the quantitative version of the paper's §VII
+// direction to "identify these process weak links" for automation focus.
+func (m *Model) Importance(pl PlaneMetric, rt RepairTimes) ([]ImportanceEntry, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rt.Validate(); err != nil {
+		return nil, err
+	}
+	metric := pl.metric()
+	base := metric(m)
+	var out []ImportanceEntry
+	for _, class := range swParamClasses() {
+		ap := *class.get(&m.Params)
+		ib := m.derivative(metric, class)
+		if ib < 0 {
+			ib = 0
+		}
+		perfect := *m
+		perfectParams := m.Params
+		*class.get(&perfectParams) = 1
+		perfect.Params = perfectParams
+		potential := (metric(&perfect) - base) * relmath.MinutesPerYear
+		if potential < 0 {
+			potential = 0
+		}
+		e := ImportanceEntry{
+			Class:                              class.name,
+			Birnbaum:                           ib,
+			DowntimeShareMinutesPerYear:        (1 - ap) * ib * relmath.MinutesPerYear,
+			ImprovementPotentialMinutesPerYear: potential,
+		}
+		if ap < 1 {
+			e.OutagesPerYear = (1 - ap) / class.mttr(rt) * ib * hoursPerYear
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].DowntimeShareMinutesPerYear > out[j].DowntimeShareMinutesPerYear
+	})
+	return out, nil
+}
+
+// PlaneMetric selects which plane Importance analyzes.
+type PlaneMetric int
+
+const (
+	// CPMetric analyzes the SDN control plane.
+	CPMetric PlaneMetric = iota
+	// DPMetric analyzes the per-host data plane.
+	DPMetric
+)
+
+func (pm PlaneMetric) metric() func(*Model) float64 {
+	if pm == DPMetric {
+		return (*Model).DataPlane
+	}
+	return (*Model).ControlPlane
+}
+
+// String names the metric.
+func (pm PlaneMetric) String() string {
+	if pm == DPMetric {
+		return "host DP"
+	}
+	return "SDN CP"
+}

@@ -1,0 +1,235 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"sdnavail/internal/profile"
+	"sdnavail/internal/relmath"
+)
+
+func TestCPOutageEstimateSmall(t *testing.T) {
+	m := NewModel(profile.OpenContrail3x(), Option1S)
+	est, err := m.CPOutageEstimate(DefaultRepairTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistency: availability matches the direct evaluation; frequency
+	// and duration multiply back to the downtime.
+	if math.Abs(est.Availability-m.ControlPlane()) > 1e-12 {
+		t.Errorf("availability mismatch: %g vs %g", est.Availability, m.ControlPlane())
+	}
+	downtime := relmath.DowntimeMinutesPerYear(est.Availability)
+	reconstructed := est.FrequencyPerYear * est.MeanOutageMinutes
+	if math.Abs(downtime-reconstructed) > 0.02*downtime {
+		t.Errorf("freq×duration = %.2f m/y, availability says %.2f m/y", reconstructed, downtime)
+	}
+	if est.FrequencyPerYear <= 0 || est.MeanOutageMinutes <= 0 {
+		t.Errorf("degenerate estimate: %+v", est)
+	}
+	if math.Abs(est.MeanTimeBetweenOutagesYears*est.FrequencyPerYear-1) > 1e-9 {
+		t.Error("MTBF and frequency are not reciprocal")
+	}
+}
+
+// TestOutageFrequencyExplainsRareLongOutages quantifies the paper's §V.D
+// narrative: the Small topology's downtime is dominated by rare, long
+// rack outages, so its mean outage duration must be far longer than the
+// Large topology's (whose outages are mostly quick process blips).
+func TestOutageFrequencyExplainsRareLongOutages(t *testing.T) {
+	rt := DefaultRepairTimes()
+	small, err := NewModel(profile.OpenContrail3x(), Option1S).CPOutageEstimate(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewModel(profile.OpenContrail3x(), Option1L).CPOutageEstimate(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MeanOutageMinutes <= 3*large.MeanOutageMinutes {
+		t.Errorf("Small mean outage %.0f min should dwarf Large %.1f min (rack-dominated)",
+			small.MeanOutageMinutes, large.MeanOutageMinutes)
+	}
+	// A rack fails every ~500 years per the paper; Small CP outage onsets
+	// should be rare — years apart, not weeks.
+	if small.MeanTimeBetweenOutagesYears < 1 {
+		t.Errorf("Small outages every %.2f years; expected rare", small.MeanTimeBetweenOutagesYears)
+	}
+}
+
+func TestDPOutageEstimate(t *testing.T) {
+	m := NewModel(profile.OpenContrail3x(), Option2S)
+	est, err := m.DPOutageEstimate(DefaultRepairTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DP is dominated by per-host process failures: outages are
+	// frequent (several per year) and short (minutes to ~1 h).
+	if est.FrequencyPerYear < 1 {
+		t.Errorf("DP outage frequency %.2f/year implausibly low", est.FrequencyPerYear)
+	}
+	if est.MeanOutageMinutes > 120 {
+		t.Errorf("DP mean outage %.0f min implausibly long", est.MeanOutageMinutes)
+	}
+	downtime := relmath.DowntimeMinutesPerYear(est.Availability)
+	if math.Abs(est.FrequencyPerYear*est.MeanOutageMinutes-downtime) > 0.02*downtime {
+		t.Error("DP freq×duration inconsistent with availability")
+	}
+}
+
+func TestImportanceRanking(t *testing.T) {
+	m := NewModel(profile.OpenContrail3x(), Option2S)
+	rt := DefaultRepairTimes()
+
+	cp, err := m.Importance(CPMetric, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp) != 5 {
+		t.Fatalf("importance classes = %d, want 5", len(cp))
+	}
+	for i := 1; i < len(cp); i++ {
+		if cp[i].DowntimeShareMinutesPerYear > cp[i-1].DowntimeShareMinutesPerYear {
+			t.Fatal("importance not sorted by downtime share")
+		}
+	}
+	// The CP's top weak link at defaults is the rack (the 5.26 m/y single
+	// point of failure in the Small topology).
+	if cp[0].Class != "A_R (racks)" {
+		t.Errorf("Small CP top weak link = %q, want racks", cp[0].Class)
+	}
+	// Downtime shares cover the total downtime (multi-failure states are
+	// attributed to every participating class, so the sum may exceed it,
+	// but never by more than the redundancy multiplicity).
+	var sum, potentials float64
+	for _, e := range cp {
+		sum += e.DowntimeShareMinutesPerYear
+		potentials += e.ImprovementPotentialMinutesPerYear
+		if e.ImprovementPotentialMinutesPerYear < 0 {
+			t.Errorf("%s: negative improvement potential", e.Class)
+		}
+	}
+	total := relmath.DowntimeMinutesPerYear(m.ControlPlane())
+	if sum < 0.95*total || sum > 2.5*total {
+		t.Errorf("importance shares sum to %.2f m/y, total downtime %.2f m/y", sum, total)
+	}
+	// Making one class perfect can never eliminate more than everything;
+	// each potential is bounded by the total.
+	for _, e := range cp {
+		if e.ImprovementPotentialMinutesPerYear > total+1e-9 {
+			t.Errorf("%s: potential %.2f exceeds total %.2f", e.Class, e.ImprovementPotentialMinutesPerYear, total)
+		}
+	}
+
+	// The DP's top weak link must be the supervised processes (the
+	// vrouter-agent/dpdk single points of failure), with manual restart
+	// (the vRouter supervisor under scenario 2) second.
+	dp, err := m.Importance(DPMetric, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp[0].Class != "A_S (manual/unsupervised processes)" || dp[1].Class != "A (supervised processes)" {
+		t.Errorf("DP weak links = %q, %q; want A_S then A (vRouter supervisor dominates at 2S)", dp[0].Class, dp[1].Class)
+	}
+}
+
+func TestImportanceLargeTopologyShiftsWeakLink(t *testing.T) {
+	// In the Large topology the rack single point of failure is gone; the
+	// CP weak link shifts to the manual-restart Database processes.
+	m := NewModel(profile.OpenContrail3x(), Option1L)
+	cp, err := m.Importance(CPMetric, DefaultRepairTimes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp[0].Class != "A_S (manual/unsupervised processes)" {
+		t.Errorf("Large CP top weak link = %q, want manual processes", cp[0].Class)
+	}
+}
+
+func TestOutageEstimateValidation(t *testing.T) {
+	m := NewModel(profile.OpenContrail3x(), Option1S)
+	bad := DefaultRepairTimes()
+	bad.Host = 0
+	if _, err := m.CPOutageEstimate(bad); err == nil {
+		t.Error("bad repair times accepted")
+	}
+	if _, err := m.Importance(CPMetric, bad); err == nil {
+		t.Error("bad repair times accepted by Importance")
+	}
+	broken := NewModel(nil, Option1S)
+	if _, err := broken.CPOutageEstimate(DefaultRepairTimes()); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := broken.Importance(DPMetric, DefaultRepairTimes()); err == nil {
+		t.Error("invalid model accepted by Importance")
+	}
+}
+
+func TestPlaneMetricString(t *testing.T) {
+	if CPMetric.String() == DPMetric.String() {
+		t.Error("plane metric names must differ")
+	}
+}
+
+func TestControlFailoverImpactNegligible(t *testing.T) {
+	// The paper assumes simultaneous control failures are negligible for
+	// DP availability; with default parameters (A = 0.99998, R = 0.1 h,
+	// one-minute rediscovery) the added unavailability must be far below
+	// every other DP term (~1e-10 against ~5e-5).
+	added, events, err := ControlFailoverImpact(Defaults(), 3, 0.1, 1.0/60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added > 1e-8 {
+		t.Errorf("added unavailability %.2e should be negligible", added)
+	}
+	if events <= 0 {
+		t.Error("event rate should be positive")
+	}
+	// Sanity: impact scales linearly with the rediscovery window.
+	added10, _, err := ControlFailoverImpact(Defaults(), 3, 0.1, 10.0/60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(added10/added-10) > 1e-6 {
+		t.Errorf("impact should scale linearly with rediscovery time: %g vs %g", added10, added)
+	}
+}
+
+func TestControlFailoverImpactBecomesVisible(t *testing.T) {
+	// The assumption stops being safe when processes are flaky and
+	// rediscovery is slow: A one order worse and a 30-minute rediscovery
+	// push the term toward the magnitude of the local DP contribution.
+	p := Defaults().ScaleProcessDowntime(-1)
+	added, _, err := ControlFailoverImpact(p, 3, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, _, err := ControlFailoverImpact(Defaults(), 3, 0.1, 1.0/60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added < 100*weak {
+		t.Errorf("degraded case %.2e should dwarf default case %.2e", added, weak)
+	}
+}
+
+func TestControlFailoverImpactValidation(t *testing.T) {
+	if _, _, err := ControlFailoverImpact(Defaults(), 2, 0.1, 0.02); err == nil {
+		t.Error("cluster of 2 accepted")
+	}
+	if _, _, err := ControlFailoverImpact(Defaults(), 3, 0, 0.02); err == nil {
+		t.Error("zero mttr accepted")
+	}
+	bad := Defaults()
+	bad.A = 1.5
+	if _, _, err := ControlFailoverImpact(bad, 3, 0.1, 0.02); err == nil {
+		t.Error("bad params accepted")
+	}
+	perfect := Defaults()
+	perfect.A = 1
+	added, events, err := ControlFailoverImpact(perfect, 3, 0.1, 0.02)
+	if err != nil || added != 0 || events != 0 {
+		t.Errorf("perfect processes should have zero impact: %g, %g, %v", added, events, err)
+	}
+}

@@ -1,0 +1,344 @@
+// Package chaos drives fault-injection experiments against the live
+// cluster testbed and measures observed control-plane and data-plane
+// availability from the outside, the way a monitoring system would: by
+// probing.
+//
+// Two experiment styles are supported: scripted scenarios (a deterministic
+// sequence of timed injections, e.g. the paper's section III control-node
+// kill narrative) and randomized campaigns (Poisson fault arrivals over
+// process/host/rack targets with an operator model that repairs
+// manual-restart processes and hardware after a delay).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/stats"
+)
+
+// Action is one scripted injection or repair.
+type Action struct {
+	// After is the delay since the previous action.
+	After time.Duration
+	// Name describes the step for the report.
+	Name string
+	// Do performs the step.
+	Do func(c *cluster.Cluster) error
+}
+
+// Step constructs an Action.
+func Step(after time.Duration, name string, do func(c *cluster.Cluster) error) Action {
+	return Action{After: after, Name: name, Do: do}
+}
+
+// Sample is one probe observation.
+type Sample struct {
+	At    time.Duration
+	CPUp  bool
+	DPUp  []bool // per compute host
+	CPErr string // probe failure reason when CP is down
+}
+
+// Report summarizes an experiment.
+type Report struct {
+	Duration   time.Duration
+	Samples    []Sample
+	Injections []string // timestamped action log
+
+	CPAvailability float64
+	// DPAvailability is the mean across hosts of per-host observed DP
+	// availability.
+	DPAvailability float64
+	// PerHostDP is the observed availability per compute host.
+	PerHostDP []float64
+	// CPOutages counts maximal runs of failed CP samples.
+	CPOutages int
+}
+
+// String renders a human-readable summary.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chaos report: %v, %d samples, %d injections\n", r.Duration, len(r.Samples), len(r.Injections))
+	fmt.Fprintf(&sb, "  observed CP availability: %.4f (%d outages)\n", r.CPAvailability, r.CPOutages)
+	fmt.Fprintf(&sb, "  observed DP availability: %.4f (per host:", r.DPAvailability)
+	for _, a := range r.PerHostDP {
+		fmt.Fprintf(&sb, " %.4f", a)
+	}
+	sb.WriteString(")\n")
+	for _, inj := range r.Injections {
+		fmt.Fprintf(&sb, "  %s\n", inj)
+	}
+	return sb.String()
+}
+
+// summarize fills the aggregate fields from the samples.
+func summarize(r *Report) {
+	if len(r.Samples) == 0 {
+		return
+	}
+	hosts := len(r.Samples[0].DPUp)
+	cpUp := 0
+	dpUp := make([]int, hosts)
+	prevDown := false
+	for _, s := range r.Samples {
+		if s.CPUp {
+			cpUp++
+			prevDown = false
+		} else {
+			if !prevDown {
+				r.CPOutages++
+			}
+			prevDown = true
+		}
+		for h, up := range s.DPUp {
+			if up {
+				dpUp[h]++
+			}
+		}
+	}
+	n := float64(len(r.Samples))
+	r.CPAvailability = float64(cpUp) / n
+	var acc stats.Accumulator
+	for _, c := range dpUp {
+		a := float64(c) / n
+		r.PerHostDP = append(r.PerHostDP, a)
+		acc.Add(a)
+	}
+	r.DPAvailability = acc.Mean()
+}
+
+// prober samples the cluster's planes at a fixed period.
+type prober struct {
+	c       *cluster.Cluster
+	period  time.Duration
+	timeout time.Duration
+
+	mu      sync.Mutex
+	samples []Sample
+	stop    chan struct{}
+	done    chan struct{}
+	start   time.Time
+}
+
+func newProber(c *cluster.Cluster, period, timeout time.Duration) *prober {
+	return &prober{
+		c: c, period: period, timeout: timeout,
+		stop: make(chan struct{}), done: make(chan struct{}),
+		start: time.Now(),
+	}
+}
+
+func (p *prober) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.sampleOnce()
+		}
+	}
+}
+
+func (p *prober) sampleOnce() {
+	// Probe the data planes first: DP probes are instantaneous, while a
+	// failing CP probe blocks for its timeout and would skew the sample's
+	// timestamp against the DP observations.
+	s := Sample{At: time.Since(p.start)}
+	for h := 0; h < p.c.ComputeHostCount(); h++ {
+		s.DPUp = append(s.DPUp, p.c.ProbeDP(h) == nil)
+	}
+	if err := p.c.ProbeCP(p.timeout); err != nil {
+		s.CPErr = err.Error()
+	} else {
+		s.CPUp = true
+	}
+	p.mu.Lock()
+	p.samples = append(p.samples, s)
+	p.mu.Unlock()
+}
+
+func (p *prober) halt() []Sample {
+	close(p.stop)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.samples
+}
+
+// RunScenario executes a scripted action sequence while probing, then
+// returns the report. Probe period and timeout default to 5 ms and 50 ms
+// when zero. A trailing settle duration keeps probing after the last
+// action.
+func RunScenario(c *cluster.Cluster, actions []Action, settle, probeEvery, probeTimeout time.Duration) (Report, error) {
+	if probeEvery <= 0 {
+		probeEvery = 5 * time.Millisecond
+	}
+	if probeTimeout <= 0 {
+		probeTimeout = 50 * time.Millisecond
+	}
+	p := newProber(c, probeEvery, probeTimeout)
+	go p.run()
+	start := time.Now()
+	var injections []string
+	for _, a := range actions {
+		time.Sleep(a.After)
+		if err := a.Do(c); err != nil {
+			p.halt()
+			return Report{}, fmt.Errorf("chaos: action %q: %w", a.Name, err)
+		}
+		injections = append(injections, fmt.Sprintf("[%8v] %s", time.Since(start).Round(time.Millisecond), a.Name))
+	}
+	time.Sleep(settle)
+	r := Report{
+		Duration:   time.Since(start),
+		Samples:    p.halt(),
+		Injections: injections,
+	}
+	summarize(&r)
+	return r, nil
+}
+
+// Campaign is a randomized fault-injection experiment: faults arrive as a
+// Poisson process over the selected target classes; an operator model
+// restores hardware and manually restarts manual-restart processes after
+// RepairAfter.
+type Campaign struct {
+	// Seed makes the injection sequence reproducible.
+	Seed int64
+	// Duration is the experiment length.
+	Duration time.Duration
+	// MeanBetweenFaults is the mean inter-arrival time of faults.
+	MeanBetweenFaults time.Duration
+	// RepairAfter is the operator's response time for manual repairs.
+	RepairAfter time.Duration
+	// Processes, Hosts, Racks choose the injectable target classes.
+	Processes bool
+	Hosts     bool
+	Racks     bool
+	// ProbeEvery and ProbeTimeout tune the availability prober.
+	ProbeEvery   time.Duration
+	ProbeTimeout time.Duration
+}
+
+// targetSpec is one injectable fault target.
+type targetSpec struct {
+	name   string
+	inject func(c *cluster.Cluster) error
+	repair func(c *cluster.Cluster) error
+	manual bool // repair requires the operator model
+}
+
+// buildTargets enumerates the campaign's fault space from the cluster.
+func (cp Campaign) buildTargets(c *cluster.Cluster, hostNames, rackNames []string) []targetSpec {
+	var targets []targetSpec
+	if cp.Processes {
+		for _, st := range c.Snapshot() {
+			st := st
+			targets = append(targets, targetSpec{
+				name:   fmt.Sprintf("kill process %s/%d/%s", st.Role, st.Node, st.Name),
+				inject: func(c *cluster.Cluster) error { return c.KillProcess(st.Role, st.Node, st.Name) },
+				repair: func(c *cluster.Cluster) error { return c.RestartProcess(st.Role, st.Node, st.Name) },
+				manual: true, // the operator restarts anything still down
+			})
+		}
+	}
+	if cp.Hosts {
+		for _, h := range hostNames {
+			h := h
+			targets = append(targets, targetSpec{
+				name:   "kill host " + h,
+				inject: func(c *cluster.Cluster) error { return c.KillHost(h) },
+				repair: func(c *cluster.Cluster) error { return c.RestoreHost(h) },
+				manual: true,
+			})
+		}
+	}
+	if cp.Racks {
+		for _, r := range rackNames {
+			r := r
+			targets = append(targets, targetSpec{
+				name:   "kill rack " + r,
+				inject: func(c *cluster.Cluster) error { return c.KillRack(r) },
+				repair: func(c *cluster.Cluster) error { return c.RestoreRack(r) },
+				manual: true,
+			})
+		}
+	}
+	return targets
+}
+
+// Run executes the campaign against the cluster. hostNames and rackNames
+// give the injectable hardware (pass nil to restrict to processes).
+func (cp Campaign) Run(c *cluster.Cluster, hostNames, rackNames []string) (Report, error) {
+	if cp.Duration <= 0 || cp.MeanBetweenFaults <= 0 {
+		return Report{}, fmt.Errorf("chaos: campaign needs positive Duration and MeanBetweenFaults")
+	}
+	if cp.RepairAfter <= 0 {
+		cp.RepairAfter = 50 * time.Millisecond
+	}
+	targets := cp.buildTargets(c, hostNames, rackNames)
+	if len(targets) == 0 {
+		return Report{}, fmt.Errorf("chaos: campaign has no targets")
+	}
+	rng := rand.New(rand.NewSource(cp.Seed))
+	p := newProber(c, cp.ProbeEvery, cp.ProbeTimeout)
+	if cp.ProbeEvery <= 0 {
+		p.period = 5 * time.Millisecond
+	}
+	if cp.ProbeTimeout <= 0 {
+		p.timeout = 50 * time.Millisecond
+	}
+	go p.run()
+
+	start := time.Now()
+	var injections []string
+	var wg sync.WaitGroup
+	for time.Since(start) < cp.Duration {
+		wait := time.Duration(rng.ExpFloat64() * float64(cp.MeanBetweenFaults))
+		if remaining := cp.Duration - time.Since(start); wait > remaining {
+			time.Sleep(remaining)
+			break
+		}
+		time.Sleep(wait)
+		tgt := targets[rng.Intn(len(targets))]
+		if err := tgt.inject(c); err != nil {
+			p.halt()
+			return Report{}, fmt.Errorf("chaos: inject %q: %w", tgt.name, err)
+		}
+		injections = append(injections, fmt.Sprintf("[%8v] %s", time.Since(start).Round(time.Millisecond), tgt.name))
+		if tgt.manual {
+			wg.Add(1)
+			go func(tgt targetSpec) {
+				defer wg.Done()
+				time.Sleep(cp.RepairAfter)
+				// Repairs can race with other faults on the same target;
+				// failures (e.g. hardware still down) are acceptable — the
+				// operator retries on the next pass, modeled by ignoring
+				// the error here and the final sweep below.
+				_ = tgt.repair(c)
+			}(tgt)
+		}
+	}
+	wg.Wait()
+	// Final sweep: restore everything so the report's tail reflects a
+	// repaired system.
+	for _, tgt := range targets {
+		_ = tgt.repair(c)
+	}
+	time.Sleep(cp.RepairAfter)
+	r := Report{
+		Duration:   time.Since(start),
+		Samples:    p.halt(),
+		Injections: injections,
+	}
+	summarize(&r)
+	return r, nil
+}

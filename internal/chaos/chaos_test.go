@@ -1,0 +1,338 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+func newTestCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	prof := profile.OpenContrail3x()
+	topo := topology.NewSmall(prof.ClusterRoles, 3)
+	c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestSectionIIIScenario replays the paper's control failure narrative and
+// checks the observed signature: the DP survives the first two control
+// kills, dies on the third, and recovers after a restart.
+func TestSectionIIIScenario(t *testing.T) {
+	c := newTestCluster(t)
+	const step = 120 * time.Millisecond
+	rep, err := RunScenario(c, SectionIII(step), step, 4*time.Millisecond, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) < 20 {
+		t.Fatalf("too few samples: %d", len(rep.Samples))
+	}
+	if len(rep.Injections) != 5 {
+		t.Fatalf("injections = %d, want 5", len(rep.Injections))
+	}
+	// Phase analysis by sample timestamp. Actions land at 0, step, 2step,
+	// 3step, 4step. Mid-phase windows avoid transition edges.
+	window := func(lo, hi time.Duration) (dpUpFrac float64, n int) {
+		up, total := 0, 0
+		for _, s := range rep.Samples {
+			if s.At < lo || s.At >= hi {
+				continue
+			}
+			for _, u := range s.DPUp {
+				total++
+				if u {
+					up++
+				}
+			}
+		}
+		if total == 0 {
+			return 0, 0
+		}
+		return float64(up) / float64(total), total
+	}
+	// After control-1 and control-2 die (middle of phase 3) the DP must
+	// still be up.
+	if frac, n := window(2*step+step/2, 3*step); n == 0 || frac < 0.9 {
+		t.Errorf("DP availability with one control left = %.2f (n=%d), want ≈1", frac, n)
+	}
+	// After control-3 dies the DP must be down.
+	if frac, n := window(3*step+step/2, 4*step); n == 0 || frac > 0.1 {
+		t.Errorf("DP availability with all controls dead = %.2f (n=%d), want ≈0", frac, n)
+	}
+	// After the restore the DP must return.
+	if frac, n := window(4*step+step/2, 5*step); n == 0 || frac < 0.9 {
+		t.Errorf("DP availability after restore = %.2f (n=%d), want ≈1", frac, n)
+	}
+}
+
+// TestDatabaseQuorumScenario checks CP loss and recovery around a
+// Cassandra quorum outage while the DP stays up throughout.
+func TestDatabaseQuorumScenario(t *testing.T) {
+	c := newTestCluster(t)
+	const step = 150 * time.Millisecond
+	rep, err := RunScenario(c, DatabaseQuorumLoss(step), step, 4*time.Millisecond, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpDuring, cpAfter, dpAll, dpUp int
+	var nDuring, nAfter int
+	for _, s := range rep.Samples {
+		switch {
+		case s.At > step+step/2 && s.At < 2*step:
+			nDuring++
+			if s.CPUp {
+				cpDuring++
+			}
+		case s.At > 2*step+step/2:
+			nAfter++
+			if s.CPUp {
+				cpAfter++
+			}
+		}
+		for _, u := range s.DPUp {
+			dpAll++
+			if u {
+				dpUp++
+			}
+		}
+	}
+	if nDuring == 0 || cpDuring > nDuring/5 {
+		t.Errorf("CP up in %d/%d samples during quorum loss, want ≈0", cpDuring, nDuring)
+	}
+	if nAfter == 0 || cpAfter < nAfter*4/5 {
+		t.Errorf("CP up in %d/%d samples after repair, want ≈all", cpAfter, nAfter)
+	}
+	if float64(dpUp)/float64(dpAll) < 0.95 {
+		t.Errorf("DP availability %.2f should be unaffected by a Database quorum loss", float64(dpUp)/float64(dpAll))
+	}
+	if rep.CPOutages < 1 {
+		t.Error("expected at least one CP outage")
+	}
+}
+
+// TestRackOutageScenario checks the full-rack failure/recovery cycle in
+// the Small topology.
+func TestRackOutageScenario(t *testing.T) {
+	c := newTestCluster(t)
+	const step = 200 * time.Millisecond
+	rep, err := RunScenario(c, RackOutage("R1", []int{0, 1, 2}, step), 2*step, 4*time.Millisecond, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During the outage nothing works.
+	var upDuring, nDuring int
+	for _, s := range rep.Samples {
+		if s.At > step/2 && s.At < step {
+			nDuring++
+			if s.CPUp {
+				upDuring++
+			}
+		}
+	}
+	if nDuring == 0 || upDuring > 0 {
+		t.Errorf("CP up %d/%d during rack outage, want 0", upDuring, nDuring)
+	}
+	// The tail must show recovery.
+	tail := rep.Samples[len(rep.Samples)-1]
+	if !tail.CPUp {
+		t.Errorf("CP not recovered at end: %s", tail.CPErr)
+	}
+	for h, up := range tail.DPUp {
+		if !up {
+			t.Errorf("host %d DP not recovered at end", h)
+		}
+	}
+}
+
+// TestScenarioErrorPropagates: a failing action aborts the run.
+func TestScenarioErrorPropagates(t *testing.T) {
+	c := newTestCluster(t)
+	bad := []Action{Step(0, "bogus", func(c *cluster.Cluster) error {
+		return c.KillHost("H99")
+	})}
+	if _, err := RunScenario(c, bad, 0, 0, 0); err == nil {
+		t.Fatal("expected scenario error")
+	}
+}
+
+// TestCampaignRuns: a randomized campaign injects faults, repairs them,
+// and produces a coherent report.
+func TestCampaignRuns(t *testing.T) {
+	c := newTestCluster(t)
+	cp := Campaign{
+		Seed:              42,
+		Duration:          400 * time.Millisecond,
+		MeanBetweenFaults: 40 * time.Millisecond,
+		RepairAfter:       30 * time.Millisecond,
+		Processes:         true,
+		ProbeEvery:        4 * time.Millisecond,
+		ProbeTimeout:      60 * time.Millisecond,
+	}
+	rep, err := cp.Run(c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Injections) == 0 {
+		t.Error("campaign injected nothing")
+	}
+	if len(rep.Samples) == 0 {
+		t.Fatal("campaign collected no samples")
+	}
+	if rep.CPAvailability < 0 || rep.CPAvailability > 1 {
+		t.Errorf("CP availability %g out of range", rep.CPAvailability)
+	}
+	if len(rep.PerHostDP) != c.ComputeHostCount() {
+		t.Errorf("per-host DP count = %d, want %d", len(rep.PerHostDP), c.ComputeHostCount())
+	}
+	// The final sweep restores everything; the tail sample must be green.
+	tail := rep.Samples[len(rep.Samples)-1]
+	if !tail.CPUp {
+		t.Errorf("CP not restored at campaign end: %s", tail.CPErr)
+	}
+	if s := rep.String(); !strings.Contains(s, "observed CP availability") {
+		t.Error("report String() missing summary")
+	}
+}
+
+// TestCampaignWithHardwareTargets exercises host and rack injection.
+func TestCampaignWithHardwareTargets(t *testing.T) {
+	c := newTestCluster(t)
+	cp := Campaign{
+		Seed:              7,
+		Duration:          300 * time.Millisecond,
+		MeanBetweenFaults: 60 * time.Millisecond,
+		RepairAfter:       40 * time.Millisecond,
+		Hosts:             true,
+		Racks:             false,
+		ProbeEvery:        5 * time.Millisecond,
+		ProbeTimeout:      60 * time.Millisecond,
+	}
+	rep, err := cp.Run(c, []string{"H1", "H2", "H3"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+// TestCampaignValidation covers parameter errors.
+func TestCampaignValidation(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := (Campaign{}).Run(c, nil, nil); err == nil {
+		t.Error("zero campaign accepted")
+	}
+	cp := Campaign{Duration: time.Millisecond, MeanBetweenFaults: time.Millisecond}
+	if _, err := cp.Run(c, nil, nil); err == nil {
+		t.Error("campaign with no targets accepted")
+	}
+}
+
+// TestCampaignDeterministicInjection: the same seed yields the same
+// injection sequence (timing jitter aside, the target order is fixed).
+func TestCampaignDeterministicInjection(t *testing.T) {
+	names := func(seed int64) []string {
+		c := newTestCluster(t)
+		cp := Campaign{
+			Seed:              seed,
+			Duration:          200 * time.Millisecond,
+			MeanBetweenFaults: 25 * time.Millisecond,
+			RepairAfter:       20 * time.Millisecond,
+			Processes:         true,
+			ProbeEvery:        10 * time.Millisecond,
+			ProbeTimeout:      50 * time.Millisecond,
+		}
+		rep, err := cp.Run(c, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, inj := range rep.Injections {
+			out = append(out, inj[strings.Index(inj, "]")+1:])
+		}
+		return out
+	}
+	a, b := names(5), names(5)
+	// Wall-clock scheduling may cut one sequence short; compare the
+	// common prefix, which must match exactly.
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		t.Skip("no overlapping injections on this machine")
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			t.Fatalf("injection %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMinorityPartitionScenario: the CP never goes down during a one-node
+// partition, and the tail is green.
+func TestMinorityPartitionScenario(t *testing.T) {
+	c := newTestCluster(t)
+	const step = 150 * time.Millisecond
+	rep, err := RunScenario(c, MinorityPartition(1, step), step, 4*time.Millisecond, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPAvailability < 0.95 {
+		t.Errorf("CP availability %.3f during a minority partition, want ≈1", rep.CPAvailability)
+	}
+	tail := rep.Samples[len(rep.Samples)-1]
+	if !tail.CPUp {
+		t.Errorf("CP down at end: %s", tail.CPErr)
+	}
+}
+
+// TestMajorityPartitionScenario: the CP fails during the partition and
+// recovers on heal without manual restarts; the DP survives throughout.
+func TestMajorityPartitionScenario(t *testing.T) {
+	c := newTestCluster(t)
+	const step = 200 * time.Millisecond
+	rep, err := RunScenario(c, MajorityPartition(step), 2*step, 4*time.Millisecond, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpDuring, nDuring int
+	dpUp, dpAll := 0, 0
+	for _, s := range rep.Samples {
+		if s.At > step/2 && s.At < step {
+			nDuring++
+			if s.CPUp {
+				cpDuring++
+			}
+		}
+		if s.At > step/2 { // skip the initial churn window
+			for _, u := range s.DPUp {
+				dpAll++
+				if u {
+					dpUp++
+				}
+			}
+		}
+	}
+	if nDuring == 0 || cpDuring > nDuring/5 {
+		t.Errorf("CP up %d/%d during majority partition, want ≈0", cpDuring, nDuring)
+	}
+	if dpAll == 0 || float64(dpUp)/float64(dpAll) < 0.9 {
+		t.Errorf("DP availability %.2f through the partition, want ≈1", float64(dpUp)/float64(dpAll))
+	}
+	tail := rep.Samples[len(rep.Samples)-1]
+	if !tail.CPUp {
+		t.Errorf("CP did not recover on heal: %s", tail.CPErr)
+	}
+}

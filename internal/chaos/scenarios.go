@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"time"
+
+	"sdnavail/internal/cluster"
+)
+
+// SectionIII returns the paper's section III control-node failure
+// narrative as a scripted scenario: disable control supervision, then kill
+// control-1 (agents rediscover), control-2 (agents converge on the last
+// instance), and control-3 (every host data plane goes down as forwarding
+// tables are flushed); finally restore one control and watch the data
+// planes return. The step delay spaces the injections so the prober
+// observes each phase.
+func SectionIII(step time.Duration) []Action {
+	kill := func(node int) func(c *cluster.Cluster) error {
+		return func(c *cluster.Cluster) error { return c.KillProcess("Control", node, "control") }
+	}
+	return []Action{
+		Step(0, "disable control supervision (kill all control supervisors)", func(c *cluster.Cluster) error {
+			for node := 0; node < 3; node++ {
+				if err := c.KillProcess("Control", node, "supervisor-control"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+		Step(step, "kill control-1", kill(0)),
+		Step(step, "kill control-2", kill(1)),
+		Step(step, "kill control-3 (forwarding tables flush)", kill(2)),
+		Step(step, "restore control-2", func(c *cluster.Cluster) error {
+			return c.RestartProcess("Control", 1, "control")
+		}),
+	}
+}
+
+// DatabaseQuorumLoss returns a scenario that takes down two of the three
+// Cassandra (Config) replicas — the paper's dominant control-plane failure
+// mode — and then repairs one.
+func DatabaseQuorumLoss(step time.Duration) []Action {
+	return []Action{
+		Step(0, "kill cassandra-db (Config) on node 1", func(c *cluster.Cluster) error {
+			return c.KillProcess("Database", 0, "cassandra-db (Config)")
+		}),
+		Step(step, "kill cassandra-db (Config) on node 2 (quorum lost)", func(c *cluster.Cluster) error {
+			return c.KillProcess("Database", 1, "cassandra-db (Config)")
+		}),
+		Step(step, "manual restart of cassandra-db (Config) on node 1", func(c *cluster.Cluster) error {
+			return c.RestartProcess("Database", 0, "cassandra-db (Config)")
+		}),
+	}
+}
+
+// RackOutage returns a scenario that fails and restores a whole rack, then
+// performs the operator's manual-restart sweep (Database processes and
+// redis are outside supervisor control).
+func RackOutage(rack string, nodes []int, step time.Duration) []Action {
+	return []Action{
+		Step(0, "kill rack "+rack, func(c *cluster.Cluster) error {
+			return c.KillRack(rack)
+		}),
+		Step(step, "restore rack "+rack, func(c *cluster.Cluster) error {
+			return c.RestoreRack(rack)
+		}),
+		Step(step, "manual restart sweep (Database + redis)", func(c *cluster.Cluster) error {
+			for _, node := range nodes {
+				for _, name := range []string{"cassandra-db (Config)", "cassandra-db (Analytics)", "kafka", "zookeeper"} {
+					if err := c.RestartProcess("Database", node, name); err != nil {
+						return err
+					}
+				}
+				if err := c.RestartProcess("Analytics", node, "redis"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+	}
+}
+
+// MinorityPartition returns a scenario that isolates one controller node
+// (a rack-uplink style incident), lets the cluster re-converge, then heals
+// the partition. Nothing crashes: the control plane must ride through on
+// the reachable quorum and the isolated node must catch up afterwards.
+func MinorityPartition(node int, step time.Duration) []Action {
+	return []Action{
+		Step(0, "isolate controller node", func(c *cluster.Cluster) error {
+			return c.IsolateNodes(node)
+		}),
+		Step(step, "heal partition", func(c *cluster.Cluster) error {
+			c.HealPartition()
+			return nil
+		}),
+	}
+}
+
+// MajorityPartition isolates two controller nodes: the reachable side
+// loses every quorum and the control plane fails, while host data planes
+// survive on the remaining control process; healing restores service with
+// no manual intervention (a partition is not a crash).
+func MajorityPartition(step time.Duration) []Action {
+	return []Action{
+		Step(0, "isolate controller nodes 1 and 2", func(c *cluster.Cluster) error {
+			return c.IsolateNodes(0, 1)
+		}),
+		Step(step, "heal partition", func(c *cluster.Cluster) error {
+			c.HealPartition()
+			return nil
+		}),
+	}
+}

@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"sdnavail/internal/profile"
+)
+
+// vRouterAgent is the per-compute-host forwarding agent. It maintains
+// connections to exactly two control nodes (round-robin over the alive
+// ones, per section II), downloads routes over those connections,
+// re-advertises its own prefix, and — if it ever holds zero connections —
+// flushes its forwarding table, taking the host data plane down until a
+// control node returns (section III).
+type vRouterAgent struct {
+	c      *Cluster
+	idx    int
+	host   string
+	prefix string
+
+	conns    [2]int // connected control node indices, -1 when empty
+	routes   map[string]string
+	policies map[string]bool
+	flushed  bool
+	rrNext   int // round-robin cursor for rediscovery
+}
+
+func newAgent(c *Cluster, idx int, host string) *vRouterAgent {
+	a := &vRouterAgent{
+		c:        c,
+		idx:      idx,
+		host:     host,
+		prefix:   fmt.Sprintf("10.1.%d.0/24", idx),
+		routes:   map[string]string{},
+		policies: map[string]bool{},
+		rrNext:   idx, // spread initial connections round-robin across hosts
+	}
+	a.conns[0], a.conns[1] = -1, -1
+	return a
+}
+
+// start performs the initial connection pass and launches the maintenance
+// loop.
+func (a *vRouterAgent) start() {
+	a.c.mu.Lock()
+	a.maintainLocked()
+	a.c.mu.Unlock()
+	a.c.loops.Add(1)
+	go func() {
+		defer a.c.loops.Done()
+		ticker := time.NewTicker(a.c.timing.Rediscover)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-a.c.stopAll:
+				return
+			case <-ticker.C:
+				a.c.mu.Lock()
+				a.maintainLocked()
+				a.c.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// agentKey and dpdkKey identify the host's two vRouter processes.
+func (a *vRouterAgent) agentKey() procKey {
+	return procKey{role: string(a.c.cfg.Profile.HostRole), node: a.idx, name: "vrouter-agent"}
+}
+
+func (a *vRouterAgent) dpdkKey() procKey {
+	return procKey{role: string(a.c.cfg.Profile.HostRole), node: a.idx, name: "vrouter-dpdk"}
+}
+
+// maintainLocked is one maintenance pass: drop dead connections,
+// rediscover replacements (which requires an alive discovery service),
+// download routes, re-advertise, and flush when fully disconnected.
+// Callers hold c.mu.
+func (a *vRouterAgent) maintainLocked() {
+	if !a.c.aliveLocked(a.agentKey()) {
+		// A dead agent holds no sessions; its XMPP connections drop.
+		a.conns[0], a.conns[1] = -1, -1
+		return
+	}
+	// Drop connections whose control process died or became unreachable.
+	for i, node := range a.conns {
+		if node >= 0 && !a.c.usableLocked(a.c.controls[node].key()) {
+			a.conns[i] = -1
+		}
+	}
+	// Rediscover: fill empty slots with alive controls we are not already
+	// connected to, round-robin. Discovery requires the discovery service.
+	if (a.conns[0] < 0 || a.conns[1] < 0) && a.c.anyAliveLocked(string(profile.Config), "discovery") >= 0 {
+		n := a.c.cfg.Topology.ClusterSize
+		for i := range a.conns {
+			if a.conns[i] >= 0 {
+				continue
+			}
+			for try := 0; try < n; try++ {
+				cand := (a.rrNext + try) % n
+				if cand == a.conns[0] || cand == a.conns[1] {
+					continue
+				}
+				if a.c.usableLocked(a.c.controls[cand].key()) {
+					a.conns[i] = cand
+					a.rrNext = (cand + 1) % n
+					a.downloadLocked(cand)
+					a.c.controls[cand].advertiseLocked(a.prefix, a.host)
+					break
+				}
+			}
+		}
+	}
+	if a.conns[0] < 0 && a.conns[1] < 0 {
+		// No control connection anywhere: BGP forwarding state is
+		// flushed and the host data plane goes down.
+		if !a.flushed {
+			a.routes = map[string]string{}
+			a.flushed = true
+		}
+		return
+	}
+	// Connected: keep the forwarding table synchronized.
+	a.flushed = false
+	for _, node := range a.conns {
+		if node >= 0 {
+			a.downloadLocked(node)
+			a.c.controls[node].advertiseLocked(a.prefix, a.host)
+		}
+	}
+}
+
+// downloadLocked copies the control node's routes and policies into the
+// forwarding state. Callers hold c.mu.
+func (a *vRouterAgent) downloadLocked(node int) {
+	ctl := a.c.controls[node]
+	for prefix, hops := range ctl.routes {
+		if prefix == a.prefix {
+			continue
+		}
+		for h := range hops {
+			a.routes[prefix] = h
+			break
+		}
+	}
+	for prefix, allow := range ctl.policies {
+		a.policies[prefix] = allow
+	}
+}
+
+// connections returns the currently connected control node indices.
+func (a *vRouterAgent) connections() []int {
+	var out []int
+	for _, n := range a.conns {
+		if n >= 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ---- public data-plane API ----
+
+// AgentConnections returns the control nodes host h's agent is connected
+// to.
+func (c *Cluster) AgentConnections(h int) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h < 0 || h >= len(c.agents) {
+		return nil, fmt.Errorf("cluster: no compute host %d", h)
+	}
+	return c.agents[h].connections(), nil
+}
+
+// HostPrefix returns the overlay prefix owned by compute host h.
+func (c *Cluster) HostPrefix(h int) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h < 0 || h >= len(c.agents) {
+		return "", fmt.Errorf("cluster: no compute host %d", h)
+	}
+	return c.agents[h].prefix, nil
+}
+
+// Forward attempts to forward a packet from compute host h to the given
+// destination prefix: the host's vrouter-agent and vrouter-dpdk must be
+// alive and the forwarding table must hold the route (i.e. not flushed).
+func (c *Cluster) Forward(h int, dstPrefix string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h < 0 || h >= len(c.agents) {
+		return fmt.Errorf("cluster: no compute host %d", h)
+	}
+	a := c.agents[h]
+	if !c.aliveLocked(a.agentKey()) {
+		return fmt.Errorf("cluster: host %s: vrouter-agent down", a.host)
+	}
+	if !c.aliveLocked(a.dpdkKey()) {
+		return fmt.Errorf("cluster: host %s: vrouter-dpdk down", a.host)
+	}
+	if a.flushed {
+		return fmt.Errorf("cluster: host %s: forwarding table flushed (no control connection)", a.host)
+	}
+	if _, ok := a.routes[dstPrefix]; !ok {
+		return fmt.Errorf("cluster: host %s: no route to %s", a.host, dstPrefix)
+	}
+	if allow, ok := a.policies[dstPrefix]; ok && !allow {
+		return fmt.Errorf("cluster: host %s: policy denies traffic to %s", a.host, dstPrefix)
+	}
+	return nil
+}
+
+// Resolve attempts a DNS resolution from compute host h: at least one of
+// the agent's connected control nodes must have its dns and named
+// processes alive.
+func (c *Cluster) Resolve(h int, fqdn string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h < 0 || h >= len(c.agents) {
+		return fmt.Errorf("cluster: no compute host %d", h)
+	}
+	a := c.agents[h]
+	if !c.aliveLocked(a.agentKey()) {
+		return fmt.Errorf("cluster: host %s: vrouter-agent down", a.host)
+	}
+	ctlRole := string(profile.Control)
+	for _, node := range a.conns {
+		if node < 0 {
+			continue
+		}
+		if c.usableLocked(procKey{role: ctlRole, node: node, name: "dns"}) &&
+			c.usableLocked(procKey{role: ctlRole, node: node, name: "named"}) {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: host %s: no attached control node can resolve %s", a.host, fqdn)
+}
+
+// ProbeDP exercises the data plane of compute host h: forwarding to every
+// other compute host's prefix and a DNS resolution. It returns nil when
+// the host data plane is fully functional.
+func (c *Cluster) ProbeDP(h int) error {
+	c.mu.Lock()
+	if h < 0 || h >= len(c.agents) {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: no compute host %d", h)
+	}
+	var dsts []string
+	for i, other := range c.agents {
+		if i != h {
+			dsts = append(dsts, other.prefix)
+		}
+	}
+	c.mu.Unlock()
+	for _, dst := range dsts {
+		if err := c.Forward(h, dst); err != nil {
+			return err
+		}
+	}
+	return c.Resolve(h, "svc.example.internal")
+}
+
+// ComputeHostCount returns the number of vRouter compute hosts.
+func (c *Cluster) ComputeHostCount() int { return len(c.agents) }

@@ -1,0 +1,146 @@
+// Package cluster implements a live, in-process distributed SDN controller
+// testbed modeled on the OpenContrail 3.x architecture: real (goroutine)
+// processes for every Table I process, an in-memory message bus, a
+// replicated quorum store, a BGP-style control mesh, per-host vRouter
+// agents holding connections to two control nodes, and per-node-role
+// supervisors that auto-restart failed processes.
+//
+// The testbed exists to exercise the paper's section III failure modes on
+// running code — kill a control process and watch agents rediscover; kill
+// all three and watch every host data plane fail; kill a supervisor and
+// watch its node-role run unsupervised — and to measure observed
+// control-plane and data-plane availability under fault injection
+// (package chaos).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is a routed payload on the Bus.
+type Message struct {
+	Topic   string
+	From    string
+	Payload any
+}
+
+// Bus is an in-memory topic-based publish/subscribe message bus — the
+// testbed's stand-in for RabbitMQ. Publishing never blocks: each
+// subscription has a bounded queue and drops the oldest message on
+// overflow (slow consumers lose telemetry, they do not wedge the cluster).
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[string][]*Subscription
+	closed bool
+	// Published counts total messages accepted, for diagnostics.
+	published uint64
+	dropped   uint64
+}
+
+// Subscription receives messages for one topic.
+type Subscription struct {
+	bus    *Bus
+	topic  string
+	name   string
+	ch     chan Message
+	closed bool
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: map[string][]*Subscription{}}
+}
+
+// Subscribe registers a named consumer on a topic with the given queue
+// depth. It returns an error if the bus is closed or depth is not positive.
+func (b *Bus) Subscribe(topic, name string, depth int) (*Subscription, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("bus: queue depth %d must be positive", depth)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("bus: closed")
+	}
+	s := &Subscription{bus: b, topic: topic, name: name, ch: make(chan Message, depth)}
+	b.subs[topic] = append(b.subs[topic], s)
+	return s, nil
+}
+
+// Publish delivers the message to every live subscription of its topic.
+// Full queues drop their oldest entry to make room.
+func (b *Bus) Publish(m Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.published++
+	for _, s := range b.subs[m.Topic] {
+		if s.closed {
+			continue
+		}
+		for {
+			select {
+			case s.ch <- m:
+			default:
+				// Queue full: drop the oldest and retry.
+				select {
+				case <-s.ch:
+					b.dropped++
+					continue
+				default:
+				}
+			}
+			break
+		}
+	}
+}
+
+// Stats returns the number of messages accepted and dropped so far.
+func (b *Bus) Stats() (published, dropped uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.dropped
+}
+
+// Close shuts the bus down; subsequent publishes are ignored and all
+// subscription channels are closed.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, subs := range b.subs {
+		for _, s := range subs {
+			if !s.closed {
+				s.closed = true
+				close(s.ch)
+			}
+		}
+	}
+}
+
+// C returns the receive channel of the subscription.
+func (s *Subscription) C() <-chan Message { return s.ch }
+
+// Cancel removes the subscription from the bus and closes its channel.
+func (s *Subscription) Cancel() {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.ch)
+	list := s.bus.subs[s.topic]
+	for i, other := range list {
+		if other == s {
+			s.bus.subs[s.topic] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,558 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+// Config assembles a testbed cluster.
+type Config struct {
+	// Profile must be the OpenContrail 3.x profile (or one with the same
+	// process names); the testbed wires concrete component behavior to
+	// those names.
+	Profile *profile.Profile
+	// Topology is the controller deployment layout.
+	Topology *topology.Topology
+	// ComputeHosts is the number of vRouter compute hosts.
+	ComputeHosts int
+	// Timing holds the scaled operational delays.
+	Timing Timing
+}
+
+// hwLoc names the hardware column a process runs on.
+type hwLoc struct {
+	rack, host, vm string
+}
+
+// Cluster is a live in-process OpenContrail-style controller testbed.
+// Create with New, start with Start, tear down with Stop.
+type Cluster struct {
+	cfg    Config
+	timing Timing
+
+	bus            *Bus
+	configStore    *QuorumStore
+	analyticsStore *QuorumStore
+	seq            *Sequencer
+	log            *EventLog
+
+	mu         sync.Mutex
+	procs      map[procKey]*Proc
+	loc        map[procKey]hwLoc
+	rackUp     map[string]bool
+	hostUp     map[string]bool
+	vmUp       map[string]bool
+	redis      []map[string]string // per-node realtime cache content
+	redisAlive []bool              // previous redis liveness, for cache loss on crash
+	isolated   map[int]bool        // controller nodes partitioned away
+	probeSeq   uint64
+	started    bool
+	stopped    bool
+
+	controls []*controlNode
+	agents   []*vRouterAgent
+
+	sups    []*supervisor
+	loops   sync.WaitGroup
+	stopAll chan struct{}
+}
+
+// New assembles a cluster testbed. The topology must place the profile's
+// cluster roles; compute hosts are created separately (named "compute0",
+// "compute1", ...).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("cluster: no profile")
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("cluster: no topology")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ComputeHosts < 1 {
+		return nil, fmt.Errorf("cluster: need at least one compute host, got %d", cfg.ComputeHosts)
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Topology.ClusterSize
+	c := &Cluster{
+		cfg:            cfg,
+		timing:         cfg.Timing,
+		bus:            NewBus(),
+		configStore:    NewQuorumStore("cassandra-config", n),
+		analyticsStore: NewQuorumStore("cassandra-analytics", n),
+		seq:            NewSequencer(n),
+		log:            NewEventLog(n),
+		procs:          map[procKey]*Proc{},
+		loc:            map[procKey]hwLoc{},
+		rackUp:         map[string]bool{},
+		hostUp:         map[string]bool{},
+		vmUp:           map[string]bool{},
+		stopAll:        make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		c.redis = append(c.redis, map[string]string{})
+		c.redisAlive = append(c.redisAlive, true)
+	}
+	// Hardware columns.
+	for _, rack := range cfg.Topology.Racks {
+		c.rackUp[rack.Name] = true
+		for _, host := range rack.Hosts {
+			c.hostUp[host.Name] = true
+			for _, vm := range host.VMs {
+				c.vmUp[vm.Name] = true
+			}
+		}
+	}
+	// Controller processes.
+	for _, role := range cfg.Profile.ClusterRoles {
+		for node := 0; node < n; node++ {
+			pl := topology.Placement{Role: role, Node: node}
+			ri, hi, vi, err := cfg.Topology.Locate(pl)
+			if err != nil {
+				return nil, err
+			}
+			rack := cfg.Topology.Racks[ri]
+			loc := hwLoc{rack: rack.Name, host: rack.Hosts[hi].Name, vm: rack.Hosts[hi].VMs[vi].Name}
+			for _, proc := range cfg.Profile.RoleProcesses(role, true) {
+				if proc.PerHost {
+					continue
+				}
+				k := procKey{role: string(role), node: node, name: proc.Name}
+				c.procs[k] = &Proc{
+					Name: proc.Name, Role: string(role), Node: node,
+					Manual: proc.Restart == profile.ManualRestart,
+					IsSup:  proc.Supervisor,
+					state:  Running,
+				}
+				c.loc[k] = loc
+			}
+		}
+	}
+	// Compute hosts and vRouter processes.
+	for h := 0; h < cfg.ComputeHosts; h++ {
+		hostName := fmt.Sprintf("compute%d", h)
+		c.hostUp[hostName] = true
+		for _, proc := range cfg.Profile.RoleProcesses(cfg.Profile.HostRole, true) {
+			k := procKey{role: string(cfg.Profile.HostRole), node: h, name: proc.Name}
+			c.procs[k] = &Proc{
+				Name: proc.Name, Role: string(cfg.Profile.HostRole), Node: h,
+				Manual: proc.Restart == profile.ManualRestart,
+				IsSup:  proc.Supervisor,
+				state:  Running,
+			}
+			c.loc[k] = hwLoc{host: hostName}
+		}
+		c.agents = append(c.agents, newAgent(c, h, hostName))
+	}
+	// Control nodes.
+	for node := 0; node < n; node++ {
+		c.controls = append(c.controls, newControlNode(c, node))
+	}
+	return c, nil
+}
+
+// Start launches the supervisor, control and agent loops.
+func (c *Cluster) Start() error {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: already started")
+	}
+	c.started = true
+	c.mu.Unlock()
+
+	// One supervisor per node-role (and per compute host).
+	roles := append([]profile.Role{}, c.cfg.Profile.ClusterRoles...)
+	roles = append(roles, c.cfg.Profile.HostRole)
+	for _, role := range roles {
+		sup, ok := c.cfg.Profile.SupervisorOf(role)
+		if !ok {
+			continue
+		}
+		count := c.cfg.Topology.ClusterSize
+		if role == c.cfg.Profile.HostRole {
+			count = c.cfg.ComputeHosts
+		}
+		for node := 0; node < count; node++ {
+			self := procKey{role: string(role), node: node, name: sup.Name}
+			var children []procKey
+			for _, proc := range c.cfg.Profile.RoleProcesses(role, true) {
+				if proc.Supervisor {
+					continue
+				}
+				children = append(children, procKey{role: string(role), node: node, name: proc.Name})
+			}
+			s := &supervisor{c: c, self: self, children: children, stop: c.stopAll, done: make(chan struct{})}
+			c.sups = append(c.sups, s)
+			c.loops.Add(1)
+			go func() { defer c.loops.Done(); s.run() }()
+		}
+	}
+	for _, ctl := range c.controls {
+		if err := ctl.start(); err != nil {
+			return err
+		}
+	}
+	for _, ag := range c.agents {
+		ag.start()
+	}
+	// Initial route convergence: the first agents to connect could not
+	// yet see the prefixes of agents that connected after them, so run
+	// one more synchronous maintenance pass over all agents.
+	c.mu.Lock()
+	for _, ag := range c.agents {
+		ag.maintainLocked()
+	}
+	c.mu.Unlock()
+	c.recompute()
+	return nil
+}
+
+// Stop tears the testbed down. It is idempotent.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	close(c.stopAll)
+	c.loops.Wait()
+	c.bus.Close()
+}
+
+// ---- liveness ----
+
+// hwUpLocked reports whether the hardware under the process is up.
+func (c *Cluster) hwUpLocked(k procKey) bool {
+	loc := c.loc[k]
+	if loc.rack != "" && !c.rackUp[loc.rack] {
+		return false
+	}
+	if loc.host != "" && !c.hostUp[loc.host] {
+		return false
+	}
+	if loc.vm != "" && !c.vmUp[loc.vm] {
+		return false
+	}
+	return true
+}
+
+// aliveLocked reports whether the process is effectively operating:
+// Running and all its hardware up.
+func (c *Cluster) aliveLocked(k procKey) bool {
+	p, ok := c.procs[k]
+	return ok && p.state == Running && c.hwUpLocked(k)
+}
+
+// Alive reports whether the named process instance is effectively
+// operating.
+func (c *Cluster) Alive(role string, node int, name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveLocked(procKey{role: role, node: node, name: name})
+}
+
+// anyAliveLocked returns the lowest node index with the process alive and
+// reachable from the majority side, or -1.
+func (c *Cluster) anyAliveLocked(role, name string) int {
+	for node := 0; node < c.cfg.Topology.ClusterSize; node++ {
+		if c.usableLocked(procKey{role: role, node: node, name: name}) {
+			return node
+		}
+	}
+	return -1
+}
+
+// recompute propagates process and hardware liveness into the clustered
+// storage backends (the Database role's four quorum components).
+func (c *Cluster) recompute() {
+	c.mu.Lock()
+	c.recomputeLocked()
+	c.mu.Unlock()
+}
+
+func (c *Cluster) recomputeLocked() {
+	db := string(profile.Database)
+	an := string(profile.Analytics)
+	for node := 0; node < c.cfg.Topology.ClusterSize; node++ {
+		c.configStore.SetAlive(node, c.usableLocked(procKey{role: db, node: node, name: "cassandra-db (Config)"}))
+		c.analyticsStore.SetAlive(node, c.usableLocked(procKey{role: db, node: node, name: "cassandra-db (Analytics)"}))
+		c.seq.SetAlive(node, c.usableLocked(procKey{role: db, node: node, name: "zookeeper"}))
+		c.log.SetAlive(node, c.usableLocked(procKey{role: db, node: node, name: "kafka"}))
+
+		// A crashed redis loses its in-memory cache. (Isolation does not:
+		// the process keeps running with its cache intact.)
+		redisUp := c.aliveLocked(procKey{role: an, node: node, name: "redis"})
+		if !redisUp && c.redisAlive[node] {
+			c.redis[node] = map[string]string{}
+		}
+		c.redisAlive[node] = redisUp
+	}
+	// A crashed control process loses its configuration and routing state;
+	// a restarting one re-syncs from an alive BGP mesh peer. A control
+	// that was merely partitioned keeps its state and catches up from the
+	// mesh when reachability returns.
+	for _, ctl := range c.controls {
+		alive := c.aliveLocked(ctl.key())
+		switch {
+		case !alive && ctl.wasAlive:
+			ctl.cfgVersion = 0
+			ctl.routes = map[string]map[string]bool{}
+			ctl.policies = map[string]bool{}
+		case alive && !ctl.wasAlive:
+			ctl.resyncLocked()
+		}
+		ctl.wasAlive = alive
+
+		usable := alive && c.reachableLocked(ctl.node)
+		if usable && !ctl.wasUsable {
+			ctl.resyncLocked()
+		}
+		ctl.wasUsable = usable
+	}
+}
+
+// ---- fault injection and recovery ----
+
+// lookup returns the process or an error naming it.
+func (c *Cluster) lookup(role string, node int, name string) (*Proc, procKey, error) {
+	k := procKey{role: role, node: node, name: name}
+	p, ok := c.procs[k]
+	if !ok {
+		return nil, k, fmt.Errorf("cluster: no process %s/%d/%s", role, node, name)
+	}
+	return p, k, nil
+}
+
+// KillProcess crashes one process instance.
+func (c *Cluster) KillProcess(role string, node int, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, k, err := c.lookup(role, node, name)
+	if err != nil {
+		return err
+	}
+	if p.state == Failed {
+		return nil
+	}
+	p.state = Failed
+	p.failedAt = time.Now()
+	if !p.IsSup {
+		if sup, ok := c.cfg.Profile.SupervisorOf(profile.Role(role)); ok {
+			if !c.aliveLocked(procKey{role: role, node: node, name: sup.Name}) {
+				p.unsuper++
+			}
+		}
+	}
+	_ = k
+	c.recomputeLocked()
+	return nil
+}
+
+// RestartProcess performs a manual restart of one process instance. It
+// fails if the underlying hardware is down.
+func (c *Cluster) RestartProcess(role string, node int, name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, k, err := c.lookup(role, node, name)
+	if err != nil {
+		return err
+	}
+	if !c.hwUpLocked(k) {
+		return fmt.Errorf("cluster: cannot restart %s/%d/%s: hardware down", role, node, name)
+	}
+	p.state = Running
+	p.restarts++
+	c.recomputeLocked()
+	return nil
+}
+
+// RestartNodeRole performs the paper's manual node-role restart procedure:
+// every process in the node-role is killed, the supervisor is restarted,
+// and the supervisor then auto-restarts the children under its oversight.
+func (c *Cluster) RestartNodeRole(role string, node int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sup, ok := c.cfg.Profile.SupervisorOf(profile.Role(role))
+	if !ok {
+		return fmt.Errorf("cluster: role %s has no supervisor", role)
+	}
+	supKey := procKey{role: role, node: node, name: sup.Name}
+	if _, ok := c.procs[supKey]; !ok {
+		return fmt.Errorf("cluster: no node-role %s/%d", role, node)
+	}
+	if !c.hwUpLocked(supKey) {
+		return fmt.Errorf("cluster: cannot restart %s/%d: hardware down", role, node)
+	}
+	for k, p := range c.procs {
+		if k.role == role && k.node == node && !p.IsSup {
+			p.state = Failed
+			p.failedAt = time.Now()
+		}
+	}
+	c.procs[supKey].state = Running
+	c.procs[supKey].restarts++
+	c.recomputeLocked()
+	return nil
+}
+
+// setHW flips one hardware element and applies crash/boot consequences to
+// the processes on it.
+func (c *Cluster) setHW(kind, name string, up bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m map[string]bool
+	switch kind {
+	case "rack":
+		m = c.rackUp
+	case "host":
+		m = c.hostUp
+	case "vm":
+		m = c.vmUp
+	default:
+		panic("cluster: unknown hw kind " + kind)
+	}
+	if _, ok := m[name]; !ok {
+		return fmt.Errorf("cluster: no %s %q", kind, name)
+	}
+	if m[name] == up {
+		return nil
+	}
+	m[name] = up
+	// A crash kills the processes on the element; a boot brings
+	// supervisors back (init system) and leaves the rest Failed so that
+	// supervisors auto-restart the auto-restart ones and manual ones wait
+	// for an operator — the paper's Database behavior after an outage.
+	for k, p := range c.procs {
+		loc := c.loc[k]
+		hit := (kind == "rack" && loc.rack == name) ||
+			(kind == "host" && loc.host == name) ||
+			(kind == "vm" && loc.vm == name)
+		if !hit {
+			continue
+		}
+		if !up {
+			p.state = Failed
+			p.failedAt = time.Now()
+		} else if c.hwUpLocked(k) {
+			if p.IsSup {
+				p.state = Running
+				p.restarts++
+			}
+		}
+	}
+	c.recomputeLocked()
+	return nil
+}
+
+// KillRack / RestoreRack, KillHost / RestoreHost and KillVM / RestoreVM
+// inject and heal hardware failures. Restoring boots supervisors
+// immediately; other processes return via supervisor auto-restart or
+// manual restart per their mode.
+func (c *Cluster) KillRack(name string) error    { return c.setHW("rack", name, false) }
+func (c *Cluster) RestoreRack(name string) error { return c.setHW("rack", name, true) }
+func (c *Cluster) KillHost(name string) error    { return c.setHW("host", name, false) }
+func (c *Cluster) RestoreHost(name string) error { return c.setHW("host", name, true) }
+func (c *Cluster) KillVM(name string) error      { return c.setHW("vm", name, false) }
+func (c *Cluster) RestoreVM(name string) error   { return c.setHW("vm", name, true) }
+
+// ---- introspection ----
+
+// ProcStatus is a point-in-time view of one process.
+type ProcStatus struct {
+	Role     string
+	Node     int
+	Name     string
+	State    ProcState
+	Alive    bool // state ∧ hardware
+	Restarts int
+}
+
+// Snapshot lists every process with its effective liveness, sorted by
+// role, node, name.
+func (c *Cluster) Snapshot() []ProcStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ProcStatus, 0, len(c.procs))
+	for k, p := range c.procs {
+		out = append(out, ProcStatus{
+			Role: k.role, Node: k.node, Name: k.name,
+			State: p.state, Alive: c.aliveLocked(k), Restarts: p.restarts,
+		})
+	}
+	sortStatuses(out)
+	return out
+}
+
+func sortStatuses(s []ProcStatus) {
+	// Insertion sort keeps this dependency-free; snapshots are small.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && statusLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func statusLess(a, b ProcStatus) bool {
+	if a.Role != b.Role {
+		return a.Role < b.Role
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Name < b.Name
+}
+
+// StatusVisibility reports whether process state of the node-role is being
+// fed to analytics: its nodemgr and at least one collector must be alive.
+// Per the paper, losing it does not impair the node-role's function.
+func (c *Cluster) StatusVisibility(role string, node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mgrName := ""
+	for _, proc := range c.cfg.Profile.RoleProcesses(profile.Role(role), true) {
+		if proc.NodeManager {
+			mgrName = proc.Name
+			break
+		}
+	}
+	if mgrName == "" {
+		return false
+	}
+	if !c.aliveLocked(procKey{role: role, node: node, name: mgrName}) {
+		return false
+	}
+	return c.anyAliveLocked(string(profile.Analytics), "collector") >= 0
+}
+
+// WaitUntil polls cond every millisecond until it returns true or the
+// timeout expires, reporting success. It is the testbed's synchronization
+// helper for asynchronous recovery (supervisor restarts, agent
+// rediscovery).
+func (c *Cluster) WaitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sdnavail/internal/profile"
+)
+
+// This file implements the Config, Control and Analytics role behavior:
+// the northbound configuration path (config-api → zookeeper ID → Cassandra
+// quorum write → schema transformer → IF-MAP publish → control nodes), the
+// BGP-style control mesh, DNS, and the analytics pipeline (collector →
+// redis/Cassandra/Kafka → query-engine/alarm-gen).
+
+const ifmapTopic = "ifmap"
+
+// configUpdate is the low-level object pushed southbound to control nodes.
+type configUpdate struct {
+	ID      uint64
+	Kind    string // "network" or "policy"
+	Name    string
+	Payload string
+	Prefix  string // policy target prefix
+	Allow   bool   // policy verdict
+}
+
+// controlNode is the per-node control process state: the applied
+// configuration version and the BGP routing table (prefix → next-hop set).
+type controlNode struct {
+	c    *Cluster
+	node int
+	sub  *Subscription
+
+	cfgVersion uint64
+	routes     map[string]map[string]bool
+	policies   map[string]bool // security policy per destination prefix (absent = allow)
+	wasAlive   bool            // tracks crash/restart transitions for state loss and BGP resync
+	wasUsable  bool            // tracks partition transitions for mesh catch-up
+}
+
+func newControlNode(c *Cluster, node int) *controlNode {
+	return &controlNode{
+		c: c, node: node,
+		routes:   map[string]map[string]bool{},
+		policies: map[string]bool{},
+		wasAlive: true, wasUsable: true,
+	}
+}
+
+// start subscribes the control node to the IF-MAP topic and launches its
+// consumer loop.
+func (ctl *controlNode) start() error {
+	sub, err := ctl.c.bus.Subscribe(ifmapTopic, fmt.Sprintf("control-%d", ctl.node), 128)
+	if err != nil {
+		return err
+	}
+	ctl.sub = sub
+	ctl.c.loops.Add(1)
+	go func() {
+		defer ctl.c.loops.Done()
+		for {
+			select {
+			case <-ctl.c.stopAll:
+				return
+			case m, ok := <-sub.C():
+				if !ok {
+					return
+				}
+				upd, ok := m.Payload.(configUpdate)
+				if !ok {
+					continue
+				}
+				ctl.c.mu.Lock()
+				// A dead or partitioned control process does not consume
+				// configuration; it catches up from a BGP peer later.
+				if ctl.c.usableLocked(ctl.key()) && upd.ID > ctl.cfgVersion {
+					ctl.cfgVersion = upd.ID
+					if upd.Kind == "policy" {
+						ctl.policies[upd.Prefix] = upd.Allow
+					}
+				}
+				ctl.c.mu.Unlock()
+			}
+		}
+	}()
+	return nil
+}
+
+func (ctl *controlNode) key() procKey {
+	return procKey{role: string(profile.Control), node: ctl.node, name: "control"}
+}
+
+// resyncLocked copies configuration version, routes and policies from the
+// first alive peer control on the same side of any partition — the BGP
+// refresh a restarting or rejoining control performs. Callers hold c.mu.
+func (ctl *controlNode) resyncLocked() {
+	for _, peer := range ctl.c.controls {
+		if peer.node == ctl.node || !ctl.c.aliveLocked(peer.key()) {
+			continue
+		}
+		if ctl.c.isolated[peer.node] != ctl.c.isolated[ctl.node] {
+			continue // the partition separates us
+		}
+		if peer.cfgVersion > ctl.cfgVersion {
+			ctl.cfgVersion = peer.cfgVersion
+		}
+		for prefix, hops := range peer.routes {
+			dst := ctl.routes[prefix]
+			if dst == nil {
+				dst = map[string]bool{}
+				ctl.routes[prefix] = dst
+			}
+			for h := range hops {
+				dst[h] = true
+			}
+		}
+		for prefix, allow := range peer.policies {
+			ctl.policies[prefix] = allow
+		}
+		return
+	}
+}
+
+// advertiseLocked installs an agent's prefix on this control and floods it
+// to alive mesh peers. Callers hold c.mu.
+func (ctl *controlNode) advertiseLocked(prefix, nexthop string) {
+	install := func(t *controlNode) {
+		hops := t.routes[prefix]
+		if hops == nil {
+			hops = map[string]bool{}
+			t.routes[prefix] = hops
+		}
+		hops[nexthop] = true
+	}
+	install(ctl)
+	for _, peer := range ctl.c.controls {
+		if peer.node != ctl.node && ctl.c.aliveLocked(peer.key()) &&
+			ctl.c.isolated[peer.node] == ctl.c.isolated[ctl.node] {
+			install(peer)
+		}
+	}
+}
+
+// withdrawLocked removes an agent's prefix from this control and its alive
+// peers. Callers hold c.mu.
+func (ctl *controlNode) withdrawLocked(prefix, nexthop string) {
+	remove := func(t *controlNode) {
+		if hops, ok := t.routes[prefix]; ok {
+			delete(hops, nexthop)
+			if len(hops) == 0 {
+				delete(t.routes, prefix)
+			}
+		}
+	}
+	remove(ctl)
+	for _, peer := range ctl.c.controls {
+		if peer.node != ctl.node && ctl.c.aliveLocked(peer.key()) &&
+			ctl.c.isolated[peer.node] == ctl.c.isolated[ctl.node] {
+			remove(peer)
+		}
+	}
+}
+
+// ---- northbound configuration path ----
+
+// CreateNetwork performs a full northbound create: it requires an alive
+// config-api, a Zookeeper quorum for the unique ID, a Cassandra (Config)
+// quorum for persistence, an alive schema transformer, and an alive IF-MAP
+// server to push the low-level object southbound. It returns the allocated
+// ID.
+func (c *Cluster) CreateNetwork(name, subnet string) (uint64, error) {
+	c.mu.Lock()
+	cfgRole := string(profile.Config)
+	if c.anyAliveLocked(cfgRole, "config-api") < 0 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: no config-api instance alive")
+	}
+	id, err := c.seq.Next()
+	if err != nil {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: allocating network ID: %w", err)
+	}
+	if err := c.configStore.Put("net/"+name, subnet); err != nil {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: persisting network: %w", err)
+	}
+	if c.anyAliveLocked(cfgRole, "schema") < 0 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: no schema transformer alive")
+	}
+	low := fmt.Sprintf("obj:%s:%s:id=%d", name, subnet, id)
+	if err := c.configStore.Put("obj/"+name, low); err != nil {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: persisting low-level object: %w", err)
+	}
+	if c.anyAliveLocked(cfgRole, "ifmap") < 0 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: no ifmap server alive")
+	}
+	c.mu.Unlock()
+	c.bus.Publish(Message{Topic: ifmapTopic, From: "ifmap", Payload: configUpdate{ID: id, Kind: "network", Name: name, Payload: low}})
+	return id, nil
+}
+
+// SetPolicy installs a security policy verdict for traffic toward the
+// given destination prefix through the full northbound path: config-api,
+// unique ID, Cassandra quorum persistence, schema transformation, IF-MAP
+// southbound push. Control nodes apply it and vRouter agents download it
+// with their routes; forwarding then enforces it (the vRouter agent
+// "performs all policy evaluation", §II). Absent a policy, traffic is
+// allowed.
+func (c *Cluster) SetPolicy(dstPrefix string, allow bool) (uint64, error) {
+	c.mu.Lock()
+	cfgRole := string(profile.Config)
+	if c.anyAliveLocked(cfgRole, "config-api") < 0 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: no config-api instance alive")
+	}
+	id, err := c.seq.Next()
+	if err != nil {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: allocating policy ID: %w", err)
+	}
+	verdict := "deny"
+	if allow {
+		verdict = "allow"
+	}
+	if err := c.configStore.Put("policy/"+dstPrefix, verdict); err != nil {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: persisting policy: %w", err)
+	}
+	if c.anyAliveLocked(cfgRole, "schema") < 0 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: no schema transformer alive")
+	}
+	if c.anyAliveLocked(cfgRole, "ifmap") < 0 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("cluster: no ifmap server alive")
+	}
+	c.mu.Unlock()
+	c.bus.Publish(Message{Topic: ifmapTopic, From: "ifmap", Payload: configUpdate{
+		ID: id, Kind: "policy", Name: "policy:" + dstPrefix, Prefix: dstPrefix, Allow: allow,
+	}})
+	return id, nil
+}
+
+// ConfigVersionReached reports whether at least one alive control node has
+// applied configuration at or beyond the given ID.
+func (c *Cluster) ConfigVersionReached(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ctl := range c.controls {
+		if c.usableLocked(ctl.key()) && ctl.cfgVersion >= id {
+			return true
+		}
+	}
+	return false
+}
+
+// GetNetwork reads a persisted network back through any alive config-api.
+func (c *Cluster) GetNetwork(name string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.anyAliveLocked(string(profile.Config), "config-api") < 0 {
+		return "", fmt.Errorf("cluster: no config-api instance alive")
+	}
+	v, ok, err := c.configStore.Get("net/" + name)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", fmt.Errorf("cluster: network %q not found", name)
+	}
+	return v, nil
+}
+
+// ---- analytics pipeline ----
+
+// SendUVE delivers an operational data record to the analytics pipeline:
+// an alive collector stages it in its node-local redis (when alive),
+// persists it to the analytics Cassandra quorum, and streams an event to
+// Kafka.
+func (c *Cluster) SendUVE(key, value string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	an := string(profile.Analytics)
+	node := c.anyAliveLocked(an, "collector")
+	if node < 0 {
+		return fmt.Errorf("cluster: no collector alive")
+	}
+	// The collector stages real-time data in any alive Redis cache
+	// (Table I: redis is a "1 of 3" control-plane process).
+	if cache := c.anyAliveLocked(an, "redis"); cache >= 0 {
+		c.redis[cache][key] = value
+	}
+	if err := c.analyticsStore.Put("uve/"+key, value); err != nil {
+		return fmt.Errorf("cluster: persisting UVE: %w", err)
+	}
+	if _, err := c.log.Append("uve:" + key); err != nil {
+		return fmt.Errorf("cluster: streaming event: %w", err)
+	}
+	return nil
+}
+
+// QueryAnalytics reads a persisted record through an alive analytics-api
+// and query-engine pair.
+func (c *Cluster) QueryAnalytics(key string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	an := string(profile.Analytics)
+	if c.anyAliveLocked(an, "analytics-api") < 0 {
+		return "", fmt.Errorf("cluster: no analytics-api alive")
+	}
+	if c.anyAliveLocked(an, "query-engine") < 0 {
+		return "", fmt.Errorf("cluster: no query-engine alive")
+	}
+	v, ok, err := c.analyticsStore.Get("uve/" + key)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", fmt.Errorf("cluster: UVE %q not found", key)
+	}
+	return v, nil
+}
+
+// QueryRealtime reads a record from any alive redis cache holding it.
+func (c *Cluster) QueryRealtime(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	an := string(profile.Analytics)
+	for node := range c.redis {
+		if c.aliveLocked(procKey{role: an, node: node, name: "redis"}) {
+			if v, ok := c.redis[node][key]; ok {
+				return v, true
+			}
+		}
+	}
+	return "", false
+}
+
+// GenerateAlarms has an alive alarm-gen scan the Kafka stream and returns
+// the number of matching events.
+func (c *Cluster) GenerateAlarms(substr string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.anyAliveLocked(string(profile.Analytics), "alarm-gen") < 0 {
+		return 0, fmt.Errorf("cluster: no alarm-gen alive")
+	}
+	entries, err := c.log.ReadFrom(0)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.Contains(e, substr) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ---- control-plane probe ----
+
+// ProbeCP exercises every SDN control-plane requirement end to end: the
+// auxiliary Config services (discovery, svc-monitor, device-manager), a
+// full northbound network create, southbound propagation to at least one
+// control node, and the analytics write/query/alarm path. It returns nil
+// when the control plane is fully functional.
+func (c *Cluster) ProbeCP(timeout time.Duration) error {
+	c.mu.Lock()
+	cfgRole := string(profile.Config)
+	for _, name := range []string{"discovery", "svc-monitor", "device-manager"} {
+		if c.anyAliveLocked(cfgRole, name) < 0 {
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: no %s alive", name)
+		}
+	}
+	c.probeSeq++
+	probe := fmt.Sprintf("probe-%d", c.probeSeq)
+	c.mu.Unlock()
+
+	id, err := c.CreateNetwork(probe, "10.255.0.0/24")
+	if err != nil {
+		return err
+	}
+	if !c.WaitUntil(timeout, func() bool { return c.ConfigVersionReached(id) }) {
+		return fmt.Errorf("cluster: no control node applied config %d within %v", id, timeout)
+	}
+	if err := c.SendUVE(probe, "ok"); err != nil {
+		return err
+	}
+	if _, err := c.QueryAnalytics(probe); err != nil {
+		return err
+	}
+	if _, ok := c.QueryRealtime(probe); !ok {
+		return fmt.Errorf("cluster: real-time analytics cache unavailable")
+	}
+	if _, err := c.GenerateAlarms(probe); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzQuorumStore drives a quorum store through an arbitrary sequence of
+// replica flaps, writes and reads, and checks the core invariant: a quorum
+// read never returns anything older than the last successful quorum write.
+func FuzzQuorumStore(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 10, 11, 20})
+	f.Add([]byte{10, 0, 10, 1, 10, 2, 20})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		s := NewQuorumStore("fuzz", 3)
+		lastWritten := -1
+		writeSeq := 0
+		for _, op := range ops {
+			switch {
+			case op < 3: // toggle replica op
+				s.SetAlive(int(op), !s.Alive(int(op)))
+			case op < 10: // revive replica op%3
+				s.SetAlive(int(op)%3, true)
+			case op < 20: // write
+				writeSeq++
+				if err := s.Put("k", fmt.Sprintf("v%d", writeSeq)); err == nil {
+					lastWritten = writeSeq
+				}
+			default: // read
+				v, ok, err := s.Get("k")
+				if err != nil {
+					continue // no quorum: acceptable
+				}
+				if lastWritten < 0 {
+					if ok {
+						t.Fatalf("read %q before any successful write", v)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("quorum read lost the last write v%d", lastWritten)
+				}
+				if v != fmt.Sprintf("v%d", lastWritten) {
+					t.Fatalf("read %q, last successful write was v%d", v, lastWritten)
+				}
+			}
+		}
+	})
+}
+
+// FuzzSequencer drives the sequencer through replica flaps and checks IDs
+// never repeat.
+func FuzzSequencer(f *testing.F) {
+	f.Add([]byte{10, 0, 10, 1, 10})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		q := NewSequencer(3)
+		seen := map[uint64]bool{}
+		alive := [3]bool{true, true, true}
+		for _, op := range ops {
+			if op < 6 {
+				r := int(op) % 3
+				alive[r] = !alive[r]
+				q.SetAlive(r, alive[r])
+				continue
+			}
+			id, err := q.Next()
+			if err != nil {
+				continue
+			}
+			if seen[id] {
+				t.Fatalf("sequencer repeated ID %d", id)
+			}
+			seen[id] = true
+		}
+	})
+}

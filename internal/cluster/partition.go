@@ -1,0 +1,67 @@
+package cluster
+
+import "fmt"
+
+// Network partitions. The testbed models the dominant real-world incident:
+// a set of controller nodes becomes isolated from the rest of the cluster
+// and from the compute hosts (an inter-rack uplink failure, say). Isolated
+// nodes keep running — their processes are alive — but nothing outside the
+// isolation can reach them: quorum backends lose their replicas, vRouter
+// agents drop their sessions, and the BGP mesh stops flooding to them.
+// Healing the partition restores reachability; stores catch stale replicas
+// up by read repair and control processes re-sync from the mesh.
+
+// IsolateNodes partitions the given controller nodes away from the rest of
+// the cluster and from the compute hosts. Calling it again replaces the
+// isolated set.
+func (c *Cluster) IsolateNodes(nodes ...int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range nodes {
+		if n < 0 || n >= c.cfg.Topology.ClusterSize {
+			return fmt.Errorf("cluster: no controller node %d", n)
+		}
+	}
+	c.isolated = map[int]bool{}
+	for _, n := range nodes {
+		c.isolated[n] = true
+	}
+	c.recomputeLocked()
+	return nil
+}
+
+// HealPartition removes any isolation.
+func (c *Cluster) HealPartition() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.isolated = nil
+	c.recomputeLocked()
+}
+
+// Isolated reports whether the controller node is currently partitioned
+// away.
+func (c *Cluster) Isolated(node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.isolated[node]
+}
+
+// reachableLocked reports whether the controller node can be reached from
+// the majority side (clients, compute hosts, the other nodes).
+func (c *Cluster) reachableLocked(node int) bool {
+	return !c.isolated[node]
+}
+
+// usableLocked combines process liveness with reachability: the process is
+// running, its hardware is up, and its node is not partitioned away.
+func (c *Cluster) usableLocked(k procKey) bool {
+	if !c.aliveLocked(k) {
+		return false
+	}
+	// Per-host vRouter processes are never in the isolated set (isolation
+	// applies to controller nodes).
+	if k.role == string(c.cfg.Profile.HostRole) {
+		return true
+	}
+	return c.reachableLocked(k.node)
+}

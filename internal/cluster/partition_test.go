@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"sdnavail/internal/topology"
+)
+
+// TestMinorityIsolationKeepsCPUp: isolating one controller node behaves
+// like losing it — the CP survives on the reachable 2-of-3 quorum and the
+// agents fail away from its control — but the node's processes stay
+// Running.
+func TestMinorityIsolationKeepsCPUp(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	if err := c.IsolateNodes(0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Isolated(0) || c.Isolated(1) {
+		t.Fatal("isolation bookkeeping wrong")
+	}
+	if err := c.ProbeCP(waitLong); err != nil {
+		t.Fatalf("CP should survive one isolated node: %v", err)
+	}
+	ok := c.WaitUntil(waitLong, func() bool {
+		for h := 0; h < 3; h++ {
+			conns, _ := c.AgentConnections(h)
+			for _, n := range conns {
+				if n == 0 {
+					return false
+				}
+			}
+			if len(conns) != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("agents did not abandon the isolated control node")
+	}
+	// The isolated processes are still running — this was a network
+	// partition, not a crash.
+	if !c.Alive("Control", 0, "control") {
+		t.Error("isolated control process should still be running")
+	}
+}
+
+// TestMajorityIsolationTakesDownCP: isolating two nodes leaves no
+// reachable quorum; the CP fails while the DP rides on the remaining
+// control node.
+func TestMajorityIsolationTakesDownCP(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	if err := c.IsolateNodes(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ProbeCP(300 * time.Millisecond); err == nil {
+		t.Fatal("CP should be down with a majority isolated")
+	}
+	ok := c.WaitUntil(waitLong, func() bool {
+		for h := 0; h < 3; h++ {
+			if c.ProbeDP(h) != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Errorf("DP should survive on the reachable control: %v", c.ProbeDP(0))
+	}
+	// Heal: the CP returns without any manual restart — nothing crashed.
+	c.HealPartition()
+	if !c.WaitUntil(waitLong, func() bool { return c.ProbeCP(time.Second) == nil }) {
+		t.Fatal("CP did not return after the partition healed")
+	}
+}
+
+// TestPartitionHealRepairsStaleReplica: a write made while a replica is
+// isolated must reach that replica after healing via read repair.
+func TestPartitionHealRepairsStaleReplica(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	if err := c.IsolateNodes(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateNetwork("during-partition", "10.42.0.0/16"); err != nil {
+		t.Fatalf("write with a reachable majority should succeed: %v", err)
+	}
+	c.HealPartition()
+	// Force reads to depend on the formerly isolated replica: isolate the
+	// other two.
+	if err := c.IsolateNodes(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A single replica has no quorum, so reads fail — but after healing
+	// and a quorum read the repaired value must be visible.
+	c.HealPartition()
+	v, err := c.GetNetwork("during-partition")
+	if err != nil || v != "10.42.0.0/16" {
+		t.Fatalf("GetNetwork after heal = %q, %v", v, err)
+	}
+}
+
+// TestIsolatedControlCatchesUpOnHeal: config applied during the partition
+// reaches the isolated control after healing via mesh resync.
+func TestIsolatedControlCatchesUpOnHeal(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	if err := c.IsolateNodes(1); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.CreateNetwork("heal-sync", "10.50.0.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitUntil(waitLong, func() bool { return c.ConfigVersionReached(id) }) {
+		t.Fatal("reachable controls did not apply the config")
+	}
+	c.mu.Lock()
+	isolatedVersion := c.controls[1].cfgVersion
+	c.mu.Unlock()
+	if isolatedVersion >= id {
+		t.Fatal("isolated control should not have received the update")
+	}
+	c.HealPartition()
+	ok := c.WaitUntil(waitLong, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.controls[1].cfgVersion >= id
+	})
+	if !ok {
+		t.Fatal("healed control did not resync from the mesh")
+	}
+}
+
+func TestIsolateValidation(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	if err := c.IsolateNodes(7); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := c.IsolateNodes(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	// Healing with no partition is a no-op.
+	c.HealPartition()
+}
+
+// TestPolicyPropagation: a deny policy installed through the northbound
+// API must reach the vRouter agents and stop forwarding; flipping it back
+// to allow restores traffic.
+func TestPolicyPropagation(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	dst, err := c.HostPrefix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Forward(0, dst); err != nil {
+		t.Fatalf("forwarding should start allowed: %v", err)
+	}
+	if _, err := c.SetPolicy(dst, false); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitUntil(waitLong, func() bool { return c.Forward(0, dst) != nil }) {
+		t.Fatal("deny policy did not reach the agent")
+	}
+	// Other destinations are unaffected.
+	other, _ := c.HostPrefix(2)
+	if err := c.Forward(0, other); err != nil {
+		t.Errorf("unrelated destination should still forward: %v", err)
+	}
+	if _, err := c.SetPolicy(dst, true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitUntil(waitLong, func() bool { return c.Forward(0, dst) == nil }) {
+		t.Fatal("allow policy did not restore forwarding")
+	}
+}
+
+// TestPolicySurvivesControlFailover: a policy must keep being enforced
+// after the control node that delivered it dies and the agent fails over.
+func TestPolicySurvivesControlFailover(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	dst, _ := c.HostPrefix(1)
+	if _, err := c.SetPolicy(dst, false); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitUntil(waitLong, func() bool { return c.Forward(0, dst) != nil }) {
+		t.Fatal("deny policy did not propagate")
+	}
+	killControlSupervisors(t, c)
+	conns, _ := c.AgentConnections(0)
+	for _, node := range conns {
+		if err := c.KillProcess("Control", node, "control"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The agent fails over to the remaining control, which learned the
+	// policy via the mesh; the deny must persist.
+	ok := c.WaitUntil(waitLong, func() bool {
+		cs, _ := c.AgentConnections(0)
+		return len(cs) >= 1
+	})
+	if !ok {
+		t.Fatal("agent did not fail over")
+	}
+	if err := c.Forward(0, dst); err == nil {
+		t.Error("policy lost across control failover")
+	}
+}
+
+// TestPolicyRequiresConfigPath: with every ifmap server down, a policy
+// change cannot propagate — but existing forwarding state keeps working
+// (eventual consistency, not fate sharing).
+func TestPolicyRequiresConfigPath(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	for node := 0; node < 3; node++ {
+		if err := c.KillProcess("Config", node, "supervisor-config"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.KillProcess("Config", node, "ifmap"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, _ := c.HostPrefix(1)
+	if _, err := c.SetPolicy(dst, false); err == nil {
+		t.Fatal("SetPolicy should fail with no ifmap server")
+	}
+	if err := c.Forward(0, dst); err != nil {
+		t.Errorf("existing forwarding should survive a config-path outage: %v", err)
+	}
+}

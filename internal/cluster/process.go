@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// ProcState is the lifecycle state of a testbed process.
+type ProcState int
+
+const (
+	// Running: the process is operating (subject to its hardware being up).
+	Running ProcState = iota
+	// Failed: the process has crashed or been killed and awaits restart
+	// (automatic by its supervisor, or manual).
+	Failed
+)
+
+// String names the state.
+func (s ProcState) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Proc is one controller or vRouter process instance in the testbed.
+// State transitions go through the owning Cluster, which holds the lock
+// and propagates liveness to the storage backends.
+type Proc struct {
+	Name   string // process name from the profile, e.g. "control"
+	Role   string // role name, e.g. "Control"; "vRouter" for host procs
+	Node   int    // node index for cluster roles; compute host index for vRouter
+	Manual bool   // manual restart only (outside supervisor control)
+	IsSup  bool   // this is the node-role supervisor
+
+	state    ProcState
+	failedAt time.Time
+	restarts int // completed restarts, for diagnostics
+	unsuper  int // failures that occurred while the supervisor was down
+}
+
+// key identifies a process within the cluster tables.
+type procKey struct {
+	role string
+	node int
+	name string
+}
+
+// Timing collects the testbed's (scaled) operational delays. Production
+// OpenContrail restarts in ~minutes; the testbed defaults to milliseconds
+// so chaos experiments run quickly. All durations must be positive.
+type Timing struct {
+	// SupervisorCheck is the supervisor's child-scan period.
+	SupervisorCheck time.Duration
+	// AutoRestart is the delay between a supervisor noticing a failed
+	// child and the child running again (the paper's R).
+	AutoRestart time.Duration
+	// Rediscover is the vRouter agent's connection-check period; a failed
+	// control connection is replaced within roughly one period (the
+	// paper's "typically within a minute").
+	Rediscover time.Duration
+}
+
+// DefaultTiming returns the scaled defaults.
+func DefaultTiming() Timing {
+	return Timing{
+		SupervisorCheck: 2 * time.Millisecond,
+		AutoRestart:     3 * time.Millisecond,
+		Rediscover:      5 * time.Millisecond,
+	}
+}
+
+// Validate reports non-positive durations.
+func (t Timing) Validate() error {
+	if t.SupervisorCheck <= 0 || t.AutoRestart <= 0 || t.Rediscover <= 0 {
+		return fmt.Errorf("cluster: timing durations must be positive: %+v", t)
+	}
+	return nil
+}
+
+// supervisor drives auto-restart for one node-role. It runs as a goroutine
+// owned by the Cluster and scans its children every SupervisorCheck tick:
+// any Failed, non-manual child is restarted after the AutoRestart delay,
+// but only while the supervisor process itself is effectively alive —
+// matching the paper's semantics that a dead supervisor leaves its
+// node-role unsupervised (children then require manual restart).
+type supervisor struct {
+	c        *Cluster
+	self     procKey
+	children []procKey
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func (s *supervisor) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.c.timing.SupervisorCheck)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.scan()
+		}
+	}
+}
+
+// scan restarts failed auto-restart children if the supervisor is alive.
+func (s *supervisor) scan() {
+	c := s.c
+	c.mu.Lock()
+	if !c.aliveLocked(s.self) {
+		c.mu.Unlock()
+		return
+	}
+	var toRestart []procKey
+	for _, k := range s.children {
+		p := c.procs[k]
+		if p.state == Failed && !p.Manual && c.hwUpLocked(k) {
+			toRestart = append(toRestart, k)
+		}
+	}
+	c.mu.Unlock()
+	if len(toRestart) == 0 {
+		return
+	}
+	// The restart itself takes R.
+	timer := time.NewTimer(c.timing.AutoRestart)
+	select {
+	case <-s.stop:
+		timer.Stop()
+		return
+	case <-timer.C:
+	}
+	c.mu.Lock()
+	for _, k := range toRestart {
+		p := c.procs[k]
+		// Re-check: the supervisor may have died, or the child may have
+		// been restarted manually, while the restart was in flight.
+		if p.state == Failed && c.aliveLocked(s.self) && c.hwUpLocked(k) {
+			p.state = Running
+			p.restarts++
+		}
+	}
+	c.recomputeLocked()
+	c.mu.Unlock()
+}

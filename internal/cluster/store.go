@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements the clustered storage substrates of the Database
+// role: a replicated quorum key/value store (the Cassandra stand-in), a
+// quorum sequencer for unique system-generated IDs (the Zookeeper
+// stand-in), and a replicated append-only event log (the Kafka stand-in).
+// Each is clustered 2N+1 and requires a majority of live replicas, exactly
+// matching the paper's "2 of 3" Database quorum processes.
+
+// ErrNoQuorum is returned when fewer than a majority of replicas are alive.
+var ErrNoQuorum = fmt.Errorf("cluster: quorum lost")
+
+// versioned is a KV entry with a write version for last-writer-wins repair.
+type versioned struct {
+	value   string
+	version uint64
+}
+
+// QuorumStore is a replicated key/value store. Writes and reads require a
+// majority of replicas to be alive; read repair reconciles divergent
+// replicas by highest version.
+type QuorumStore struct {
+	name string
+
+	mu       sync.Mutex
+	replicas []map[string]versioned
+	alive    []bool
+	version  uint64
+}
+
+// NewQuorumStore creates a store with n replicas, all alive.
+func NewQuorumStore(name string, n int) *QuorumStore {
+	s := &QuorumStore{name: name}
+	for i := 0; i < n; i++ {
+		s.replicas = append(s.replicas, map[string]versioned{})
+		s.alive = append(s.alive, true)
+	}
+	return s
+}
+
+// Replicas returns the replica count.
+func (s *QuorumStore) Replicas() int { return len(s.replicas) }
+
+// SetAlive marks replica i up or down. A replica that returns keeps its
+// (possibly stale) data; read repair catches it up lazily.
+func (s *QuorumStore) SetAlive(i int, alive bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alive[i] = alive
+}
+
+// Alive reports replica i's state.
+func (s *QuorumStore) Alive(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alive[i]
+}
+
+// aliveCountLocked counts live replicas; callers hold mu.
+func (s *QuorumStore) aliveCountLocked() int {
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// HasQuorum reports whether a majority of replicas is alive.
+func (s *QuorumStore) HasQuorum() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aliveCountLocked() >= len(s.replicas)/2+1
+}
+
+// Put writes key=value to all live replicas; it fails without a majority.
+func (s *QuorumStore) Put(key, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aliveCountLocked() < len(s.replicas)/2+1 {
+		return fmt.Errorf("%w: %s has %d/%d replicas", ErrNoQuorum, s.name, s.aliveCountLocked(), len(s.replicas))
+	}
+	s.version++
+	v := versioned{value: value, version: s.version}
+	for i, alive := range s.alive {
+		if alive {
+			s.replicas[i][key] = v
+		}
+	}
+	return nil
+}
+
+// Get reads the freshest value among a majority of live replicas and
+// repairs stale live replicas. The boolean reports presence.
+func (s *QuorumStore) Get(key string) (string, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aliveCountLocked() < len(s.replicas)/2+1 {
+		return "", false, fmt.Errorf("%w: %s has %d/%d replicas", ErrNoQuorum, s.name, s.aliveCountLocked(), len(s.replicas))
+	}
+	best := versioned{}
+	found := false
+	for i, alive := range s.alive {
+		if !alive {
+			continue
+		}
+		if v, ok := s.replicas[i][key]; ok && (!found || v.version > best.version) {
+			best = v
+			found = true
+		}
+	}
+	if !found {
+		return "", false, nil
+	}
+	for i, alive := range s.alive { // read repair
+		if alive {
+			if v, ok := s.replicas[i][key]; !ok || v.version < best.version {
+				s.replicas[i][key] = best
+			}
+		}
+	}
+	return best.value, true, nil
+}
+
+// Delete removes a key from all live replicas; it fails without a majority.
+func (s *QuorumStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aliveCountLocked() < len(s.replicas)/2+1 {
+		return fmt.Errorf("%w: %s has %d/%d replicas", ErrNoQuorum, s.name, s.aliveCountLocked(), len(s.replicas))
+	}
+	for i, alive := range s.alive {
+		if alive {
+			delete(s.replicas[i], key)
+		}
+	}
+	return nil
+}
+
+// Keys returns the sorted union of keys across live replicas; it fails
+// without a majority.
+func (s *QuorumStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aliveCountLocked() < len(s.replicas)/2+1 {
+		return nil, fmt.Errorf("%w: %s", ErrNoQuorum, s.name)
+	}
+	set := map[string]bool{}
+	for i, alive := range s.alive {
+		if alive {
+			for k := range s.replicas[i] {
+				set[k] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Sequencer allocates unique, monotonically increasing IDs with a majority
+// of live voters — the testbed's Zookeeper.
+type Sequencer struct {
+	mu      sync.Mutex
+	counter []uint64
+	alive   []bool
+}
+
+// NewSequencer creates a sequencer with n voters, all alive.
+func NewSequencer(n int) *Sequencer {
+	return &Sequencer{counter: make([]uint64, n), alive: allTrue(n)}
+}
+
+func allTrue(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+// SetAlive marks voter i up or down.
+func (q *Sequencer) SetAlive(i int, alive bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.alive[i] = alive
+}
+
+// HasQuorum reports whether a majority of voters is alive.
+func (q *Sequencer) HasQuorum() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.aliveCountLocked() >= len(q.alive)/2+1
+}
+
+func (q *Sequencer) aliveCountLocked() int {
+	n := 0
+	for _, a := range q.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Next returns a unique ID agreed by a majority: one more than the highest
+// counter among live voters, then recorded on all of them.
+func (q *Sequencer) Next() (uint64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.aliveCountLocked() < len(q.alive)/2+1 {
+		return 0, fmt.Errorf("%w: sequencer has %d/%d voters", ErrNoQuorum, q.aliveCountLocked(), len(q.alive))
+	}
+	max := uint64(0)
+	for i, alive := range q.alive {
+		if alive && q.counter[i] > max {
+			max = q.counter[i]
+		}
+	}
+	next := max + 1
+	for i, alive := range q.alive {
+		if alive {
+			q.counter[i] = next
+		}
+	}
+	return next, nil
+}
+
+// EventLog is a replicated append-only log — the testbed's Kafka. Appends
+// need a majority; reads serve from any live replica (they all hold the
+// quorum-committed prefix).
+type EventLog struct {
+	mu      sync.Mutex
+	entries []string
+	alive   []bool
+}
+
+// NewEventLog creates a log with n replicas, all alive.
+func NewEventLog(n int) *EventLog {
+	return &EventLog{alive: allTrue(n)}
+}
+
+// SetAlive marks replica i up or down.
+func (l *EventLog) SetAlive(i int, alive bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.alive[i] = alive
+}
+
+// HasQuorum reports whether a majority of replicas is alive.
+func (l *EventLog) HasQuorum() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.aliveCountLocked() >= len(l.alive)/2+1
+}
+
+func (l *EventLog) aliveCountLocked() int {
+	n := 0
+	for _, a := range l.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Append commits an entry; it fails without a majority.
+func (l *EventLog) Append(entry string) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.aliveCountLocked() < len(l.alive)/2+1 {
+		return 0, fmt.Errorf("%w: event log has %d/%d replicas", ErrNoQuorum, l.aliveCountLocked(), len(l.alive))
+	}
+	l.entries = append(l.entries, entry)
+	return len(l.entries) - 1, nil
+}
+
+// ReadFrom returns entries at and after offset; it fails when no replica is
+// alive.
+func (l *EventLog) ReadFrom(offset int) ([]string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.aliveCountLocked() == 0 {
+		return nil, fmt.Errorf("%w: event log has no live replicas", ErrNoQuorum)
+	}
+	if offset < 0 || offset > len(l.entries) {
+		return nil, fmt.Errorf("cluster: offset %d out of range [0,%d]", offset, len(l.entries))
+	}
+	out := make([]string, len(l.entries)-offset)
+	copy(out, l.entries[offset:])
+	return out, nil
+}
+
+// Len returns the committed length.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

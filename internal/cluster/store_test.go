@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBusPubSub(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, err := b.Subscribe("t", "c1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(Message{Topic: "t", From: "x", Payload: 42})
+	select {
+	case m := <-sub.C():
+		if m.Payload.(int) != 42 {
+			t.Errorf("payload = %v", m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestBusTopicIsolation(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	s1, _ := b.Subscribe("a", "c", 4)
+	s2, _ := b.Subscribe("b", "c", 4)
+	b.Publish(Message{Topic: "a", Payload: 1})
+	select {
+	case <-s1.C():
+	case <-time.After(time.Second):
+		t.Fatal("topic a not delivered")
+	}
+	select {
+	case m := <-s2.C():
+		t.Fatalf("topic b received %v", m)
+	default:
+	}
+}
+
+func TestBusDropsOldestOnOverflow(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, _ := b.Subscribe("t", "slow", 2)
+	for i := 0; i < 5; i++ {
+		b.Publish(Message{Topic: "t", Payload: i})
+	}
+	// Queue of 2 should now hold the two newest messages: 3 and 4.
+	got := []int{(<-sub.C()).Payload.(int), (<-sub.C()).Payload.(int)}
+	if got[0] != 3 || got[1] != 4 {
+		t.Errorf("kept %v, want [3 4]", got)
+	}
+	if _, dropped := b.Stats(); dropped != 3 {
+		t.Errorf("dropped = %d, want 3", dropped)
+	}
+}
+
+func TestBusCancelAndClose(t *testing.T) {
+	b := NewBus()
+	sub, _ := b.Subscribe("t", "c", 2)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	b.Publish(Message{Topic: "t", Payload: 1})
+	if _, ok := <-sub.C(); ok {
+		t.Error("canceled subscription received a message")
+	}
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Subscribe("t", "late", 2); err == nil {
+		t.Error("subscribe after close accepted")
+	}
+	b.Publish(Message{Topic: "t"}) // must not panic
+}
+
+func TestBusRejectsBadDepth(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	if _, err := b.Subscribe("t", "c", 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+}
+
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	sub, _ := b.Subscribe("t", "c", 1024)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(Message{Topic: "t", Payload: j})
+			}
+		}()
+	}
+	wg.Wait()
+	if pub, _ := b.Stats(); pub != 800 {
+		t.Errorf("published = %d, want 800", pub)
+	}
+	n := 0
+	for {
+		select {
+		case <-sub.C():
+			n++
+		default:
+			if n != 800 {
+				t.Errorf("received %d, want 800", n)
+			}
+			return
+		}
+	}
+}
+
+func TestQuorumStorePutGet(t *testing.T) {
+	s := NewQuorumStore("test", 3)
+	if err := s.Put("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || v != "v1" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := s.Get("absent"); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestQuorumStoreSurvivesMinorityLoss(t *testing.T) {
+	s := NewQuorumStore("test", 3)
+	if err := s.Put("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	s.SetAlive(0, false)
+	if !s.HasQuorum() {
+		t.Fatal("2 of 3 should have quorum")
+	}
+	if err := s.Put("k", "v2"); err != nil {
+		t.Fatalf("write with 2/3 replicas: %v", err)
+	}
+	if v, _, _ := s.Get("k"); v != "v2" {
+		t.Errorf("read %q, want v2", v)
+	}
+}
+
+func TestQuorumStoreLosesQuorum(t *testing.T) {
+	s := NewQuorumStore("test", 3)
+	s.SetAlive(0, false)
+	s.SetAlive(1, false)
+	if s.HasQuorum() {
+		t.Fatal("1 of 3 should not have quorum")
+	}
+	if err := s.Put("k", "v"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("Put error = %v, want ErrNoQuorum", err)
+	}
+	if _, _, err := s.Get("k"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("Get error = %v, want ErrNoQuorum", err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("Delete error = %v, want ErrNoQuorum", err)
+	}
+	if _, err := s.Keys(); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("Keys error = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestQuorumStoreReadRepair(t *testing.T) {
+	s := NewQuorumStore("test", 3)
+	s.Put("k", "old")
+	s.SetAlive(2, false) // replica 2 misses the update
+	s.Put("k", "new")
+	s.SetAlive(2, true)  // stale replica returns
+	s.SetAlive(0, false) // freshest quorum now includes the stale one
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || v != "new" {
+		t.Fatalf("Get after repair = %q, %v, %v; want new", v, ok, err)
+	}
+	// The stale replica must now hold the repaired value even if the
+	// other replica drops out.
+	s.SetAlive(1, false)
+	s.SetAlive(0, true)
+	v, _, err = s.Get("k")
+	if err != nil || v != "new" {
+		t.Fatalf("repaired replica read = %q, %v; want new", v, err)
+	}
+}
+
+func TestQuorumStoreDeleteAndKeys(t *testing.T) {
+	s := NewQuorumStore("test", 3)
+	s.Put("b", "2")
+	s.Put("a", "1")
+	keys, err := s.Keys()
+	if err != nil || len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("a"); ok {
+		t.Error("deleted key still present")
+	}
+}
+
+func TestQuorumStoreLastWriterWinsProperty(t *testing.T) {
+	// Whatever sequence of minority failures happens between writes, a
+	// quorum read always returns the latest successfully written value.
+	f := func(downs []uint8) bool {
+		s := NewQuorumStore("p", 3)
+		last := ""
+		for i, d := range downs {
+			replica := int(d) % 3
+			s.SetAlive(replica, i%2 == 0) // toggle some replica
+			val := fmt.Sprintf("v%d", i)
+			if err := s.Put("k", val); err == nil {
+				last = val
+			}
+			s.SetAlive(replica, true)
+		}
+		if last == "" {
+			return true
+		}
+		v, ok, err := s.Get("k")
+		return err == nil && ok && v == last
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequencerUnique(t *testing.T) {
+	q := NewSequencer(3)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id, err := q.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSequencerUniqueAcrossFailover(t *testing.T) {
+	// The paper's stated purpose of Zookeeper: guarantee uniqueness of
+	// system-generated IDs. IDs must stay unique across replica churn.
+	q := NewSequencer(3)
+	seen := map[uint64]bool{}
+	take := func() {
+		id, err := q.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+	take()
+	q.SetAlive(0, false)
+	take()
+	q.SetAlive(0, true)
+	q.SetAlive(2, false)
+	take() // voter 0 missed an increment but the quorum remembers
+	q.SetAlive(2, true)
+	take()
+}
+
+func TestSequencerQuorumLoss(t *testing.T) {
+	q := NewSequencer(3)
+	q.SetAlive(0, false)
+	q.SetAlive(1, false)
+	if q.HasQuorum() {
+		t.Error("1 of 3 voters should not be a quorum")
+	}
+	if _, err := q.Next(); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("Next error = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestEventLogAppendRead(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		off, err := l.Append(fmt.Sprintf("e%d", i))
+		if err != nil || off != i {
+			t.Fatalf("Append = %d, %v", off, err)
+		}
+	}
+	all, err := l.ReadFrom(0)
+	if err != nil || len(all) != 5 || all[4] != "e4" {
+		t.Fatalf("ReadFrom(0) = %v, %v", all, err)
+	}
+	tail, err := l.ReadFrom(3)
+	if err != nil || len(tail) != 2 || tail[0] != "e3" {
+		t.Fatalf("ReadFrom(3) = %v, %v", tail, err)
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestEventLogQuorum(t *testing.T) {
+	l := NewEventLog(3)
+	l.SetAlive(0, false)
+	if _, err := l.Append("ok"); err != nil {
+		t.Fatalf("append with 2/3: %v", err)
+	}
+	l.SetAlive(1, false)
+	if l.HasQuorum() {
+		t.Error("1/3 should not be a quorum")
+	}
+	if _, err := l.Append("no"); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("Append error = %v, want ErrNoQuorum", err)
+	}
+	// Reads still work from the single live replica.
+	if _, err := l.ReadFrom(0); err != nil {
+		t.Errorf("read from single replica: %v", err)
+	}
+	l.SetAlive(2, false)
+	if _, err := l.ReadFrom(0); err == nil {
+		t.Error("read with no live replicas accepted")
+	}
+}
+
+func TestEventLogBadOffset(t *testing.T) {
+	l := NewEventLog(3)
+	l.Append("a")
+	if _, err := l.ReadFrom(-1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := l.ReadFrom(2); err == nil {
+		t.Error("past-end offset accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/relmath"
+	"sdnavail/internal/report"
+	"sdnavail/internal/topology"
+)
+
+// This file holds the ablation studies behind the paper's design
+// observations (§V.D and §VII): rack-count effects ("one rack or three,
+// but not two"), the supervisor requirement penalty, maintenance-contract
+// sensitivity, and the 2N+1 cluster-size generalization.
+
+// RackAblation quantifies the rack-separation observation: availability
+// and downtime for the Small (1 rack), Medium (2 racks) and Large
+// (3 racks) topologies at the default parameters, plus the delta to Small.
+func RackAblation() report.Table {
+	t := report.Table{
+		Title:   "Ablation — rack separation (HW-centric, defaults)",
+		Columns: []string{"Topology", "Racks", "Availability", "Downtime m/y", "vs Small m/y"},
+	}
+	m := analytic.NewHWModel()
+	p := analytic.Defaults()
+	small := m.Small(p)
+	for _, row := range []struct {
+		kind  topology.Kind
+		racks int
+	}{
+		{topology.Small, 1}, {topology.Medium, 2}, {topology.Large, 3},
+	} {
+		a, err := m.ByKind(row.kind, p)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(row.kind.String(), row.racks,
+			fmt.Sprintf("%.7f", a),
+			fmt.Sprintf("%.2f", relmath.DowntimeMinutesPerYear(a)),
+			fmt.Sprintf("%+.2f", relmath.DowntimeMinutesPerYear(a)-relmath.DowntimeMinutesPerYear(small)))
+	}
+	return t
+}
+
+// SupervisorAblation quantifies the supervisor requirement penalty for
+// every topology and plane, in minutes/year.
+func SupervisorAblation() report.Table {
+	t := report.Table{
+		Title:   "Ablation — supervisor requirement penalty (SW-centric, defaults)",
+		Columns: []string{"Topology", "CP m/y (sup. not req.)", "CP m/y (sup. req.)", "CP penalty", "DP m/y (not req.)", "DP m/y (req.)", "DP penalty"},
+	}
+	prof := profile.OpenContrail3x()
+	for _, kind := range []topology.Kind{topology.Small, topology.Medium, topology.Large} {
+		m1 := analytic.NewModel(prof, analytic.Option{Kind: kind, Scenario: analytic.SupervisorNotRequired})
+		m2 := analytic.NewModel(prof, analytic.Option{Kind: kind, Scenario: analytic.SupervisorRequired})
+		cp1 := relmath.DowntimeMinutesPerYear(m1.ControlPlane())
+		cp2 := relmath.DowntimeMinutesPerYear(m2.ControlPlane())
+		dp1 := relmath.DowntimeMinutesPerYear(m1.DataPlane())
+		dp2 := relmath.DowntimeMinutesPerYear(m2.DataPlane())
+		t.AddRow(kind.String(),
+			fmt.Sprintf("%.2f", cp1), fmt.Sprintf("%.2f", cp2), fmt.Sprintf("%+.2f", cp2-cp1),
+			fmt.Sprintf("%.1f", dp1), fmt.Sprintf("%.1f", dp2), fmt.Sprintf("%+.1f", dp2-dp1))
+	}
+	return t
+}
+
+// MaintenanceAblation quantifies §V.D's maintenance-contract discussion:
+// Controller availability under Same Day, Next Day and Next Business Day
+// host repair for each topology.
+func MaintenanceAblation() report.Table {
+	t := report.Table{
+		Title:   "Ablation — host maintenance contract (HW-centric)",
+		Columns: []string{"Contract", "A_H", "Small m/y", "Medium m/y", "Large m/y"},
+	}
+	m := analytic.NewHWModel()
+	for _, level := range []analytic.MaintenanceLevel{analytic.SameDay, analytic.NextDay, analytic.NextBusinessDay} {
+		p := analytic.Defaults().WithMaintenance(level)
+		small := relmath.DowntimeMinutesPerYear(m.Small(p))
+		medium := relmath.DowntimeMinutesPerYear(m.Medium(p))
+		large := relmath.DowntimeMinutesPerYear(m.Large(p))
+		t.AddRow(level.String(), fmt.Sprintf("%.5f", p.AH),
+			fmt.Sprintf("%.2f", small), fmt.Sprintf("%.2f", medium), fmt.Sprintf("%.2f", large))
+	}
+	return t
+}
+
+// ClusterSizeAblation generalizes beyond the paper's N=1: CP availability
+// for 2N+1 = 3, 5, 7 node clusters in the Large topology.
+func ClusterSizeAblation() report.Table {
+	t := report.Table{
+		Title:   "Ablation — cluster size 2N+1 (SW-centric, Large, supervisor required)",
+		Columns: []string{"Nodes", "A_CP", "CP m/y"},
+	}
+	prof := profile.OpenContrail3x()
+	for _, n := range []int{3, 5, 7} {
+		m := analytic.NewModel(prof, analytic.Option2L)
+		m.ClusterSize = n
+		cp := m.ControlPlane()
+		t.AddRow(n, fmt.Sprintf("%.9f", cp), fmt.Sprintf("%.3f", relmath.DowntimeMinutesPerYear(cp)))
+	}
+	return t
+}
+
+// ProfileComparison evaluates the three built-in controller profiles under
+// identical parameters — the paper's extensibility claim in action.
+func ProfileComparison() report.Table {
+	t := report.Table{
+		Title:   "Extension — controller profiles compared (Large topology, supervisor required)",
+		Columns: []string{"Profile", "A_CP", "CP m/y", "A_DP", "DP m/y"},
+	}
+	for _, prof := range []*profile.Profile{profile.OpenContrail3x(), profile.ODLLike(), profile.ONOSLike()} {
+		m := analytic.NewModel(prof, analytic.Option2L)
+		cp, dp := m.Evaluate()
+		t.AddRow(prof.Name,
+			fmt.Sprintf("%.7f", cp), fmt.Sprintf("%.2f", relmath.DowntimeMinutesPerYear(cp)),
+			fmt.Sprintf("%.6f", dp), fmt.Sprintf("%.1f", relmath.DowntimeMinutesPerYear(dp)))
+	}
+	return t
+}
+
+// Ablations returns every ablation table.
+func Ablations() []report.Table {
+	return []report.Table{
+		RackAblation(),
+		SupervisorAblation(),
+		MaintenanceAblation(),
+		ClusterSizeAblation(),
+		ProfileComparison(),
+	}
+}

@@ -1,0 +1,185 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sdnavail/internal/relmath"
+)
+
+func TestTwoStateChain(t *testing.T) {
+	// Single repairable component: up=1, down=0.
+	lambda, mu := 0.01, 1.0
+	c, err := NewChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(1, 0, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(0, 1, mu); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUp := mu / (lambda + mu)
+	if math.Abs(pi[1]-wantUp) > 1e-12 {
+		t.Errorf("π(up) = %.12f, want %.12f", pi[1], wantUp)
+	}
+	// Outage frequency: A·λ.
+	f := c.Flow(pi, func(s int) bool { return s == 1 })
+	if math.Abs(f-wantUp*lambda) > 1e-12 {
+		t.Errorf("flow = %g, want %g", f, wantUp*lambda)
+	}
+}
+
+func TestSingleStateChain(t *testing.T) {
+	c, err := NewChain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState()
+	if err != nil || len(pi) != 1 || pi[0] != 1 {
+		t.Fatalf("single state: %v, %v", pi, err)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := NewChain(0); err == nil {
+		t.Error("zero states accepted")
+	}
+	c, _ := NewChain(3)
+	if err := c.SetRate(0, 0, 1); err == nil {
+		t.Error("self transition accepted")
+	}
+	if err := c.SetRate(-1, 0, 1); err == nil {
+		t.Error("negative state accepted")
+	}
+	if err := c.SetRate(0, 5, 1); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+	if err := c.SetRate(0, 1, -2); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := c.SetRate(0, 1, math.NaN()); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if err := c.SetRate(0, 1, 3); err != nil {
+		t.Error(err)
+	}
+	if c.Rate(0, 1) != 3 {
+		t.Error("Rate getter wrong")
+	}
+	if c.N() != 3 {
+		t.Error("N wrong")
+	}
+}
+
+func TestReducibleChainFails(t *testing.T) {
+	// Two disconnected components: stationary distribution not unique.
+	c, _ := NewChain(4)
+	c.SetRate(0, 1, 1)
+	c.SetRate(1, 0, 1)
+	c.SetRate(2, 3, 1)
+	c.SetRate(3, 2, 1)
+	if _, err := c.SteadyState(); err == nil {
+		t.Error("reducible chain should fail to solve")
+	}
+}
+
+// TestBirthDeathBinomial: the stationary distribution of the repairable
+// group is Binomial(n, A) with A = μ/(λ+μ).
+func TestBirthDeathBinomial(t *testing.T) {
+	n, lambda, mu := 5, 0.002, 0.4
+	c, err := BirthDeath(n, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mu / (lambda + mu)
+	for k := 0; k <= n; k++ {
+		want := relmath.Binomial(n, k) * math.Pow(a, float64(k)) * math.Pow(1-a, float64(n-k))
+		if math.Abs(pi[k]-want) > 1e-10 {
+			t.Errorf("π(%d) = %.12f, want binomial %.12f", k, pi[k], want)
+		}
+	}
+}
+
+// TestKofNAvailabilityMatchesClosedForm: the CTMC availability equals the
+// paper's equation (1) with α = μ/(λ+μ).
+func TestKofNAvailabilityMatchesClosedForm(t *testing.T) {
+	lambda, mu := 1.0/5000, 1.0
+	a := mu / (lambda + mu)
+	for n := 1; n <= 5; n++ {
+		for m := 0; m <= n; m++ {
+			avail, freq, meanDown, err := KofNAvailability(m, n, lambda, mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := relmath.KofN(m, n, a)
+			if math.Abs(avail-want) > 1e-10 {
+				t.Errorf("KofN(%d,%d): CTMC %.12f vs closed form %.12f", m, n, avail, want)
+			}
+			if m == 0 {
+				if freq != 0 {
+					t.Errorf("0-of-%d should never fail, freq = %g", n, freq)
+				}
+				continue
+			}
+			// Boundary-state argument: F = π_m · m·λ.
+			pm := relmath.Binomial(n, m) * math.Pow(a, float64(m)) * math.Pow(1-a, float64(n-m))
+			wantF := pm * float64(m) * lambda
+			if math.Abs(freq-wantF) > 1e-12 {
+				t.Errorf("KofN(%d,%d): freq %.3e vs boundary form %.3e", m, n, freq, wantF)
+			}
+			if freq > 0 && meanDown <= 0 {
+				t.Errorf("KofN(%d,%d): meanDown = %g", m, n, meanDown)
+			}
+		}
+	}
+}
+
+// TestKofNFrequencyDualityProperty: availability and frequency satisfy
+// mean up time = A/F and mean down time = U/F, which must sum to the mean
+// cycle time 1/F.
+func TestKofNFrequencyDualityProperty(t *testing.T) {
+	f := func(seedL, seedM uint16, nn, mm uint8) bool {
+		lambda := 0.0001 + float64(seedL%1000)/1000*0.01
+		mu := 0.1 + float64(seedM%1000)/1000
+		n := 1 + int(nn%5)
+		m := 1 + int(mm)%n
+		avail, freq, meanDown, err := KofNAvailability(m, n, lambda, mu)
+		if err != nil || freq <= 0 {
+			return err == nil // m could make freq 0 only when m==0, excluded
+		}
+		cycle := avail/freq + meanDown
+		return math.Abs(cycle-1/freq) < 1e-6*cycle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBirthDeathValidation(t *testing.T) {
+	if _, err := BirthDeath(0, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BirthDeath(3, 0, 1); err == nil {
+		t.Error("λ=0 accepted")
+	}
+	if _, err := BirthDeath(3, 1, -1); err == nil {
+		t.Error("μ<0 accepted")
+	}
+	if _, _, _, err := KofNAvailability(4, 3, 1, 1); err == nil {
+		t.Error("m>n accepted")
+	}
+	if _, _, _, err := KofNAvailability(-1, 3, 1, 1); err == nil {
+		t.Error("m<0 accepted")
+	}
+}

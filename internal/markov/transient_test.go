@@ -1,0 +1,162 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// twoState builds the single repairable component chain: state 1 up,
+// state 0 down.
+func twoState(lambda, mu float64) *Chain {
+	c, _ := NewChain(2)
+	c.SetRate(1, 0, lambda)
+	c.SetRate(0, 1, mu)
+	return c
+}
+
+// TestTransientMatchesClosedForm: for a single repairable component
+// started up, P_up(t) = A + (1-A)·e^{-(λ+μ)t}.
+func TestTransientMatchesClosedForm(t *testing.T) {
+	lambda, mu := 0.02, 0.8
+	c := twoState(lambda, mu)
+	a := mu / (lambda + mu)
+	for _, tm := range []float64{0, 0.1, 1, 5, 50} {
+		pt, err := c.Transient([]float64{0, 1}, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a + (1-a)*math.Exp(-(lambda+mu)*tm)
+		if math.Abs(pt[1]-want) > 1e-9 {
+			t.Errorf("P_up(%g) = %.12f, closed form %.12f", tm, pt[1], want)
+		}
+	}
+}
+
+// TestTransientConvergesToSteadyState: the transient distribution at large
+// t matches the stationary distribution.
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	c, _ := BirthDeath(3, 0.05, 0.5)
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := []float64{0, 0, 0, 1}
+	pt, err := c.Transient(p0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if math.Abs(pt[i]-pi[i]) > 1e-6 {
+			t.Errorf("state %d: transient %.9f vs stationary %.9f", i, pt[i], pi[i])
+		}
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c := twoState(0.1, 1)
+	if _, err := c.Transient([]float64{1}, 1); err == nil {
+		t.Error("wrong-length p0 accepted")
+	}
+	if _, err := c.Transient([]float64{0.5, 0.4}, 1); err == nil {
+		t.Error("non-normalized p0 accepted")
+	}
+	if _, err := c.Transient([]float64{-0.5, 1.5}, 1); err == nil {
+		t.Error("negative p0 accepted")
+	}
+	if _, err := c.Transient([]float64{0, 1}, -1); err == nil {
+		t.Error("negative time accepted")
+	}
+	// Zero time and rate-free chains are identity.
+	pt, err := c.Transient([]float64{0, 1}, 0)
+	if err != nil || pt[1] != 1 {
+		t.Errorf("t=0 transient = %v, %v", pt, err)
+	}
+	idle, _ := NewChain(2)
+	pt, err = idle.Transient([]float64{0.3, 0.7}, 10)
+	if err != nil || pt[0] != 0.3 {
+		t.Errorf("rate-free transient = %v, %v", pt, err)
+	}
+}
+
+// TestMissionReliabilitySingleComponent: a 1-of-1 system survives [0,t]
+// with probability e^{-λt} regardless of the repair rate.
+func TestMissionReliabilitySingleComponent(t *testing.T) {
+	lambda := 0.01
+	for _, mu := range []float64{0.1, 1, 10} {
+		for _, tm := range []float64{1, 10, 100} {
+			got, err := KofNMissionReliability(1, 1, lambda, mu, tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := math.Exp(-lambda * tm)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("mission(1,1,λ=%g,μ=%g,t=%g) = %.12f, want e^{-λt} = %.12f", lambda, mu, tm, got, want)
+			}
+		}
+	}
+}
+
+// TestMissionReliabilityProperties: redundancy helps, time hurts, and the
+// mission reliability never exceeds the interval availability.
+func TestMissionReliabilityProperties(t *testing.T) {
+	lambda, mu := 1.0/5000, 1.0
+	r23, err := KofNMissionReliability(2, 3, lambda, mu, 8766)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r22, err := KofNMissionReliability(2, 2, lambda, mu, 8766)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r23 <= r22 {
+		t.Errorf("2-of-3 mission %.6f should beat 2-of-2 %.6f", r23, r22)
+	}
+	rShort, _ := KofNMissionReliability(2, 3, lambda, mu, 100)
+	if rShort <= r23 {
+		t.Errorf("shorter missions should be safer: %.6f vs %.6f", rShort, r23)
+	}
+	avail, _, _, err := KofNAvailability(2, 3, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r23 > avail {
+		t.Errorf("mission reliability %.9f cannot exceed availability %.9f", r23, avail)
+	}
+	if r0, _ := KofNMissionReliability(2, 3, lambda, mu, 0); r0 != 1 {
+		t.Errorf("zero-length mission = %g, want 1", r0)
+	}
+	if rFree, _ := KofNMissionReliability(0, 3, lambda, mu, 1e6); rFree != 1 {
+		t.Errorf("0-of-n mission = %g, want 1", rFree)
+	}
+}
+
+// TestMissionReliabilityMatchesFrequencyApproximation: for a rare-failure
+// system, P(no outage in [0,t]) ≈ e^{-F·t} with F the outage frequency.
+func TestMissionReliabilityMatchesFrequencyApproximation(t *testing.T) {
+	lambda, mu := 1.0/5000, 1.0
+	_, freq, _, err := KofNAvailability(2, 3, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 5 * 8766.0 // five years
+	got, err := KofNMissionReliability(2, 3, lambda, mu, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-freq * horizon)
+	if math.Abs(got-want) > 2e-4 {
+		t.Errorf("mission %.8f vs e^{-Ft} %.8f", got, want)
+	}
+}
+
+func TestMissionReliabilityValidation(t *testing.T) {
+	if _, err := KofNMissionReliability(4, 3, 1, 1, 1); err == nil {
+		t.Error("m>n accepted")
+	}
+	if _, err := KofNMissionReliability(-1, 3, 1, 1, 1); err == nil {
+		t.Error("m<0 accepted")
+	}
+	if _, err := KofNMissionReliability(2, 3, 0, 1, 1); err == nil {
+		t.Error("λ=0 accepted")
+	}
+}

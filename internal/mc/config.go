@@ -1,0 +1,173 @@
+// Package mc implements a Monte Carlo discrete-event availability simulator
+// for distributed SDN controller deployments — the validation the paper
+// names as future work ("simulating the topologies to validate the
+// conclusions").
+//
+// The simulator builds the full entity hierarchy from a topology (racks ⊃
+// hosts ⊃ VMs ⊃ role instances ⊃ processes), drives independent
+// failure/repair cycles for every entity, applies the supervisor semantics
+// of the selected scenario, and integrates the control-plane and data-plane
+// up-indicators over simulated time. Results converge to the closed forms
+// in package analytic; TestMCMatchesAnalytic* demonstrate the agreement.
+//
+// Beyond validating the analytic model, the simulator captures dynamics the
+// closed forms cannot: outage counts and durations, and repair-time
+// dependence on the momentary supervisor state.
+package mc
+
+import (
+	"fmt"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/relmath"
+	"sdnavail/internal/topology"
+)
+
+// Config parameterizes a simulation. All times are hours.
+type Config struct {
+	// Profile describes the controller software.
+	Profile *profile.Profile
+	// Topology describes the hardware layout.
+	Topology *topology.Topology
+	// Scenario selects the supervisor semantics.
+	Scenario analytic.Scenario
+
+	// ProcessMTBF is F, the mean time between failures of every
+	// controller process (default 5000, per §VI.A).
+	ProcessMTBF float64
+	// AutoRestart is R, the mean restart time of a supervised process
+	// whose supervisor is up (default 0.1).
+	AutoRestart float64
+	// ManualRestart is R_S, the mean restart time of a manual-restart or
+	// unsupervised process, and of the supervisor itself in scenario 2
+	// (default 1).
+	ManualRestart float64
+	// MaintenanceWindow is the mean delay until a failed supervisor is
+	// restarted hitlessly in scenario 1 (default 10, per §VI.A's
+	// "say 10 hour" interval).
+	MaintenanceWindow float64
+
+	// VMMTBF/VMRepair, HostMTBF/HostRepair and RackMTBF/RackRepair give
+	// the hardware failure/repair cycles.
+	VMMTBF     float64
+	VMRepair   float64
+	HostMTBF   float64
+	HostRepair float64
+	RackMTBF   float64
+	RackRepair float64
+
+	// ComputeHosts is the number of vRouter compute hosts simulated for
+	// the local data-plane contribution (default 4). Per the paper's
+	// A_LDP model, compute-host hardware is not part of the local DP
+	// term; only the K vRouter processes and their supervisor are.
+	ComputeHosts int
+
+	// Horizon is the simulated time per replication (default 2e6).
+	Horizon float64
+	// WindowHours, when positive, splits the horizon into fixed windows
+	// (e.g. 720 for ~monthly) and records the control-plane downtime in
+	// each, enabling SLA-miss analysis. Zero disables window accounting.
+	WindowHours float64
+	// RepairCrews, when positive, limits how many hardware repairs
+	// (VM/host/rack) can run concurrently; further failures queue for a
+	// crew FIFO. Zero means unlimited crews — the independence assumption
+	// the analytic models make. Process restarts are never crew-limited
+	// (supervisors and operators act in parallel).
+	RepairCrews int
+	// Seed seeds the deterministic random source; replication r uses
+	// Seed+r.
+	Seed int64
+}
+
+// DefaultRepairTimes returns the repair-time assumptions used to translate
+// the paper's availability parameters into failure rates: VM 1 h, host 4 h
+// (Same Day maintenance), rack 48 h (§V.D's two-day rerack example).
+func DefaultRepairTimes() (vm, host, rack float64) { return 1, 4, 48 }
+
+// NewConfig derives a simulation configuration from the analytic
+// parameters, the standard process times (F = 5000 h, R = 0.1 h,
+// R_S = 1 h scaled so that A = F/(F+R) and A_S = F/(F+R_S) match p), and
+// the default repair-time assumptions.
+func NewConfig(prof *profile.Profile, topo *topology.Topology, sc analytic.Scenario, p analytic.Params) Config {
+	vmR, hostR, rackR := DefaultRepairTimes()
+	const f = 5000
+	return Config{
+		Profile:           prof,
+		Topology:          topo,
+		Scenario:          sc,
+		ProcessMTBF:       f,
+		AutoRestart:       f * (1 - p.A) / p.A, // R such that F/(F+R) = A
+		ManualRestart:     f * (1 - p.AS) / p.AS,
+		MaintenanceWindow: 10,
+		VMMTBF:            relmath.MTBFForAvailability(p.AV, vmR),
+		VMRepair:          vmR,
+		HostMTBF:          relmath.MTBFForAvailability(p.AH, hostR),
+		HostRepair:        hostR,
+		RackMTBF:          relmath.MTBFForAvailability(p.AR, rackR),
+		RackRepair:        rackR,
+		ComputeHosts:      4,
+		Horizon:           2e6,
+		Seed:              1,
+	}
+}
+
+// Params returns the analytic parameters implied by the configuration,
+// for direct comparison of simulated and closed-form availability.
+func (c Config) Params() analytic.Params {
+	return analytic.Params{
+		AC: 0, // HW-centric role availability is not used by the simulator
+		AV: relmath.Availability(c.VMMTBF, c.VMRepair),
+		AH: relmath.Availability(c.HostMTBF, c.HostRepair),
+		AR: relmath.Availability(c.RackMTBF, c.RackRepair),
+		A:  relmath.Availability(c.ProcessMTBF, c.AutoRestart),
+		AS: relmath.Availability(c.ProcessMTBF, c.ManualRestart),
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if c.Profile == nil {
+		return fmt.Errorf("mc: config has no profile")
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.Topology == nil {
+		return fmt.Errorf("mc: config has no topology")
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.Scenario != analytic.SupervisorNotRequired && c.Scenario != analytic.SupervisorRequired {
+		return fmt.Errorf("mc: unknown scenario %v", c.Scenario)
+	}
+	positive := []struct {
+		name string
+		v    float64
+	}{
+		{"ProcessMTBF", c.ProcessMTBF},
+		{"AutoRestart", c.AutoRestart},
+		{"ManualRestart", c.ManualRestart},
+		{"MaintenanceWindow", c.MaintenanceWindow},
+		{"VMMTBF", c.VMMTBF}, {"VMRepair", c.VMRepair},
+		{"HostMTBF", c.HostMTBF}, {"HostRepair", c.HostRepair},
+		{"RackMTBF", c.RackMTBF}, {"RackRepair", c.RackRepair},
+		{"Horizon", c.Horizon},
+	}
+	for _, p := range positive {
+		if p.v <= 0 {
+			return fmt.Errorf("mc: %s = %g must be positive", p.name, p.v)
+		}
+	}
+	if c.ComputeHosts < 0 {
+		return fmt.Errorf("mc: ComputeHosts = %d", c.ComputeHosts)
+	}
+	if c.WindowHours < 0 {
+		return fmt.Errorf("mc: WindowHours = %g", c.WindowHours)
+	}
+	if c.RepairCrews < 0 {
+		return fmt.Errorf("mc: RepairCrews = %d", c.RepairCrews)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package mc
+
+import "container/heap"
+
+// event is a scheduled state transition for one entity. seq breaks time
+// ties deterministically so identical seeds replay identically.
+type event struct {
+	at     float64
+	seq    uint64
+	entity int  // index into the simulator's entity table
+	up     bool // true: repair completes; false: failure occurs
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// schedule pushes an event onto the heap.
+func (s *Sim) schedule(at float64, entity int, up bool) {
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, entity: entity, up: up})
+}

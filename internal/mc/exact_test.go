@@ -1,0 +1,86 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+// customSplitTopology puts the Database role alone in rack R2; the other
+// roles share rack R1 — a layout outside the Small/Medium/Large family.
+func customSplitTopology(prof *profile.Profile) *topology.Topology {
+	t := &topology.Topology{
+		Name:        "db-rack-split",
+		Kind:        topology.Custom,
+		ClusterSize: 3,
+		Roles:       prof.ClusterRoles,
+	}
+	r1 := topology.Rack{Name: "R1"}
+	for i := 0; i < 3; i++ {
+		host := topology.Host{Name: "HA" + string(rune('0'+i))}
+		for _, role := range []profile.Role{profile.Config, profile.Control, profile.Analytics} {
+			letter := string(role[0])
+			if role == profile.Config {
+				letter = "G"
+			}
+			host.VMs = append(host.VMs, topology.VM{
+				Name:       letter + "x" + string(rune('0'+i)),
+				Placements: []topology.Placement{{Role: role, Node: i}},
+			})
+		}
+		r1.Hosts = append(r1.Hosts, host)
+	}
+	r2 := topology.Rack{Name: "R2"}
+	for i := 0; i < 3; i++ {
+		r2.Hosts = append(r2.Hosts, topology.Host{
+			Name: "HB" + string(rune('0'+i)),
+			VMs: []topology.VM{{
+				Name:       "Dx" + string(rune('0'+i)),
+				Placements: []topology.Placement{{Role: profile.Database, Node: i}},
+			}},
+		})
+	}
+	t.Racks = []topology.Rack{r1, r2}
+	return t
+}
+
+// TestSimulatorMatchesExactOnCustomTopology closes the validation
+// triangle: the closed forms equal the exact enumerator on the reference
+// layouts (TestExactMatchesClosedForms), and here the simulator equals
+// the exact enumerator on a layout the closed forms cannot express.
+func TestSimulatorMatchesExactOnCustomTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation validation skipped in -short mode")
+	}
+	prof := profile.OpenContrail3x()
+	topo := customSplitTopology(prof)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(prof, topo, analytic.SupervisorRequired, degradedParams())
+	cfg.Horizon = 4e5
+	cfg.ComputeHosts = 2
+	est, err := Run(cfg, 10, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := analytic.NewExactModel(prof, topo, analytic.SupervisorRequired)
+	exact.Params = cfg.Params()
+	wantCP, err := exact.ControlPlane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDP, err := exact.DataPlane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(est.CP.Mean - wantCP); d > est.CP.HalfWide+4e-4 {
+		t.Errorf("CP: sim %v vs exact %.6f (|Δ|=%.2e)", est.CP, wantCP, d)
+	}
+	if d := math.Abs(est.HostDP.Mean - wantDP); d > est.HostDP.HalfWide+6e-4 {
+		t.Errorf("DP: sim %v vs exact %.6f (|Δ|=%.2e)", est.HostDP, wantDP, d)
+	}
+}

@@ -1,0 +1,78 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/stats"
+)
+
+// TestOutageFrequencyMatchesAnalytic cross-validates the
+// frequency-duration extension: the analytic outage frequency (derived
+// from Birnbaum importances) must match the simulator's counted CP
+// outages, and the analytic mean outage duration must match the simulated
+// mean. This is a stronger check than availability alone — two models can
+// agree on downtime while disagreeing on how it is distributed into
+// outages.
+func TestOutageFrequencyMatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("outage-frequency validation skipped in -short mode")
+	}
+	for _, opt := range []analytic.Option{analytic.Option2S, analytic.Option2L} {
+		opt := opt
+		t.Run(opt.Label(), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(t, opt.Kind, opt.Scenario)
+			cfg.Horizon = 6e5
+			reps := 10
+
+			var freq stats.Accumulator // outages per hour
+			var dur stats.Accumulator  // mean outage hours
+			for r := 0; r < reps; r++ {
+				s, err := New(cfg, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := s.Run()
+				freq.Add(float64(res.CPOutages) / res.Hours)
+				if res.CPOutages > 0 {
+					dur.Add(res.CPMeanOutageHours)
+				}
+			}
+
+			model := analytic.NewModel(cfg.Profile, opt)
+			model.Params = cfg.Params()
+			rt := analytic.RepairTimes{
+				Auto:   cfg.AutoRestart,
+				Manual: cfg.ManualRestart,
+				VM:     cfg.VMRepair,
+				Host:   cfg.HostRepair,
+				Rack:   cfg.RackRepair,
+			}
+			est, err := model.CPOutageEstimate(rt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantFreqPerHour := est.FrequencyPerYear / (24 * 365.25)
+
+			// Long overlapping outages merge in the simulator, and the
+			// closed forms ignore state-dependent repair coupling, so
+			// allow 15% plus the Monte Carlo CI.
+			ci := freq.ConfidenceInterval(0.99)
+			tol := 0.15*wantFreqPerHour + ci.HalfWide
+			if d := math.Abs(ci.Mean - wantFreqPerHour); d > tol {
+				t.Errorf("outage frequency: sim %.3e/h vs analytic %.3e/h (|Δ|=%.2e > %.2e)",
+					ci.Mean, wantFreqPerHour, d, tol)
+			}
+
+			wantDur := est.MeanOutageMinutes / 60
+			durCI := dur.ConfidenceInterval(0.99)
+			durTol := 0.2*wantDur + durCI.HalfWide
+			if d := math.Abs(durCI.Mean - wantDur); d > durTol {
+				t.Errorf("mean outage duration: sim %.3f h vs analytic %.3f h (|Δ|=%.2e > %.2e)",
+					durCI.Mean, wantDur, d, durTol)
+			}
+		})
+	}
+}

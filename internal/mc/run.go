@@ -1,0 +1,98 @@
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sdnavail/internal/stats"
+)
+
+// SLAMissProbability estimates, across the replications' accounting
+// windows, the probability that one window's control-plane downtime
+// exceeds the threshold (minutes). It requires the runs to have used a
+// positive Config.WindowHours.
+func SLAMissProbability(results []Result, thresholdMinutes float64) (float64, error) {
+	windows, misses := 0, 0
+	for _, r := range results {
+		for _, downHours := range r.CPWindowDowntimes {
+			windows++
+			if downHours*60 > thresholdMinutes {
+				misses++
+			}
+		}
+	}
+	if windows == 0 {
+		return 0, fmt.Errorf("mc: no accounting windows; set Config.WindowHours")
+	}
+	return float64(misses) / float64(windows), nil
+}
+
+// OutageDurationSummary aggregates every completed CP outage across the
+// replications into order statistics (hours).
+func OutageDurationSummary(results []Result) stats.Summary {
+	var all []float64
+	for _, r := range results {
+		all = append(all, r.CPOutageDurations...)
+	}
+	return stats.Summarize(all)
+}
+
+// Estimate aggregates independent replications into availability estimates
+// with confidence intervals.
+type Estimate struct {
+	// CP, SharedDP and HostDP are the availability estimates.
+	CP       stats.Interval
+	SharedDP stats.Interval
+	HostDP   stats.Interval
+	// Results holds the per-replication measurements.
+	Results []Result
+}
+
+// Run executes the given number of independent replications (in parallel,
+// each with its own deterministic seed derived from cfg.Seed) and returns
+// confidence-interval estimates at the given level.
+func Run(cfg Config, replications int, level float64) (Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if replications < 1 {
+		return Estimate{}, fmt.Errorf("mc: replications = %d", replications)
+	}
+	results := make([]Result, replications)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errs := make([]error, replications)
+	for r := 0; r < replications; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, err := New(cfg, r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r] = s.Run()
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Estimate{}, err
+		}
+	}
+	var cp, sdp, dp stats.Accumulator
+	for _, res := range results {
+		cp.Add(res.CPAvailability)
+		sdp.Add(res.SharedDPAvailability)
+		dp.Add(res.HostDPAvailability)
+	}
+	return Estimate{
+		CP:       cp.ConfidenceInterval(level),
+		SharedDP: sdp.ConfidenceInterval(level),
+		HostDP:   dp.ConfidenceInterval(level),
+		Results:  results,
+	}, nil
+}

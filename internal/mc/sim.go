@@ -1,0 +1,516 @@
+package mc
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+// entityKind classifies simulated entities.
+type entityKind int
+
+const (
+	kindRack entityKind = iota
+	kindHost
+	kindVM
+	kindProcess
+)
+
+// procClass selects the repair policy of a process entity.
+type procClass int
+
+const (
+	procAuto       procClass = iota // restarted by its supervisor (R) when it is up, manually (R_S) otherwise
+	procManual                      // always manual restart (R_S)
+	procSupervisor                  // maintenance window (scenario 1) or manual restart (scenario 2)
+)
+
+// entity is one failing/repairing unit.
+type entity struct {
+	kind  entityKind
+	class procClass // processes only
+	name  string
+	up    bool
+	mtbf  float64
+	// supEnt is the entity index of the owning supervisor for procAuto
+	// entities, or -1.
+	supEnt int
+}
+
+// roleInstance is one (role, node) placement resolved to entity indices.
+type roleInstance struct {
+	role    profile.Role
+	node    int
+	rackEnt int
+	hostEnt int
+	vmEnt   int
+	supEnt  int // supervisor process entity, or -1
+	procs   map[string]int
+}
+
+// simGroup is a quorum group resolved for simulation: the group is
+// satisfied when at least need nodes have every member process (and their
+// hardware, and in scenario 2 their supervisor) up.
+type simGroup struct {
+	role    profile.Role
+	need    int
+	members []string
+}
+
+// computeHost is one vRouter host for the local DP contribution.
+type computeHost struct {
+	procEnts []int
+	supEnt   int
+}
+
+// Sim is a single-replication simulator. Create with New, run with Run.
+type Sim struct {
+	cfg    Config
+	rng    *rand.Rand
+	events eventHeap
+	seq    uint64
+	now    float64
+
+	entities  []entity
+	instances []roleInstance
+	byPlace   map[topology.Placement]int // placement -> instance index
+	cpGroups  []simGroup
+	dpGroups  []simGroup
+	hosts     []computeHost
+
+	// running indicators
+	cpUp    bool
+	sdpUp   bool
+	hostUp  []bool
+	cpStart float64 // start of current CP outage, valid when !cpUp
+
+	// accumulators
+	cpTime     float64
+	sdpTime    float64
+	hostTime   []float64
+	cpOutages  int
+	cpDowntime float64
+	durations  []float64 // completed CP outage durations
+	windows    []float64 // per-window CP downtime (when WindowHours > 0)
+	crewsBusy  int       // hardware repairs in progress (RepairCrews > 0)
+	crewQueue  []int     // entity indices awaiting a free repair crew
+	nEvents    int
+}
+
+// Result summarizes one replication.
+type Result struct {
+	// Hours is the simulated horizon.
+	Hours float64
+	// Events is the number of failure/repair events processed.
+	Events int
+	// CPAvailability is the fraction of time the SDN control plane was up.
+	CPAvailability float64
+	// CPOutages counts distinct control-plane outages.
+	CPOutages int
+	// CPMeanOutageHours is the mean duration of a control-plane outage
+	// (0 when there were none).
+	CPMeanOutageHours float64
+	// SharedDPAvailability is the fraction of time the shared
+	// (Controller-resident) data-plane requirements were met.
+	SharedDPAvailability float64
+	// HostDPAvailability is the mean, across simulated compute hosts, of
+	// the fraction of time the host's data plane was up (shared ∧ local).
+	HostDPAvailability float64
+	// CPOutageDurations lists every completed control-plane outage's
+	// duration in hours, for distributional analysis.
+	CPOutageDurations []float64
+	// CPWindowDowntimes holds the control-plane downtime (hours) in each
+	// fixed window when Config.WindowHours is positive.
+	CPWindowDowntimes []float64
+}
+
+// New builds a simulator for one replication. The replication index is
+// folded into the seed.
+func New(cfg Config, replication int) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(replication)*1_000_003)),
+		byPlace: map[topology.Placement]int{},
+	}
+	s.build()
+	return s, nil
+}
+
+// addEntity appends an entity and returns its index.
+func (s *Sim) addEntity(e entity) int {
+	e.up = true
+	s.entities = append(s.entities, e)
+	return len(s.entities) - 1
+}
+
+// build constructs the entity table from the topology and profile.
+func (s *Sim) build() {
+	cfg := s.cfg
+	// Hardware hierarchy.
+	type vmLoc struct{ rackEnt, hostEnt, vmEnt int }
+	vmOf := map[topology.Placement]vmLoc{}
+	for _, rack := range cfg.Topology.Racks {
+		re := s.addEntity(entity{kind: kindRack, name: rack.Name, mtbf: cfg.RackMTBF, supEnt: -1})
+		for _, host := range rack.Hosts {
+			he := s.addEntity(entity{kind: kindHost, name: host.Name, mtbf: cfg.HostMTBF, supEnt: -1})
+			for _, vm := range host.VMs {
+				ve := s.addEntity(entity{kind: kindVM, name: vm.Name, mtbf: cfg.VMMTBF, supEnt: -1})
+				for _, pl := range vm.Placements {
+					vmOf[pl] = vmLoc{rackEnt: re, hostEnt: he, vmEnt: ve}
+				}
+			}
+		}
+	}
+	// Role instances and their processes. The nodemgr processes are
+	// "0 of n" for both planes and are omitted (they cannot affect any
+	// availability result).
+	for _, role := range cfg.Profile.ClusterRoles {
+		for node := 0; node < cfg.Topology.ClusterSize; node++ {
+			pl := topology.Placement{Role: role, Node: node}
+			loc, ok := vmOf[pl]
+			if !ok {
+				panic(fmt.Sprintf("mc: topology lacks placement %v", pl))
+			}
+			inst := roleInstance{
+				role: role, node: node,
+				rackEnt: loc.rackEnt, hostEnt: loc.hostEnt, vmEnt: loc.vmEnt,
+				supEnt: -1,
+				procs:  map[string]int{},
+			}
+			// Supervisor first so member processes can reference it.
+			if sup, ok := cfg.Profile.SupervisorOf(role); ok {
+				inst.supEnt = s.addEntity(entity{
+					kind: kindProcess, class: procSupervisor,
+					name: fmt.Sprintf("%s/%d", sup.Name, node),
+					mtbf: cfg.ProcessMTBF, supEnt: -1,
+				})
+			}
+			for _, proc := range cfg.Profile.RoleProcesses(role, false) {
+				if proc.PerHost {
+					continue
+				}
+				class := procAuto
+				if proc.Restart == profile.ManualRestart {
+					class = procManual
+				}
+				idx := s.addEntity(entity{
+					kind: kindProcess, class: class,
+					name: fmt.Sprintf("%s/%d", proc.Name, node),
+					mtbf: cfg.ProcessMTBF, supEnt: inst.supEnt,
+				})
+				inst.procs[proc.Name] = idx
+			}
+			s.byPlace[pl] = len(s.instances)
+			s.instances = append(s.instances, inst)
+		}
+	}
+	// Quorum groups for both planes.
+	s.cpGroups = s.resolveGroups(profile.ControlPlane)
+	s.dpGroups = s.resolveGroups(profile.DataPlane)
+
+	// Compute hosts carrying the local vRouter processes.
+	for h := 0; h < cfg.ComputeHosts; h++ {
+		ch := computeHost{supEnt: -1}
+		if sup, ok := cfg.Profile.SupervisorOf(cfg.Profile.HostRole); ok {
+			ch.supEnt = s.addEntity(entity{
+				kind: kindProcess, class: procSupervisor,
+				name: fmt.Sprintf("%s/compute%d", sup.Name, h),
+				mtbf: cfg.ProcessMTBF, supEnt: -1,
+			})
+		}
+		for _, proc := range cfg.Profile.Processes {
+			if !proc.PerHost || proc.DP == profile.NotRequired {
+				continue
+			}
+			class := procAuto
+			if proc.Restart == profile.ManualRestart {
+				class = procManual
+			}
+			idx := s.addEntity(entity{
+				kind: kindProcess, class: class,
+				name: fmt.Sprintf("%s/compute%d", proc.Name, h),
+				mtbf: cfg.ProcessMTBF, supEnt: ch.supEnt,
+			})
+			ch.procEnts = append(ch.procEnts, idx)
+		}
+		s.hosts = append(s.hosts, ch)
+	}
+	s.hostUp = make([]bool, len(s.hosts))
+	s.hostTime = make([]float64, len(s.hosts))
+}
+
+// resolveGroups expands the profile's quorum groups into member process
+// name lists for the plane.
+func (s *Sim) resolveGroups(pl profile.Plane) []simGroup {
+	var out []simGroup
+	for _, role := range s.cfg.Profile.ClusterRoles {
+		for _, g := range profile.QuorumGroups(s.cfg.Profile, role, pl) {
+			need := g.Need.Count(s.cfg.Topology.ClusterSize)
+			if need == 0 {
+				continue
+			}
+			var members []string
+			for _, proc := range s.cfg.Profile.RoleProcesses(role, false) {
+				if proc.PerHost {
+					continue
+				}
+				isMember := proc.Name == g.Name
+				if pl == profile.DataPlane && proc.DPGroup != "" {
+					isMember = proc.DPGroup == g.Name
+				}
+				if isMember {
+					members = append(members, proc.Name)
+				}
+			}
+			if len(members) == 0 {
+				panic(fmt.Sprintf("mc: group %s of role %s has no members", g.Name, role))
+			}
+			out = append(out, simGroup{role: role, need: need, members: members})
+		}
+	}
+	return out
+}
+
+// exp draws an exponential duration with the given mean.
+func (s *Sim) exp(mean float64) float64 {
+	return s.rng.ExpFloat64() * mean
+}
+
+// repairTime returns the repair duration for a just-failed entity.
+func (s *Sim) repairTime(e *entity) float64 {
+	switch e.kind {
+	case kindRack:
+		return s.exp(s.cfg.RackRepair)
+	case kindHost:
+		return s.exp(s.cfg.HostRepair)
+	case kindVM:
+		return s.exp(s.cfg.VMRepair)
+	}
+	switch e.class {
+	case procSupervisor:
+		if s.cfg.Scenario == analytic.SupervisorRequired {
+			return s.exp(s.cfg.ManualRestart)
+		}
+		// Scenario 1: the supervisor waits for the next maintenance
+		// window; the restart itself is hitless.
+		return s.cfg.MaintenanceWindow
+	case procManual:
+		return s.exp(s.cfg.ManualRestart)
+	default: // procAuto
+		if e.supEnt >= 0 && !s.entities[e.supEnt].up {
+			// Unsupervised: a failed process must be restarted manually
+			// until its supervisor returns.
+			return s.exp(s.cfg.ManualRestart)
+		}
+		return s.exp(s.cfg.AutoRestart)
+	}
+}
+
+// instanceUp reports whether the instance's hardware (and supervisor, in
+// scenario 2) is up and all the named member processes are running.
+func (s *Sim) instanceUp(inst *roleInstance, members []string) bool {
+	if !s.entities[inst.rackEnt].up || !s.entities[inst.hostEnt].up || !s.entities[inst.vmEnt].up {
+		return false
+	}
+	if s.cfg.Scenario == analytic.SupervisorRequired && inst.supEnt >= 0 && !s.entities[inst.supEnt].up {
+		return false
+	}
+	for _, m := range members {
+		if !s.entities[inst.procs[m]].up {
+			return false
+		}
+	}
+	return true
+}
+
+// groupsSatisfied reports whether every group has at least need nodes with
+// a fully working instance.
+func (s *Sim) groupsSatisfied(groups []simGroup) bool {
+	n := s.cfg.Topology.ClusterSize
+	for _, g := range groups {
+		count := 0
+		for node := 0; node < n; node++ {
+			inst := &s.instances[s.byPlace[topology.Placement{Role: g.role, Node: node}]]
+			if s.instanceUp(inst, g.members) {
+				count++
+				if count >= g.need {
+					break
+				}
+			}
+		}
+		if count < g.need {
+			return false
+		}
+	}
+	return true
+}
+
+// localUp reports whether a compute host's vRouter processes (and
+// supervisor, in scenario 2) are up.
+func (s *Sim) localUp(ch *computeHost) bool {
+	if s.cfg.Scenario == analytic.SupervisorRequired && ch.supEnt >= 0 && !s.entities[ch.supEnt].up {
+		return false
+	}
+	for _, pe := range ch.procEnts {
+		if !s.entities[pe].up {
+			return false
+		}
+	}
+	return true
+}
+
+// refresh recomputes the plane indicators, tracking CP outage statistics.
+func (s *Sim) refresh() {
+	cp := s.groupsSatisfied(s.cpGroups)
+	if cp != s.cpUp {
+		if !cp {
+			s.cpStart = s.now
+		} else {
+			s.cpOutages++
+			s.cpDowntime += s.now - s.cpStart
+			s.durations = append(s.durations, s.now-s.cpStart)
+		}
+		s.cpUp = cp
+	}
+	s.sdpUp = s.groupsSatisfied(s.dpGroups)
+	for i := range s.hosts {
+		s.hostUp[i] = s.sdpUp && s.localUp(&s.hosts[i])
+	}
+}
+
+// accumulate credits dt of wall time to every indicator that is up.
+func (s *Sim) accumulate(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	if s.cpUp {
+		s.cpTime += dt
+	} else if s.cfg.WindowHours > 0 {
+		s.addWindowDowntime(s.now, dt)
+	}
+	if s.sdpUp {
+		s.sdpTime += dt
+	}
+	for i, up := range s.hostUp {
+		if up {
+			s.hostTime[i] += dt
+		}
+	}
+}
+
+// Run executes the replication to the configured horizon and returns the
+// measured result.
+func (s *Sim) Run() Result {
+	// Initial failure schedule: everything starts up.
+	for i := range s.entities {
+		s.schedule(s.exp(s.entities[i].mtbf), i, false)
+	}
+	s.cpUp = true
+	s.sdpUp = true
+	for i := range s.hostUp {
+		s.hostUp[i] = true
+	}
+
+	horizon := s.cfg.Horizon
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		if ev.at >= horizon {
+			break
+		}
+		s.accumulate(ev.at - s.now)
+		s.now = ev.at
+		e := &s.entities[ev.entity]
+		e.up = ev.up
+		if ev.up {
+			s.schedule(s.now+s.exp(e.mtbf), ev.entity, false)
+			if e.kind != kindProcess && s.cfg.RepairCrews > 0 {
+				s.crewsBusy--
+				if len(s.crewQueue) > 0 {
+					next := s.crewQueue[0]
+					s.crewQueue = s.crewQueue[1:]
+					s.startRepair(next)
+				}
+			}
+		} else {
+			if e.kind != kindProcess && s.cfg.RepairCrews > 0 {
+				if s.crewsBusy >= s.cfg.RepairCrews {
+					s.crewQueue = append(s.crewQueue, ev.entity)
+				} else {
+					s.startRepair(ev.entity)
+				}
+			} else {
+				s.schedule(s.now+s.repairTime(e), ev.entity, true)
+			}
+		}
+		s.refresh()
+		s.nEvents++
+	}
+	s.accumulate(horizon - s.now)
+	s.now = horizon
+	if !s.cpUp { // close an open outage at the horizon
+		s.cpOutages++
+		s.cpDowntime += s.now - s.cpStart
+		s.durations = append(s.durations, s.now-s.cpStart)
+	}
+
+	res := Result{
+		Hours:                horizon,
+		Events:               s.nEvents,
+		CPAvailability:       s.cpTime / horizon,
+		CPOutages:            s.cpOutages,
+		SharedDPAvailability: s.sdpTime / horizon,
+	}
+	if s.cpOutages > 0 {
+		res.CPMeanOutageHours = s.cpDowntime / float64(s.cpOutages)
+	}
+	if len(s.hostTime) > 0 {
+		sum := 0.0
+		for _, t := range s.hostTime {
+			sum += t
+		}
+		res.HostDPAvailability = sum / (float64(len(s.hostTime)) * horizon)
+	}
+	if s.cfg.WindowHours > 0 {
+		// Pad to the full horizon so clean windows count toward SLA math.
+		total := int(horizon / s.cfg.WindowHours)
+		for len(s.windows) < total {
+			s.windows = append(s.windows, 0)
+		}
+	}
+	res.CPOutageDurations = s.durations
+	res.CPWindowDowntimes = s.windows
+	return res
+}
+
+// startRepair dispatches a crew to a failed hardware entity.
+func (s *Sim) startRepair(entity int) {
+	s.crewsBusy++
+	s.schedule(s.now+s.repairTime(&s.entities[entity]), entity, true)
+}
+
+// addWindowDowntime attributes dt of downtime starting at time from to the
+// fixed accounting windows, splitting across boundaries.
+func (s *Sim) addWindowDowntime(from, dt float64) {
+	w := s.cfg.WindowHours
+	for dt > 0 {
+		idx := int(from / w)
+		for idx >= len(s.windows) {
+			s.windows = append(s.windows, 0)
+		}
+		boundary := float64(idx+1) * w
+		chunk := dt
+		if from+chunk > boundary {
+			chunk = boundary - from
+		}
+		s.windows[idx] += chunk
+		from += chunk
+		dt -= chunk
+	}
+}

@@ -1,0 +1,185 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/topology"
+)
+
+// TestWindowAccounting: the per-window downtimes must cover the full
+// horizon and sum to the total CP downtime.
+func TestWindowAccounting(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.Horizon = 2e5
+	cfg.WindowHours = 720
+	s, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	wantWindows := int(cfg.Horizon / cfg.WindowHours)
+	if len(res.CPWindowDowntimes) < wantWindows {
+		t.Fatalf("windows = %d, want ≥ %d", len(res.CPWindowDowntimes), wantWindows)
+	}
+	sum := 0.0
+	for _, w := range res.CPWindowDowntimes {
+		if w < 0 || w > cfg.WindowHours+1e-9 {
+			t.Fatalf("window downtime %g out of [0, %g]", w, cfg.WindowHours)
+		}
+		sum += w
+	}
+	total := (1 - res.CPAvailability) * res.Hours
+	if math.Abs(sum-total) > 1e-6*res.Hours {
+		t.Errorf("window downtimes sum to %.3f h, total downtime %.3f h", sum, total)
+	}
+}
+
+// TestSLAMissProbability: a generous threshold is never missed, a zero
+// threshold is missed whenever a window saw downtime, and the probability
+// is monotone in the threshold.
+func TestSLAMissProbability(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.Horizon = 2e5
+	cfg.WindowHours = 720
+	est, err := Run(cfg, 4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := SLAMissProbability(est.Results, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := SLAMissProbability(est.Results, cfg.WindowHours*60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose != 0 {
+		t.Errorf("miss probability at the window length = %g, want 0", loose)
+	}
+	mid, _ := SLAMissProbability(est.Results, 60)
+	if !(strict >= mid && mid >= loose) {
+		t.Errorf("miss probability not monotone: %.3f, %.3f, %.3f", strict, mid, loose)
+	}
+	if strict <= 0 {
+		t.Error("degraded parameters should miss a zero-downtime SLA sometimes")
+	}
+}
+
+// TestSLARequiresWindows: without window accounting, SLA math errors out.
+func TestSLARequiresWindows(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.Horizon = 2e4
+	s, err := New(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if _, err := SLAMissProbability([]Result{res}, 5); err == nil {
+		t.Error("missing windows accepted")
+	}
+}
+
+// TestOutageDurationSummary: the distributional view matches the scalar
+// accounting and produces ordered quantiles.
+func TestOutageDurationSummary(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.Horizon = 3e5
+	est, err := Run(cfg, 4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := OutageDurationSummary(est.Results)
+	if sum.N == 0 {
+		t.Fatal("no outages recorded at degraded parameters")
+	}
+	if !(sum.Min <= sum.P50 && sum.P50 <= sum.P90 && sum.P90 <= sum.P99 && sum.P99 <= sum.Max) {
+		t.Errorf("quantiles not ordered: %+v", sum)
+	}
+	// The summary's mean must agree with the per-replication accounting.
+	var recorded, count float64
+	for _, r := range est.Results {
+		recorded += float64(r.CPOutages) * r.CPMeanOutageHours
+		count += float64(r.CPOutages)
+	}
+	if math.Abs(sum.Mean-recorded/count) > 1e-9 {
+		t.Errorf("summary mean %.6f vs accounting mean %.6f", sum.Mean, recorded/count)
+	}
+	// Rack repairs (mean 48 h at these rates) should stretch the tail far
+	// beyond the median process restart.
+	if sum.P99 < 5*sum.P50 {
+		t.Errorf("expected a heavy tail: P50 %.3f h, P99 %.3f h", sum.P50, sum.P99)
+	}
+}
+
+// TestNegativeWindowRejected covers config validation.
+func TestNegativeWindowRejected(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.WindowHours = -1
+	if cfg.Validate() == nil {
+		t.Error("negative WindowHours accepted")
+	}
+}
+
+// TestRepairCrewLimitHurts: serializing hardware repairs through a single
+// crew must not improve availability, and with many concurrent failures
+// (degraded rates, Large topology's 12 hosts) it must measurably hurt.
+func TestRepairCrewLimitHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crew study skipped in -short mode")
+	}
+	cfg := testConfig(t, topology.Large, analytic.SupervisorRequired)
+	cfg.Horizon = 3e5
+	// Make hardware failures frequent enough that crews actually contend.
+	cfg.HostMTBF /= 20
+	cfg.RackMTBF /= 20
+
+	unlimited, err := Run(cfg, 6, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited := cfg
+	limited.RepairCrews = 1
+	oneCrew, err := Run(limited, 6, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneCrew.CP.Mean > unlimited.CP.Mean+unlimited.CP.HalfWide {
+		t.Errorf("one crew %.6f should not beat unlimited %.6f", oneCrew.CP.Mean, unlimited.CP.Mean)
+	}
+	if unlimited.CP.Mean-oneCrew.CP.Mean < 1e-4 {
+		t.Errorf("crew contention should be measurable: unlimited %.6f vs one crew %.6f",
+			unlimited.CP.Mean, oneCrew.CP.Mean)
+	}
+}
+
+// TestRepairCrewConfigValidate covers the new knob.
+func TestRepairCrewConfigValidate(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.RepairCrews = -1
+	if cfg.Validate() == nil {
+		t.Error("negative RepairCrews accepted")
+	}
+}
+
+// TestRepairCrewUnlimitedEquivalence: RepairCrews larger than the hardware
+// population behaves exactly like unlimited (same seed, same results).
+func TestRepairCrewUnlimitedEquivalence(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.Horizon = 5e4
+	many := cfg
+	many.RepairCrews = 1000
+	s1, err := New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(many, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := s1.Run(), s2.Run()
+	if r1.CPAvailability != r2.CPAvailability || r1.Events != r2.Events {
+		t.Errorf("ample crews should equal unlimited: %+v vs %+v", r1.CPAvailability, r2.CPAvailability)
+	}
+}

@@ -1,0 +1,205 @@
+package profile
+
+import "fmt"
+
+// Plane selects which service the quorum requirements protect.
+type Plane int
+
+const (
+	// ControlPlane is the SDN control plane: configuration, control and
+	// analytics functions of the logically centralized Controller.
+	ControlPlane Plane = iota
+	// DataPlane is the per-host vRouter forwarding plane, as affected by
+	// the *shared* Controller contribution (the local per-host processes
+	// are accounted separately).
+	DataPlane
+)
+
+// String names the plane as in the paper's tables.
+func (pl Plane) String() string {
+	if pl == ControlPlane {
+		return "SDN CP"
+	}
+	return "Host DP"
+}
+
+// RestartCounts is one row of Table II: how many availability-relevant
+// processes of a role are auto- vs manual-restart. Supervisors and nodemgrs
+// are excluded (they are "0 of n" for both planes; supervisors enter the
+// model through the scenario instead).
+type RestartCounts struct {
+	Role   Role
+	Auto   int
+	Manual int
+}
+
+// TableII derives the paper's Table II from the process inventory.
+func TableII(p *Profile) []RestartCounts {
+	out := make([]RestartCounts, 0, len(p.ClusterRoles))
+	for _, role := range p.ClusterRoles {
+		rc := RestartCounts{Role: role}
+		for _, proc := range p.RoleProcesses(role, false) {
+			switch proc.Restart {
+			case AutoRestart:
+				rc.Auto++
+			case ManualRestart:
+				rc.Manual++
+			}
+		}
+		out = append(out, rc)
+	}
+	return out
+}
+
+// QuorumCounts is one row of Table III: the number of role processes
+// requiring a majority ("M", e.g. 2 of 3) and the number requiring one
+// instance ("N", 1 of 3) for the given plane. A DP block such as
+// {control+dns+named} counts once.
+type QuorumCounts struct {
+	Role Role
+	M    int
+	N    int
+}
+
+// TableIII derives the paper's Table III for the given plane.
+func TableIII(p *Profile, pl Plane) []QuorumCounts {
+	out := make([]QuorumCounts, 0, len(p.ClusterRoles))
+	for _, role := range p.ClusterRoles {
+		qc := QuorumCounts{Role: role}
+		for _, g := range QuorumGroups(p, role, pl) {
+			switch g.Need {
+			case Majority:
+				qc.M += g.Count
+			case OneOf:
+				qc.N += g.Count
+			}
+		}
+		out = append(out, qc)
+	}
+	return out
+}
+
+// SumQuorum returns (ΣM, ΣN) over all roles for the plane.
+func SumQuorum(p *Profile, pl Plane) (m, n int) {
+	for _, qc := range TableIII(p, pl) {
+		m += qc.M
+		n += qc.N
+	}
+	return m, n
+}
+
+// QuorumGroup is the analytic model's unit of requirement: Count identical,
+// independent "1 of n" or "quorum of n" blocks within a role, where each
+// block instance (one per controller node) is up iff its AutoMembers
+// auto-restart processes and ManualMembers manual-restart processes on that
+// node are all up. A plain process is a group with a single member; the
+// {control+dns+named} DP block is a single group with AutoMembers = 3,
+// giving the paper's per-instance availability A³.
+type QuorumGroup struct {
+	// Name identifies the group: the process name, or the DPGroup label.
+	Name string
+	// Role is the controller role the group's processes belong to.
+	Role Role
+	// Need is the cluster-wide requirement class.
+	Need Need
+	// Count is the number of identical such groups in the role.
+	Count int
+	// AutoMembers and ManualMembers give the per-node composition.
+	AutoMembers   int
+	ManualMembers int
+}
+
+// InstanceAvailability returns the availability of one node's instance of
+// the group given the supervised-process availability a and the
+// manual-restart availability aS.
+func (g QuorumGroup) InstanceAvailability(a, aS float64) float64 {
+	v := 1.0
+	for i := 0; i < g.AutoMembers; i++ {
+		v *= a
+	}
+	for i := 0; i < g.ManualMembers; i++ {
+		v *= aS
+	}
+	return v
+}
+
+// QuorumGroups derives the quorum groups of a role for a plane. Processes
+// with Need == NotRequired for the plane are dropped; processes sharing a
+// DPGroup are merged into one group when deriving the data plane. Per-host
+// processes are never part of the shared (cluster) requirement and are
+// excluded; see Profile.HostProcessCount for the local DP contribution.
+func QuorumGroups(p *Profile, role Role, pl Plane) []QuorumGroup {
+	var out []QuorumGroup
+	grouped := map[string]*QuorumGroup{}
+	var order []string
+
+	for _, proc := range p.RoleProcesses(role, false) {
+		if proc.PerHost {
+			continue
+		}
+		need := proc.CP
+		if pl == DataPlane {
+			need = proc.DP
+		}
+		if need == NotRequired {
+			continue
+		}
+		if pl == DataPlane && proc.DPGroup != "" {
+			g, ok := grouped[proc.DPGroup]
+			if !ok {
+				g = &QuorumGroup{Name: proc.DPGroup, Role: role, Need: need, Count: 1}
+				grouped[proc.DPGroup] = g
+				order = append(order, proc.DPGroup)
+			}
+			if g.Need != need {
+				panic(fmt.Sprintf("profile: DP group %q mixes needs %v and %v", proc.DPGroup, g.Need, need))
+			}
+			switch proc.Restart {
+			case AutoRestart:
+				g.AutoMembers++
+			case ManualRestart:
+				g.ManualMembers++
+			}
+			continue
+		}
+		g := QuorumGroup{Name: proc.Name, Role: role, Need: need, Count: 1}
+		switch proc.Restart {
+		case AutoRestart:
+			g.AutoMembers = 1
+		case ManualRestart:
+			g.ManualMembers = 1
+		}
+		out = append(out, g)
+	}
+	for _, name := range order {
+		out = append(out, *grouped[name])
+	}
+	return out
+}
+
+// AllQuorumGroups returns every role's groups for the plane, in role order.
+func AllQuorumGroups(p *Profile, pl Plane) map[Role][]QuorumGroup {
+	out := make(map[Role][]QuorumGroup, len(p.ClusterRoles))
+	for _, role := range p.ClusterRoles {
+		out[role] = QuorumGroups(p, role, pl)
+	}
+	return out
+}
+
+// LocalDPProcesses returns the per-host processes required for that host's
+// data plane, split by restart mode: (auto, manual). For OpenContrail 3.x
+// this is (2, 0): vrouter-agent and vrouter-dpdk.
+func LocalDPProcesses(p *Profile) (auto, manual int) {
+	for _, proc := range p.Processes {
+		if !proc.PerHost || proc.DP == NotRequired {
+			continue
+		}
+		switch proc.Restart {
+		case AutoRestart:
+			auto++
+		case ManualRestart:
+			manual++
+		}
+	}
+	return auto, manual
+}

@@ -1,0 +1,219 @@
+package profile
+
+// OpenContrail3x returns the reference profile analyzed in the paper:
+// OpenContrail 3.x, with the process inventory of Fig. 1 and the failure
+// modes of Table I. The quorum requirements assume the minimum 2N+1 = 3
+// node deployment; the Need abstraction generalizes them to larger
+// clusters.
+//
+// Derived views reproduce the paper's tables exactly:
+//
+//   - TableII(p) yields Config 6/0, Control 3/0, Analytics 4/1,
+//     Database 0/4 (Auto/Manual).
+//   - TableIII(p) yields CP sums ΣM = 4, ΣN = 12 and DP sums ΣM = 0,
+//     ΣN = 2, with the {control+dns+named} block counted once.
+func OpenContrail3x() *Profile {
+	p := &Profile{
+		Name:        "OpenContrail 3.x",
+		Description: "Reference distributed SDN controller: Config, Control, Analytics and Database roles in a 2N+1 cluster plus a per-host vRouter forwarding plane.",
+		ClusterRoles: []Role{
+			Config, Control, Analytics, Database,
+		},
+		HostRole: VRouter,
+		Processes: []Process{
+			// ----- Config role ---------------------------------------
+			{
+				Name: "config-api", Role: Config, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Northbound API unavailable: no create-read-update-delete operations on configuration objects; existing forwarding state unaffected.",
+				RecoveryAction: "Auto-restarted by supervisor-config.",
+			},
+			{
+				Name: "discovery", Role: Config, Restart: AutoRestart,
+				CP: OneOf, DP: OneOf,
+				FailureEffect:  "Nodes cannot locate service providers; vrouter-agents cannot rediscover control nodes after a control failure, so DP recovery stalls.",
+				RecoveryAction: "Auto-restarted by supervisor-config.",
+			},
+			{
+				Name: "schema", Role: Config, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "High-level configuration is not transformed into low-level objects; new policy does not propagate.",
+				RecoveryAction: "Auto-restarted by supervisor-config.",
+			},
+			{
+				Name: "svc-monitor", Role: Config, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Service-chain lifecycle operations stall.",
+				RecoveryAction: "Auto-restarted by supervisor-config.",
+			},
+			{
+				Name: "ifmap", Role: Config, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Transformed low-level configuration is not published to Control nodes.",
+				RecoveryAction: "Auto-restarted by supervisor-config.",
+			},
+			{
+				Name: "device-manager", Role: Config, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Physical device (underlay) configuration updates stall.",
+				RecoveryAction: "Auto-restarted by supervisor-config.",
+			},
+			{
+				Name: "supervisor-config", Role: Config, Restart: ManualRestart,
+				CP: NotRequired, DP: NotRequired, Supervisor: true,
+				FailureEffect:  "Config processes run unsupervised; any subsequent Config process failure requires manual restart until the node-role is bounced.",
+				RecoveryAction: "Kill all Config processes, manually restart the supervisor, which then auto-restarts them.",
+			},
+			{
+				Name: "nodemgr-config", Role: Config, Restart: AutoRestart,
+				CP: NotRequired, DP: NotRequired, NodeManager: true,
+				FailureEffect:  "Config process state visibility lost (status not fed to the Analytics collector); functionality unimpaired.",
+				RecoveryAction: "Auto-restarted by supervisor-config.",
+			},
+
+			// ----- Control role --------------------------------------
+			{
+				Name: "control", Role: Control, Restart: AutoRestart,
+				CP: OneOf, DP: OneOf, DPGroup: "control-block",
+				FailureEffect:  "Agents connected to the failed instance rediscover a surviving one within about a minute; if the last instance fails, BGP forwarding tables are flushed and every host DP goes down.",
+				RecoveryAction: "Auto-restarted by supervisor-control.",
+			},
+			{
+				Name: "dns", Role: Control, Restart: AutoRestart,
+				CP: NotRequired, DP: OneOf, DPGroup: "control-block",
+				FailureEffect:  "DNS requests from VMs attached to this node fail over with the control-block; loss of the whole block on all nodes drops packets.",
+				RecoveryAction: "Auto-restarted by supervisor-control.",
+			},
+			{
+				Name: "named", Role: Control, Restart: AutoRestart,
+				CP: NotRequired, DP: OneOf, DPGroup: "control-block",
+				FailureEffect:  "Name resolution backing dns stops on this node; the {control+dns+named} block must be jointly up on at least one node.",
+				RecoveryAction: "Auto-restarted by supervisor-control.",
+			},
+			{
+				Name: "supervisor-control", Role: Control, Restart: ManualRestart,
+				CP: NotRequired, DP: NotRequired, Supervisor: true,
+				FailureEffect:  "Control processes run unsupervised until node-role restart.",
+				RecoveryAction: "Kill all Control processes, manually restart the supervisor.",
+			},
+			{
+				Name: "nodemgr-control", Role: Control, Restart: AutoRestart,
+				CP: NotRequired, DP: NotRequired, NodeManager: true,
+				FailureEffect:  "Control process state visibility lost; functionality unimpaired.",
+				RecoveryAction: "Auto-restarted by supervisor-control.",
+			},
+
+			// ----- Analytics role -------------------------------------
+			{
+				Name: "analytics-api", Role: Analytics, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Operational data (logs, stats, queries, alarms) not exposed.",
+				RecoveryAction: "Auto-restarted by supervisor-analytics.",
+			},
+			{
+				Name: "alarm-gen", Role: Analytics, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Alarm evaluation and generation stops.",
+				RecoveryAction: "Auto-restarted by supervisor-analytics.",
+			},
+			{
+				Name: "collector", Role: Analytics, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Data generators cannot deliver operational data; telemetry is lost while down.",
+				RecoveryAction: "Auto-restarted by supervisor-analytics.",
+			},
+			{
+				Name: "query-engine", Role: Analytics, Restart: AutoRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Historical queries over the Analytics Cassandra store fail.",
+				RecoveryAction: "Auto-restarted by supervisor-analytics.",
+			},
+			{
+				Name: "redis", Role: Analytics, Restart: ManualRestart,
+				CP: OneOf, DP: NotRequired,
+				FailureEffect:  "Real-time analytics cache lost; collector cannot stage live data.",
+				RecoveryAction: "Manual restart: redis is not under supervisor control.",
+			},
+			{
+				Name: "supervisor-analytics", Role: Analytics, Restart: ManualRestart,
+				CP: NotRequired, DP: NotRequired, Supervisor: true,
+				FailureEffect:  "Analytics processes run unsupervised until node-role restart.",
+				RecoveryAction: "Kill all Analytics processes, manually restart the supervisor.",
+			},
+			{
+				Name: "nodemgr-analytics", Role: Analytics, Restart: AutoRestart,
+				CP: NotRequired, DP: NotRequired, NodeManager: true,
+				FailureEffect:  "Analytics process state visibility lost; functionality unimpaired.",
+				RecoveryAction: "Auto-restarted by supervisor-analytics.",
+			},
+
+			// ----- Database role --------------------------------------
+			{
+				Name: "cassandra-db (Config)", Role: Database, Restart: ManualRestart,
+				CP: Majority, DP: NotRequired,
+				FailureEffect:  "Loss of quorum halts persistent configuration reads/writes; the SDN CP is down, host DPs keep forwarding on installed state.",
+				RecoveryAction: "Manual restart; Database processes are outside supervisor control.",
+			},
+			{
+				Name: "cassandra-db (Analytics)", Role: Database, Restart: ManualRestart,
+				CP: Majority, DP: NotRequired,
+				FailureEffect:  "Loss of quorum halts persistent analytics storage.",
+				RecoveryAction: "Manual restart.",
+			},
+			{
+				Name: "kafka", Role: Database, Restart: ManualRestart,
+				CP: Majority, DP: NotRequired,
+				FailureEffect:  "Event/alarm streaming bus loses quorum; streams stall.",
+				RecoveryAction: "Manual restart.",
+			},
+			{
+				Name: "zookeeper", Role: Database, Restart: ManualRestart,
+				CP: Majority, DP: NotRequired,
+				FailureEffect:  "Unique system-generated IDs cannot be allocated; configuration writes halt.",
+				RecoveryAction: "Manual restart.",
+			},
+			{
+				Name: "supervisor-database", Role: Database, Restart: ManualRestart,
+				CP: NotRequired, DP: NotRequired, Supervisor: true,
+				FailureEffect:  "Database nodemgr runs unsupervised; Database processes are manual-restart regardless.",
+				RecoveryAction: "Kill node-role processes, manually restart the supervisor.",
+			},
+			{
+				Name: "nodemgr-database", Role: Database, Restart: AutoRestart,
+				CP: NotRequired, DP: NotRequired, NodeManager: true,
+				FailureEffect:  "Database process state visibility lost; functionality unimpaired.",
+				RecoveryAction: "Auto-restarted by supervisor-database.",
+			},
+
+			// ----- vRouter (per compute host) -------------------------
+			{
+				Name: "vrouter-agent", Role: VRouter, Restart: AutoRestart,
+				CP: NotRequired, DP: OneOf, PerHost: true,
+				FailureEffect:  "Host DP down: no policy evaluation for flows; prefixes of VMs on the host withdrawn from routing advertisements.",
+				RecoveryAction: "Auto-restarted by supervisor-vrouter.",
+			},
+			{
+				Name: "vrouter-dpdk", Role: VRouter, Restart: AutoRestart,
+				CP: NotRequired, DP: OneOf, PerHost: true,
+				FailureEffect:  "Host DP down: the user-space forwarding function cannot execute.",
+				RecoveryAction: "Auto-restarted by supervisor-vrouter.",
+			},
+			{
+				Name: "supervisor-vrouter", Role: VRouter, Restart: ManualRestart,
+				CP: NotRequired, DP: NotRequired, Supervisor: true,
+				FailureEffect:  "vRouter processes run unsupervised; a subsequent agent or dpdk failure requires manual restart.",
+				RecoveryAction: "Kill vRouter processes, manually restart the supervisor.",
+			},
+			{
+				Name: "nodemgr-vrouter", Role: VRouter, Restart: AutoRestart,
+				CP: NotRequired, DP: NotRequired, NodeManager: true,
+				FailureEffect:  "vRouter process state visibility lost; forwarding unimpaired.",
+				RecoveryAction: "Auto-restarted by supervisor-vrouter.",
+			},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		panic("profile: built-in OpenContrail3x profile invalid: " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID: "fig0", Title: "sample", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+			{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+		},
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	csv := sampleFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "x,up,down" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4", len(lines))
+	}
+	if lines[1] != "0,0,2" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestFigureASCII(t *testing.T) {
+	s := sampleFigure().ASCII(40, 10)
+	for _, want := range []string{"fig0", "a = up", "b = down", "x: x in [0, 2]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ASCII missing %q in:\n%s", want, s)
+		}
+	}
+	// Both marks must appear in the plot body.
+	if !strings.Contains(s, "a") || !strings.Contains(s, "b") {
+		t.Error("marks missing from plot")
+	}
+}
+
+func TestFigureASCIIEmpty(t *testing.T) {
+	f := Figure{ID: "e", Title: "empty"}
+	if s := f.ASCII(40, 10); !strings.Contains(s, "no data") {
+		t.Errorf("empty figure = %q", s)
+	}
+}
+
+func TestFigureASCIIDegenerate(t *testing.T) {
+	f := Figure{ID: "d", Title: "flat", Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{5}}}}
+	s := f.ASCII(1, 1) // forces minimum sizing
+	if !strings.Contains(s, "s") {
+		t.Errorf("flat figure render = %q", s)
+	}
+}
+
+func TestTableTextAndCSV(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "bb"}}
+	tb.AddRow("x", 1)
+	tb.AddRow(3.5, "with,comma")
+	text := tb.Text()
+	for _, want := range []string{"T", "a", "bb", "x", "3.5", "with,comma", "--"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text missing %q in:\n%s", want, text)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("CSV should quote comma cells: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+}
+
+func TestTableCSVQuotesQuotes(t *testing.T) {
+	tb := Table{Columns: []string{"c"}}
+	tb.AddRow(`say "hi"`)
+	if !strings.Contains(tb.CSV(), `"say ""hi"""`) {
+		t.Errorf("CSV quote escaping wrong: %q", tb.CSV())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow("x|y", 1)
+	md := tb.Markdown()
+	for _, want := range []string{"**T**", "| a | b |", "|---|---|", `x\|y`} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q in:\n%s", want, md)
+		}
+	}
+}

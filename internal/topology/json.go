@@ -1,0 +1,116 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sdnavail/internal/profile"
+)
+
+// JSON serialization for topologies, so custom placements can be described
+// declaratively and priced with the exact evaluator:
+//
+//	{
+//	  "name": "my-layout",
+//	  "clusterSize": 3,
+//	  "roles": ["Config", "Control", "Analytics", "Database"],
+//	  "racks": [
+//	    {"name": "R1", "hosts": [
+//	      {"name": "H1", "vms": [
+//	        {"name": "GCAD1", "placements": [
+//	          {"role": "Config", "node": 0}, {"role": "Control", "node": 0}
+//	        ]}
+//	      ]}
+//	    ]}
+//	  ]
+//	}
+
+type jsonPlacement struct {
+	Role string `json:"role"`
+	Node int    `json:"node"`
+}
+
+type jsonVM struct {
+	Name       string          `json:"name"`
+	Placements []jsonPlacement `json:"placements"`
+}
+
+type jsonHost struct {
+	Name string   `json:"name"`
+	VMs  []jsonVM `json:"vms"`
+}
+
+type jsonRack struct {
+	Name  string     `json:"name"`
+	Hosts []jsonHost `json:"hosts"`
+}
+
+type jsonTopology struct {
+	Name        string     `json:"name"`
+	ClusterSize int        `json:"clusterSize"`
+	Roles       []string   `json:"roles"`
+	Racks       []jsonRack `json:"racks"`
+}
+
+// ToJSON renders the topology as indented JSON.
+func ToJSON(t *Topology) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	jt := jsonTopology{Name: t.Name, ClusterSize: t.ClusterSize}
+	for _, r := range t.Roles {
+		jt.Roles = append(jt.Roles, string(r))
+	}
+	for _, rack := range t.Racks {
+		jr := jsonRack{Name: rack.Name}
+		for _, host := range rack.Hosts {
+			jh := jsonHost{Name: host.Name}
+			for _, vm := range host.VMs {
+				jv := jsonVM{Name: vm.Name}
+				for _, pl := range vm.Placements {
+					jv.Placements = append(jv.Placements, jsonPlacement{Role: string(pl.Role), Node: pl.Node})
+				}
+				jh.VMs = append(jh.VMs, jv)
+			}
+			jr.Hosts = append(jr.Hosts, jh)
+		}
+		jt.Racks = append(jt.Racks, jr)
+	}
+	return json.MarshalIndent(jt, "", "  ")
+}
+
+// FromJSON parses and validates a topology. Parsed layouts are Custom
+// kind regardless of their shape.
+func FromJSON(data []byte) (*Topology, error) {
+	var jt jsonTopology
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return nil, fmt.Errorf("topology: parsing JSON: %w", err)
+	}
+	t := &Topology{
+		Name:        jt.Name,
+		Kind:        Custom,
+		ClusterSize: jt.ClusterSize,
+	}
+	for _, r := range jt.Roles {
+		t.Roles = append(t.Roles, profile.Role(r))
+	}
+	for _, jr := range jt.Racks {
+		rack := Rack{Name: jr.Name}
+		for _, jh := range jr.Hosts {
+			host := Host{Name: jh.Name}
+			for _, jv := range jh.VMs {
+				vm := VM{Name: jv.Name}
+				for _, jp := range jv.Placements {
+					vm.Placements = append(vm.Placements, Placement{Role: profile.Role(jp.Role), Node: jp.Node})
+				}
+				host.VMs = append(host.VMs, vm)
+			}
+			rack.Hosts = append(rack.Hosts, host)
+		}
+		t.Racks = append(t.Racks, rack)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,239 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"sdnavail/internal/profile"
+)
+
+var paperRoles = []profile.Role{profile.Config, profile.Control, profile.Analytics, profile.Database}
+
+func TestSmallTopology(t *testing.T) {
+	top := NewSmall(paperRoles, 3)
+	if err := top.Validate(); err != nil {
+		t.Fatalf("Small invalid: %v", err)
+	}
+	racks, hosts, vms := top.Counts()
+	if racks != 1 || hosts != 3 || vms != 3 {
+		t.Errorf("Small counts = (%d racks, %d hosts, %d vms), want (1, 3, 3)", racks, hosts, vms)
+	}
+	if !top.QuorumSharesRack() {
+		t.Error("Small: the single rack must carry the quorum")
+	}
+	// All four roles of node 0 share the first VM.
+	vm := top.Racks[0].Hosts[0].VMs[0]
+	if len(vm.Placements) != 4 {
+		t.Errorf("Small GCAD1 placements = %d, want 4", len(vm.Placements))
+	}
+}
+
+func TestMediumTopology(t *testing.T) {
+	top := NewMedium(paperRoles, 3)
+	if err := top.Validate(); err != nil {
+		t.Fatalf("Medium invalid: %v", err)
+	}
+	racks, hosts, vms := top.Counts()
+	if racks != 2 || hosts != 3 || vms != 12 {
+		t.Errorf("Medium counts = (%d racks, %d hosts, %d vms), want (2, 3, 12)", racks, hosts, vms)
+	}
+	// Hosts 1-2 in rack 1, host 3 alone in rack 2: quorum shares rack 1.
+	if len(top.Racks[0].Hosts) != 2 || len(top.Racks[1].Hosts) != 1 {
+		t.Errorf("Medium rack split = (%d, %d), want (2, 1)", len(top.Racks[0].Hosts), len(top.Racks[1].Hosts))
+	}
+	if !top.QuorumSharesRack() {
+		t.Error("Medium: rack R1 must carry the quorum (the paper's S→M observation)")
+	}
+	// Each host carries one VM per role.
+	for _, h := range append(top.Racks[0].Hosts, top.Racks[1].Hosts...) {
+		if len(h.VMs) != 4 {
+			t.Errorf("Medium host %s VMs = %d, want 4", h.Name, len(h.VMs))
+		}
+	}
+}
+
+func TestLargeTopology(t *testing.T) {
+	top := NewLarge(paperRoles, 3)
+	if err := top.Validate(); err != nil {
+		t.Fatalf("Large invalid: %v", err)
+	}
+	racks, hosts, vms := top.Counts()
+	if racks != 3 || hosts != 12 || vms != 12 {
+		t.Errorf("Large counts = (%d racks, %d hosts, %d vms), want (3, 12, 12)", racks, hosts, vms)
+	}
+	if top.QuorumSharesRack() {
+		t.Error("Large: no rack may carry a quorum")
+	}
+	// Rack i carries exactly node i's role instances.
+	for i, rack := range top.Racks {
+		for _, h := range rack.Hosts {
+			if len(h.VMs) != 1 {
+				t.Errorf("Large host %s VMs = %d, want 1", h.Name, len(h.VMs))
+			}
+			for _, vm := range h.VMs {
+				for _, pl := range vm.Placements {
+					if pl.Node != i {
+						t.Errorf("Large rack %d contains %v", i, pl)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestByKind(t *testing.T) {
+	for _, k := range []Kind{Small, Medium, Large} {
+		top, err := ByKind(k, paperRoles, 3)
+		if err != nil || top.Kind != k {
+			t.Errorf("ByKind(%v) = %v, %v", k, top, err)
+		}
+	}
+	if _, err := ByKind(Custom, paperRoles, 3); err == nil {
+		t.Error("ByKind(Custom) should fail")
+	}
+}
+
+func TestGeneralizationToFiveNodes(t *testing.T) {
+	for _, build := range []func([]profile.Role, int) *Topology{NewSmall, NewMedium, NewLarge} {
+		top := build(paperRoles, 5)
+		if err := top.Validate(); err != nil {
+			t.Errorf("%s(5) invalid: %v", top.Name, err)
+		}
+	}
+	top := NewLarge(paperRoles, 5)
+	racks, hosts, _ := top.Counts()
+	if racks != 5 || hosts != 20 {
+		t.Errorf("Large(5) = %d racks %d hosts, want 5, 20", racks, hosts)
+	}
+	if top.QuorumSharesRack() {
+		t.Error("Large(5): no rack may carry a quorum")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	top := NewSmall(paperRoles, 3)
+	top.ClusterSize = 4
+	if top.Validate() == nil {
+		t.Error("even cluster size accepted")
+	}
+
+	top = NewSmall(paperRoles, 3)
+	top.ClusterSize = 0
+	if top.Validate() == nil {
+		t.Error("zero cluster size accepted")
+	}
+
+	top = NewSmall(paperRoles, 3)
+	top.Racks[0].Hosts[0].VMs[0].Placements = top.Racks[0].Hosts[0].VMs[0].Placements[:3]
+	if top.Validate() == nil {
+		t.Error("missing placement accepted")
+	}
+
+	top = NewSmall(paperRoles, 3)
+	top.Racks[0].Hosts[0].VMs[0].Placements = append(top.Racks[0].Hosts[0].VMs[0].Placements,
+		Placement{Role: profile.Config, Node: 1})
+	if top.Validate() == nil {
+		t.Error("duplicate placement accepted")
+	}
+
+	top = NewSmall(paperRoles, 3)
+	top.Racks[0].Hosts[0].VMs[0].Placements[0].Node = 99
+	if top.Validate() == nil {
+		t.Error("out-of-range node accepted")
+	}
+
+	top = NewSmall(paperRoles, 3)
+	top.Racks[0].Hosts[1].Name = top.Racks[0].Hosts[0].Name
+	if top.Validate() == nil {
+		t.Error("duplicate host name accepted")
+	}
+
+	top = NewSmall(paperRoles, 3)
+	top.Racks[0].Hosts[1].VMs[0].Name = top.Racks[0].Hosts[0].VMs[0].Name
+	if top.Validate() == nil {
+		t.Error("duplicate VM name accepted")
+	}
+
+	top = NewMedium(paperRoles, 3)
+	top.Racks[1].Name = top.Racks[0].Name
+	if top.Validate() == nil {
+		t.Error("duplicate rack name accepted")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	top := NewLarge(paperRoles, 3)
+	ri, hi, vi, err := top.Locate(Placement{Role: profile.Database, Node: 2})
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if ri != 2 {
+		t.Errorf("Database/2 rack = %d, want 2", ri)
+	}
+	if hi != 3 || vi != 0 {
+		t.Errorf("Database/2 host, vm = %d, %d; want 3, 0", hi, vi)
+	}
+	if _, _, _, err := top.Locate(Placement{Role: "Nope", Node: 0}); err == nil {
+		t.Error("Locate of absent placement should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	top := NewMedium(paperRoles, 3)
+	s := top.String()
+	for _, want := range []string{"Medium", "R1", "R2", "H3", "Control/0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+	if Small.String() != "Small" || Medium.String() != "Medium" || Large.String() != "Large" || Custom.String() != "Custom" {
+		t.Error("Kind strings wrong")
+	}
+	if got := (Placement{Role: profile.Control, Node: 1}).String(); got != "Control/1" {
+		t.Errorf("Placement.String = %q", got)
+	}
+}
+
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	for _, build := range []func([]profile.Role, int) *Topology{NewSmall, NewMedium, NewLarge} {
+		top := build(paperRoles, 3)
+		data, err := ToJSON(top)
+		if err != nil {
+			t.Fatalf("%s: ToJSON: %v", top.Name, err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: FromJSON: %v", top.Name, err)
+		}
+		if back.Kind != Custom {
+			t.Errorf("%s: parsed kind = %v, want Custom", top.Name, back.Kind)
+		}
+		r1, h1, v1 := top.Counts()
+		r2, h2, v2 := back.Counts()
+		if r1 != r2 || h1 != h2 || v1 != v2 {
+			t.Errorf("%s: counts changed: (%d,%d,%d) vs (%d,%d,%d)", top.Name, r1, h1, v1, r2, h2, v2)
+		}
+		if top.QuorumSharesRack() != back.QuorumSharesRack() {
+			t.Errorf("%s: quorum-rack property changed", top.Name)
+		}
+	}
+}
+
+func TestTopologyFromJSONErrors(t *testing.T) {
+	if _, err := FromJSON([]byte(`{broken`)); err == nil {
+		t.Error("syntax error accepted")
+	}
+	// Valid JSON, invalid topology (missing placements).
+	doc := `{"name":"x","clusterSize":3,"roles":["Config"],"racks":[]}`
+	if _, err := FromJSON([]byte(doc)); err == nil {
+		t.Error("incomplete topology accepted")
+	}
+}
+
+func TestTopologyToJSONRejectsInvalid(t *testing.T) {
+	top := NewSmall(paperRoles, 3)
+	top.ClusterSize = 4
+	if _, err := ToJSON(top); err == nil {
+		t.Error("invalid topology serialized")
+	}
+}

@@ -1,0 +1,340 @@
+package sdnavail
+
+import (
+	"time"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/chaos"
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/markov"
+	"sdnavail/internal/mc"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/relmath"
+	"sdnavail/internal/stats"
+	"sdnavail/internal/topology"
+)
+
+// The public API re-exports the library's core types as aliases so that
+// downstream users import a single package. The internal packages remain
+// the implementation; this file is the stable surface.
+
+// ---- controller software description (paper Tables I-III) ----
+
+// Profile describes a distributed SDN controller implementation: roles,
+// processes, restart modes and quorum requirements.
+type Profile = profile.Profile
+
+// Process is one row of the paper's Table I.
+type Process = profile.Process
+
+// Role identifies a controller node type.
+type Role = profile.Role
+
+// RestartMode is Auto or Manual (Table II).
+type RestartMode = profile.RestartMode
+
+// Need is a quorum requirement class (Table III).
+type Need = profile.Need
+
+// Plane selects the SDN control plane or the host data plane.
+type Plane = profile.Plane
+
+// Re-exported enumeration values.
+const (
+	AutoRestart   = profile.AutoRestart
+	ManualRestart = profile.ManualRestart
+
+	NotRequired = profile.NotRequired
+	OneOf       = profile.OneOf
+	Majority    = profile.Majority
+
+	ControlPlane = profile.ControlPlane
+	DataPlane    = profile.DataPlane
+)
+
+// OpenContrail3x returns the paper's reference controller profile.
+func OpenContrail3x() *Profile { return profile.OpenContrail3x() }
+
+// ODLLike and ONOSLike return illustrative alternate controller profiles,
+// demonstrating the table-driven extensibility the paper claims.
+func ODLLike() *Profile  { return profile.ODLLike() }
+func ONOSLike() *Profile { return profile.ONOSLike() }
+
+// ---- deployment topologies (paper Fig. 2) ----
+
+// Topology is a physical deployment layout: racks ⊃ hosts ⊃ VMs ⊃ roles.
+type Topology = topology.Topology
+
+// TopologyKind tags the reference layout family.
+type TopologyKind = topology.Kind
+
+// Reference topology kinds.
+const (
+	SmallTopology  = topology.Small
+	MediumTopology = topology.Medium
+	LargeTopology  = topology.Large
+)
+
+// NewSmallTopology, NewMediumTopology and NewLargeTopology build the
+// paper's reference layouts for the given roles and 2N+1 cluster size.
+func NewSmallTopology(roles []Role, clusterSize int) *Topology {
+	return topology.NewSmall(roles, clusterSize)
+}
+func NewMediumTopology(roles []Role, clusterSize int) *Topology {
+	return topology.NewMedium(roles, clusterSize)
+}
+func NewLargeTopology(roles []Role, clusterSize int) *Topology {
+	return topology.NewLarge(roles, clusterSize)
+}
+
+// ---- analytic models (paper §V and §VI) ----
+
+// Params carries the model's availability parameters.
+type Params = analytic.Params
+
+// HWModel is the HW-centric (role-atomic) model of §V.
+type HWModel = analytic.HWModel
+
+// Model is the SW-centric (process-level) model of §VI.
+type Model = analytic.Model
+
+// Option pairs a topology kind with a supervisor scenario.
+type Option = analytic.Option
+
+// Scenario selects the supervisor mode of operation.
+type Scenario = analytic.Scenario
+
+// MaintenanceLevel is a host maintenance contract class (§V.D).
+type MaintenanceLevel = analytic.MaintenanceLevel
+
+// The paper's analysis options and scenarios.
+var (
+	Option1S = analytic.Option1S
+	Option2S = analytic.Option2S
+	Option1L = analytic.Option1L
+	Option2L = analytic.Option2L
+)
+
+const (
+	SupervisorNotRequired = analytic.SupervisorNotRequired
+	SupervisorRequired    = analytic.SupervisorRequired
+
+	SameDay         = analytic.SameDay
+	NextDay         = analytic.NextDay
+	NextBusinessDay = analytic.NextBusinessDay
+)
+
+// DefaultParams returns the paper's example parameters.
+func DefaultParams() Params { return analytic.Defaults() }
+
+// NewHWModel returns the paper's reference HW-centric model (3 nodes,
+// three 1-of-3 roles, one quorum role).
+func NewHWModel() HWModel { return analytic.NewHWModel() }
+
+// NewModel returns a SW-centric model over the profile and option with
+// default parameters and a 3-node cluster.
+func NewModel(prof *Profile, opt Option) *Model { return analytic.NewModel(prof, opt) }
+
+// AnalysisOptions lists the paper's four SW-centric options (1S, 2S, 1L,
+// 2L).
+func AnalysisOptions() []Option { return analytic.Options() }
+
+// ---- reliability math ----
+
+// KofN returns the paper's equation (1): the availability of an m-of-n
+// block of identical elements with availability alpha.
+func KofN(m, n int, alpha float64) float64 { return relmath.KofN(m, n, alpha) }
+
+// Availability returns MTBF/(MTBF+MTTR).
+func Availability(mtbf, mttr float64) float64 { return relmath.Availability(mtbf, mttr) }
+
+// DowntimeMinutesPerYear converts availability to expected yearly downtime.
+func DowntimeMinutesPerYear(a float64) float64 { return relmath.DowntimeMinutesPerYear(a) }
+
+// Nines returns -log10(1-a), the "number of nines".
+func Nines(a float64) float64 { return relmath.Nines(a) }
+
+// Block is a reliability-block-diagram node for ad-hoc structures; see
+// Unit, Const, InSeries, InParallel, Vote and Replicate.
+type Block = relmath.Block
+
+// Env supplies named availabilities to Block.Eval.
+type Env = relmath.Env
+
+// RBD constructors, re-exported from the reliability math substrate.
+func Unit(name string) *Block                  { return relmath.Unit(name) }
+func Const(a float64) *Block                   { return relmath.Const(a) }
+func InSeries(children ...*Block) *Block       { return relmath.InSeries(children...) }
+func InParallel(children ...*Block) *Block     { return relmath.InParallel(children...) }
+func Vote(need int, children ...*Block) *Block { return relmath.Vote(need, children...) }
+func Replicate(need, n int, child *Block) *Block {
+	return relmath.Replicate(need, n, child)
+}
+
+// ---- Monte Carlo simulation (paper §VII future work) ----
+
+// SimConfig parameterizes the discrete-event availability simulator.
+type SimConfig = mc.Config
+
+// SimResult is one replication's measurements.
+type SimResult = mc.Result
+
+// SimEstimate aggregates replications with confidence intervals.
+type SimEstimate = mc.Estimate
+
+// Interval is a confidence interval.
+type Interval = stats.Interval
+
+// NewSimConfig derives a simulator configuration from analytic parameters.
+func NewSimConfig(prof *Profile, topo *Topology, sc Scenario, p Params) SimConfig {
+	return mc.NewConfig(prof, topo, sc, p)
+}
+
+// Simulate runs independent replications and returns availability
+// estimates at the given confidence level.
+func Simulate(cfg SimConfig, replications int, level float64) (SimEstimate, error) {
+	return mc.Run(cfg, replications, level)
+}
+
+// ---- live testbed and chaos harness ----
+
+// Cluster is the live in-process controller testbed.
+type Cluster = cluster.Cluster
+
+// ClusterConfig assembles a testbed.
+type ClusterConfig = cluster.Config
+
+// ClusterTiming holds the testbed's scaled operational delays.
+type ClusterTiming = cluster.Timing
+
+// NewCluster assembles a testbed cluster (call Start, defer Stop).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ChaosAction is one scripted injection step.
+type ChaosAction = chaos.Action
+
+// ChaosReport summarizes an experiment's observed availability.
+type ChaosReport = chaos.Report
+
+// ChaosCampaign is a randomized fault-injection experiment.
+type ChaosCampaign = chaos.Campaign
+
+// ChaosStep constructs a scripted action.
+func ChaosStep(after time.Duration, name string, do func(c *Cluster) error) ChaosAction {
+	return chaos.Step(after, name, do)
+}
+
+// RunScenario executes a scripted injection sequence while probing.
+func RunScenario(c *Cluster, actions []ChaosAction, settle, probeEvery, probeTimeout time.Duration) (ChaosReport, error) {
+	return chaos.RunScenario(c, actions, settle, probeEvery, probeTimeout)
+}
+
+// SectionIIIScenario returns the paper's section III control failure
+// narrative as a scripted scenario.
+func SectionIIIScenario(step time.Duration) []ChaosAction { return chaos.SectionIII(step) }
+
+// ---- frequency-duration and weak-link analysis (extensions) ----
+
+// RepairTimes carries mean-time-to-restore assumptions for turning
+// availabilities into failure rates.
+type RepairTimes = analytic.RepairTimes
+
+// OutageEstimate is the frequency-duration view of a plane: how often
+// outages begin and how long they last, not just the downtime total.
+type OutageEstimate = analytic.OutageEstimate
+
+// ImportanceEntry ranks a parameter class as a weak link (Birnbaum
+// importance, downtime share, improvement potential).
+type ImportanceEntry = analytic.ImportanceEntry
+
+// PlaneMetric selects the plane for importance analysis.
+type PlaneMetric = analytic.PlaneMetric
+
+// Plane metrics for Model.Importance.
+const (
+	CPMetric = analytic.CPMetric
+	DPMetric = analytic.DPMetric
+)
+
+// DefaultRepairTimes returns the paper-aligned repair times (R = 0.1 h,
+// R_S = 1 h, VM 1 h, host 4 h, rack 48 h).
+func DefaultRepairTimes() RepairTimes { return analytic.DefaultRepairTimes() }
+
+// ControlFailoverImpact quantifies the transient data-plane impact of
+// simultaneous control-process failures that the paper's §III analysis
+// assumes negligible. See analytic.ControlFailoverImpact.
+func ControlFailoverImpact(p Params, clusterSize int, mttr, rediscoverHours float64) (addedUnavailability, eventsPerYear float64, err error) {
+	return analytic.ControlFailoverImpact(p, clusterSize, mttr, rediscoverHours)
+}
+
+// KofNRepairable solves the repairable k-of-n birth-death chain exactly:
+// steady-state availability, outage frequency per hour, and mean outage
+// duration in hours, for per-component failure rate lambda and repair
+// rate mu.
+func KofNRepairable(m, n int, lambda, mu float64) (avail, freqPerHour, meanDownHours float64, err error) {
+	return markov.KofNAvailability(m, n, lambda, mu)
+}
+
+// KofNMissionReliability returns the probability that a repairable k-of-n
+// group, starting all-up, suffers no availability loss during t hours —
+// the "no outage this year" view the steady-state models cannot express.
+func KofNMissionReliability(m, n int, lambda, mu, t float64) (float64, error) {
+	return markov.KofNMissionReliability(m, n, lambda, mu, t)
+}
+
+// SLAMissProbability estimates, from simulation results run with
+// SimConfig.WindowHours set, the probability that a window's control-plane
+// downtime exceeds the threshold in minutes.
+func SLAMissProbability(results []SimResult, thresholdMinutes float64) (float64, error) {
+	return mc.SLAMissProbability(results, thresholdMinutes)
+}
+
+// OutageDurationSummary aggregates every simulated control-plane outage
+// into order statistics (hours).
+func OutageDurationSummary(results []SimResult) stats.Summary {
+	return mc.OutageDurationSummary(results)
+}
+
+// Summary holds order statistics of a sample set.
+type Summary = stats.Summary
+
+// ExactModel evaluates the SW-centric availability of an arbitrary custom
+// topology by exact shared-hardware state enumeration — placements the
+// Small/Medium/Large closed forms cannot express.
+type ExactModel = analytic.ExactModel
+
+// NewExactModel returns an exact model over any topology with default
+// parameters.
+func NewExactModel(prof *Profile, topo *Topology, sc Scenario) *ExactModel {
+	return analytic.NewExactModel(prof, topo, sc)
+}
+
+// Rack, Host, TopologyVM and Placement are the building blocks for custom
+// topologies evaluated by ExactModel, the simulator, or the live testbed.
+type (
+	Rack       = topology.Rack
+	Host       = topology.Host
+	TopologyVM = topology.VM
+	Placement  = topology.Placement
+)
+
+// ProfileToJSON and ProfileFromJSON serialize controller profiles, so new
+// implementations can be described declaratively and fed to every model
+// (see cmd/availcalc -profile-file).
+func ProfileToJSON(p *Profile) ([]byte, error)      { return profile.ToJSON(p) }
+func ProfileFromJSON(data []byte) (*Profile, error) { return profile.FromJSON(data) }
+
+// TopologyToJSON and TopologyFromJSON serialize deployment layouts, so
+// custom placements can be priced declaratively (see cmd/availcalc
+// -topology-file).
+func TopologyToJSON(t *Topology) ([]byte, error)      { return topology.ToJSON(t) }
+func TopologyFromJSON(data []byte) (*Topology, error) { return topology.FromJSON(data) }
+
+// Operator is the remediation automation of the paper's §VII: it watches
+// the live testbed and manually restarts processes that stay failed past
+// its response time.
+type Operator = chaos.Operator
+
+// NewOperator returns an operator bot with the given response time; call
+// Start with a running cluster and Stop when done.
+func NewOperator(responseTime time.Duration) *Operator { return chaos.NewOperator(responseTime) }
