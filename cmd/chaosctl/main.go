@@ -5,7 +5,7 @@
 // Usage:
 //
 //	chaosctl [-topology small|large] [-hosts n]
-//	         [-scenario section3|dbquorum|rack|campaign]
+//	         [-scenario section3|dbquorum|rack|partition|asymlink|crashloop|flapping|campaign]
 //	         [-step d] [-duration d] [-mbf d] [-repair d] [-seed s]
 //	         [-snapshot]
 //
@@ -13,6 +13,9 @@
 //
 //	section3  — the paper's §III control failure narrative
 //	partition — majority network partition and heal
+//	asymlink  — asymmetric mesh link cuts (degraded, not down) and heal
+//	crashloop — crash-loop config-api until its supervisor gives up (FATAL)
+//	flapping  — flap a control process into FATAL via flap detection
 //	dbquorum  — Cassandra quorum loss and repair
 //	rack      — full rack outage and operator recovery sweep
 //	campaign  — randomized Poisson fault injection over all processes
@@ -45,7 +48,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		topoName = flag.String("topology", "small", "deployment topology: small or large")
 		hosts    = flag.Int("hosts", 3, "vRouter compute hosts")
-		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition or campaign")
+		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition, asymlink, crashloop, flapping or campaign")
 		step     = flag.Duration("step", 250*time.Millisecond, "delay between scripted injections")
 		duration = flag.Duration("duration", 2*time.Second, "campaign duration")
 		mbf      = flag.Duration("mbf", 100*time.Millisecond, "campaign mean time between faults")
@@ -91,6 +94,12 @@ func run(args []string, out io.Writer) error {
 		rep, err = chaos.RunScenario(c, chaos.RackOutage(rack, []int{0, 1, 2}, *step), 2**step, 0, 0)
 	case "partition":
 		rep, err = chaos.RunScenario(c, chaos.MajorityPartition(*step), 2**step, 0, 0)
+	case "asymlink":
+		rep, err = chaos.RunScenario(c, chaos.AsymmetricPartition(*step), 2**step, 0, 0)
+	case "crashloop":
+		rep, err = chaos.RunScenario(c, chaos.CrashLoop("Config", 0, "config-api", *step), *step, 0, 0)
+	case "flapping":
+		rep, err = chaos.RunScenario(c, chaos.FlappingControl(0, *step), *step, 0, 0)
 	case "campaign":
 		var hostNames []string
 		for _, r := range topo.Racks {
@@ -114,15 +123,19 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprint(out, rep.String())
+	fmt.Fprint(out, c.Health().String())
 
 	if *snapshot {
 		fmt.Fprintln(out, "\nfinal process snapshot:")
 		for _, st := range c.Snapshot() {
 			mark := "up"
-			if !st.Alive {
+			switch {
+			case st.State == cluster.Fatal:
+				mark = "FATAL"
+			case !st.Alive:
 				mark = "DOWN"
 			}
-			fmt.Fprintf(out, "  %-10s node %d  %-26s %-4s (restarts: %d)\n",
+			fmt.Fprintf(out, "  %-10s node %d  %-26s %-5s (restarts: %d)\n",
 				st.Role, st.Node, st.Name, mark, st.Restarts)
 		}
 	}

@@ -30,6 +30,21 @@ func TestScenarios(t *testing.T) {
 			[]string{"isolate controller nodes", "heal partition"},
 		},
 		{
+			"crashloop",
+			[]string{"-scenario", "crashloop", "-step", "250ms", "-hosts", "2", "-snapshot"},
+			[]string{"start flaky injector", "manual restart", "cluster health:", "health samples:"},
+		},
+		{
+			"flapping",
+			[]string{"-scenario", "flapping", "-step", "300ms", "-hosts", "2"},
+			[]string{"flapping", "manual restart of node-role", "cluster health:"},
+		},
+		{
+			"asymlink",
+			[]string{"-scenario", "asymlink", "-step", "100ms", "-hosts", "2"},
+			[]string{"cut mesh link", "heal all mesh links", "cluster health: healthy"},
+		},
+		{
 			"campaign",
 			[]string{"-scenario", "campaign", "-duration", "150ms", "-mbf", "40ms", "-repair", "30ms", "-hosts", "2", "-snapshot"},
 			[]string{"chaos report", "final process snapshot"},

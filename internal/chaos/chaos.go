@@ -13,6 +13,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -42,6 +43,39 @@ type Sample struct {
 	CPUp  bool
 	DPUp  []bool // per compute host
 	CPErr string // probe failure reason when CP is down
+
+	// CPDegraded marks a CP probe that succeeded only on a retry: the
+	// plane is up but slow — degraded, not down.
+	CPDegraded bool
+	// CPClass classifies the CP observation: "" (clean success), "slow"
+	// (retry needed), or a failure class from ClassifyProbeError.
+	CPClass string
+	// Health is the cluster's health level at sample time.
+	Health cluster.Health
+}
+
+// ClassifyProbeError buckets a control-plane probe failure so reports can
+// distinguish failure modes: "timeout" (probe gave up waiting — the slow
+// path of an overloaded or converging plane), "quorum-loss" (a backing
+// store lost majority), "service-down" (a required process is dead),
+// "cache-loss" (analytics cache unavailable), or "error".
+func ClassifyProbeError(err error) string {
+	if err == nil {
+		return ""
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "within"):
+		return "timeout"
+	case strings.Contains(msg, "quorum"):
+		return "quorum-loss"
+	case strings.Contains(msg, "alive"):
+		return "service-down"
+	case strings.Contains(msg, "cache unavailable"):
+		return "cache-loss"
+	default:
+		return "error"
+	}
 }
 
 // Report summarizes an experiment.
@@ -58,6 +92,24 @@ type Report struct {
 	PerHostDP []float64
 	// CPOutages counts maximal runs of failed CP samples.
 	CPOutages int
+
+	// CPDegradedRatio is the fraction of successful CP samples that
+	// needed a retry — the plane was slow but not down.
+	CPDegradedRatio float64
+	// CPErrorClasses counts failed CP samples by failure class (see
+	// ClassifyProbeError).
+	CPErrorClasses map[string]int
+	// HealthCounts tallies samples by the cluster health level observed
+	// at sample time ("healthy", "degraded", "critical").
+	HealthCounts map[string]int
+	// BusPublished and BusDropped are the message bus totals at the end
+	// of the experiment; BusDropsBySubscription breaks the losses down by
+	// consumer ("topic/name"), non-zero entries only.
+	BusPublished           uint64
+	BusDropped             uint64
+	BusDropsBySubscription map[string]uint64
+	// FinalHealth is the cluster health snapshot after the experiment.
+	FinalHealth cluster.HealthReport
 }
 
 // String renders a human-readable summary.
@@ -70,10 +122,52 @@ func (r Report) String() string {
 		fmt.Fprintf(&sb, " %.4f", a)
 	}
 	sb.WriteString(")\n")
+	if len(r.HealthCounts) > 0 {
+		fmt.Fprintf(&sb, "  health samples: healthy=%d degraded=%d critical=%d\n",
+			r.HealthCounts["healthy"], r.HealthCounts["degraded"], r.HealthCounts["critical"])
+	}
+	if r.CPDegradedRatio > 0 {
+		fmt.Fprintf(&sb, "  CP degraded (slow) ratio: %.4f of successful probes\n", r.CPDegradedRatio)
+	}
+	if len(r.CPErrorClasses) > 0 {
+		sb.WriteString("  CP failure classes:")
+		for _, class := range []string{"timeout", "quorum-loss", "service-down", "cache-loss", "error"} {
+			if n := r.CPErrorClasses[class]; n > 0 {
+				fmt.Fprintf(&sb, " %s=%d", class, n)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	if r.BusPublished > 0 {
+		fmt.Fprintf(&sb, "  bus: %d published, %d dropped", r.BusPublished, r.BusDropped)
+		if len(r.BusDropsBySubscription) > 0 {
+			sb.WriteString(" (")
+			first := true
+			for _, sub := range sortedKeys(r.BusDropsBySubscription) {
+				if !first {
+					sb.WriteString(", ")
+				}
+				first = false
+				fmt.Fprintf(&sb, "%s=%d", sub, r.BusDropsBySubscription[sub])
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString("\n")
+	}
 	for _, inj := range r.Injections {
 		fmt.Fprintf(&sb, "  %s\n", inj)
 	}
 	return sb.String()
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // summarize fills the aggregate fields from the samples.
@@ -82,14 +176,23 @@ func summarize(r *Report) {
 		return
 	}
 	hosts := len(r.Samples[0].DPUp)
-	cpUp := 0
+	cpUp, cpDegraded := 0, 0
 	dpUp := make([]int, hosts)
 	prevDown := false
+	r.CPErrorClasses = map[string]int{}
+	r.HealthCounts = map[string]int{}
 	for _, s := range r.Samples {
+		r.HealthCounts[s.Health.String()]++
 		if s.CPUp {
 			cpUp++
+			if s.CPDegraded {
+				cpDegraded++
+			}
 			prevDown = false
 		} else {
+			if class := s.CPClass; class != "" {
+				r.CPErrorClasses[class]++
+			}
 			if !prevDown {
 				r.CPOutages++
 			}
@@ -100,6 +203,9 @@ func summarize(r *Report) {
 				dpUp[h]++
 			}
 		}
+	}
+	if cpUp > 0 {
+		r.CPDegradedRatio = float64(cpDegraded) / float64(cpUp)
 	}
 	n := float64(len(r.Samples))
 	r.CPAvailability = float64(cpUp) / n
@@ -117,6 +223,11 @@ type prober struct {
 	c       *cluster.Cluster
 	period  time.Duration
 	timeout time.Duration
+	// retries is the number of extra CP probe attempts after a failure.
+	// The total timeout budget is split across attempts so retrying never
+	// lengthens the worst-case probe: a success on a retry is recorded as
+	// a degraded (slow) sample rather than an outage.
+	retries int
 
 	mu      sync.Mutex
 	samples []Sample
@@ -127,7 +238,7 @@ type prober struct {
 
 func newProber(c *cluster.Cluster, period, timeout time.Duration) *prober {
 	return &prober{
-		c: c, period: period, timeout: timeout,
+		c: c, period: period, timeout: timeout, retries: 1,
 		stop: make(chan struct{}), done: make(chan struct{}),
 		start: time.Now(),
 	}
@@ -151,14 +262,30 @@ func (p *prober) sampleOnce() {
 	// Probe the data planes first: DP probes are instantaneous, while a
 	// failing CP probe blocks for its timeout and would skew the sample's
 	// timestamp against the DP observations.
-	s := Sample{At: time.Since(p.start)}
+	s := Sample{At: time.Since(p.start), Health: p.c.Health().Level}
 	for h := 0; h < p.c.ComputeHostCount(); h++ {
 		s.DPUp = append(s.DPUp, p.c.ProbeDP(h) == nil)
 	}
-	if err := p.c.ProbeCP(p.timeout); err != nil {
+	attempts := p.retries + 1
+	perAttempt := p.timeout / time.Duration(attempts)
+	if perAttempt <= 0 {
+		perAttempt = p.timeout
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err = p.c.ProbeCP(perAttempt); err == nil {
+			s.CPUp = true
+			if attempt > 0 {
+				s.CPDegraded = true
+				s.CPClass = "slow"
+			}
+			break
+		}
+	}
+	if err != nil {
 		s.CPErr = err.Error()
-	} else {
-		s.CPUp = true
+		s.CPClass = ClassifyProbeError(err)
 	}
 	p.mu.Lock()
 	p.samples = append(p.samples, s)
@@ -203,7 +330,23 @@ func RunScenario(c *cluster.Cluster, actions []Action, settle, probeEvery, probe
 		Injections: injections,
 	}
 	summarize(&r)
+	finalize(&r, c)
 	return r, nil
+}
+
+// finalize captures end-of-experiment cluster state: bus message-loss
+// totals, per-subscription drops, and a final health snapshot.
+func finalize(r *Report, c *cluster.Cluster) {
+	r.BusPublished, r.BusDropped = c.BusStats()
+	for _, s := range c.BusSubscriptionStats() {
+		if s.Dropped > 0 {
+			if r.BusDropsBySubscription == nil {
+				r.BusDropsBySubscription = map[string]uint64{}
+			}
+			r.BusDropsBySubscription[s.Topic+"/"+s.Name] += s.Dropped
+		}
+	}
+	r.FinalHealth = c.Health()
 }
 
 // Campaign is a randomized fault-injection experiment: faults arrive as a
@@ -226,6 +369,10 @@ type Campaign struct {
 	// ProbeEvery and ProbeTimeout tune the availability prober.
 	ProbeEvery   time.Duration
 	ProbeTimeout time.Duration
+	// ProbeRetries is the number of extra CP probe attempts after a
+	// failure (the timeout budget is split across attempts). Defaults to
+	// 1; negative disables retries.
+	ProbeRetries int
 }
 
 // targetSpec is one injectable fault target.
@@ -296,6 +443,12 @@ func (cp Campaign) Run(c *cluster.Cluster, hostNames, rackNames []string) (Repor
 	if cp.ProbeTimeout <= 0 {
 		p.timeout = 50 * time.Millisecond
 	}
+	if cp.ProbeRetries != 0 {
+		p.retries = cp.ProbeRetries
+		if p.retries < 0 {
+			p.retries = 0
+		}
+	}
 	go p.run()
 
 	start := time.Now()
@@ -340,5 +493,6 @@ func (cp Campaign) Run(c *cluster.Cluster, hostNames, rackNames []string) (Repor
 		Injections: injections,
 	}
 	summarize(&r)
+	finalize(&r, c)
 	return r, nil
 }

@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"fmt"
+	"math/rand"
 	"time"
 
 	"sdnavail/internal/cluster"
@@ -90,6 +92,75 @@ func MinorityPartition(node int, step time.Duration) []Action {
 		}),
 		Step(step, "heal partition", func(c *cluster.Cluster) error {
 			c.HealPartition()
+			return nil
+		}),
+	}
+}
+
+// CrashLoop returns a scenario that crash-loops one supervised process
+// until its supervisor exhausts the restart budget and marks it FATAL
+// (supervisord semantics): a flaky injector fires rapid crashes, each
+// supervised restart dies within the quick-fail window, backoff grows, the
+// budget runs out, and the process stays down until the final manual
+// restart recovers it. The step delay must be long enough for the ladder
+// to complete (a few hundred milliseconds at the default supervision
+// scale).
+func CrashLoop(role string, node int, name string, step time.Duration) []Action {
+	flaky := &FlakyProcess{
+		Role: role, Node: node, Name: name,
+		MeanBetweenCrashes: 3 * time.Millisecond,
+		Seed:               1,
+	}
+	return []Action{
+		Step(0, fmt.Sprintf("start flaky injector on %s/%d/%s (crash loop)", role, node, name),
+			func(c *cluster.Cluster) error { return flaky.Start(c) }),
+		Step(step, "stop flaky injector (process left FATAL)", func(c *cluster.Cluster) error {
+			flaky.Stop()
+			return nil
+		}),
+		Step(step, fmt.Sprintf("manual restart of %s/%d/%s (clears FATAL)", role, node, name),
+			func(c *cluster.Cluster) error { return c.RestartProcess(role, node, name) }),
+	}
+}
+
+// FlappingControl returns a scenario where one control process flaps: it
+// crashes on a fixed cadence slow enough that every supervised restart
+// looks stable (outside the quick-fail window), so only flapping detection
+// catches it and marks it FATAL. Recovery uses a node-role restart — the
+// heavier operator action of bouncing the whole supervised role.
+func FlappingControl(node int, step time.Duration) []Action {
+	flaky := &FlakyProcess{
+		Role: "Control", Node: node, Name: "control",
+		Interval: func(*rand.Rand) time.Duration { return 30 * time.Millisecond },
+		Seed:     1,
+	}
+	return []Action{
+		Step(0, fmt.Sprintf("start flaky injector on Control/%d/control (flapping)", node),
+			func(c *cluster.Cluster) error { return flaky.Start(c) }),
+		Step(step, "stop flaky injector", func(c *cluster.Cluster) error {
+			flaky.Stop()
+			return nil
+		}),
+		Step(step, fmt.Sprintf("manual restart of node-role Control/%d", node),
+			func(c *cluster.Cluster) error { return c.RestartNodeRole("Control", node) }),
+	}
+}
+
+// AsymmetricPartition returns a scenario of link-level mesh failures: two
+// mesh links are cut so one control node can only reach one peer, then the
+// links heal. Clients and compute hosts still reach every node throughout
+// — the control plane degrades (reduced mesh redundancy) without an
+// outage, unlike the whole-node isolation scenarios.
+func AsymmetricPartition(step time.Duration) []Action {
+	return []Action{
+		Step(0, "cut mesh link between controls 1 and 2", func(c *cluster.Cluster) error {
+			return c.CutLink(0, 1)
+		}),
+		Step(step, "cut mesh link between controls 2 and 3", func(c *cluster.Cluster) error {
+			return c.CutLink(1, 2)
+		}),
+		Step(step, "heal all mesh links", func(c *cluster.Cluster) error {
+			c.HealLinks()
 			return nil
 		}),
 	}

@@ -15,6 +15,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -40,11 +41,12 @@ type Bus struct {
 
 // Subscription receives messages for one topic.
 type Subscription struct {
-	bus    *Bus
-	topic  string
-	name   string
-	ch     chan Message
-	closed bool
+	bus     *Bus
+	topic   string
+	name    string
+	ch      chan Message
+	closed  bool
+	dropped uint64 // messages this subscription lost to overflow
 }
 
 // NewBus returns an empty bus.
@@ -89,6 +91,7 @@ func (b *Bus) Publish(m Message) {
 				select {
 				case <-s.ch:
 					b.dropped++
+					s.dropped++
 					continue
 				default:
 				}
@@ -103,6 +106,35 @@ func (b *Bus) Stats() (published, dropped uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.published, b.dropped
+}
+
+// SubscriptionStats is one subscription's drop count, identifying the
+// consumer that lost messages.
+type SubscriptionStats struct {
+	Topic   string
+	Name    string
+	Dropped uint64
+}
+
+// SubscriptionStats returns per-subscription drop counts for every live
+// subscription, sorted by topic then consumer name. Canceled subscriptions
+// are not reported (their drops remain in the bus-wide Stats total).
+func (b *Bus) SubscriptionStats() []SubscriptionStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []SubscriptionStats
+	for topic, subs := range b.subs {
+		for _, s := range subs {
+			out = append(out, SubscriptionStats{Topic: topic, Name: s.name, Dropped: s.dropped})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Topic != out[j].Topic {
+			return out[i].Topic < out[j].Topic
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // Close shuts the bus down; subsequent publishes are ignored and all

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -21,6 +22,9 @@ type Config struct {
 	ComputeHosts int
 	// Timing holds the scaled operational delays.
 	Timing Timing
+	// Supervision holds the supervisors' restart policy (backoff, retry
+	// budget, flapping detection). Zero value means DefaultSupervision.
+	Supervision Supervision
 }
 
 // hwLoc names the hardware column a process runs on.
@@ -33,6 +37,8 @@ type hwLoc struct {
 type Cluster struct {
 	cfg    Config
 	timing Timing
+	sup    Supervision
+	rng    *rand.Rand // backoff jitter source, guarded by mu
 
 	bus            *Bus
 	configStore    *QuorumStore
@@ -49,6 +55,7 @@ type Cluster struct {
 	redis      []map[string]string // per-node realtime cache content
 	redisAlive []bool              // previous redis liveness, for cache loss on crash
 	isolated   map[int]bool        // controller nodes partitioned away
+	cutLinks   map[link]bool       // severed controller-pair mesh links
 	probeSeq   uint64
 	started    bool
 	stopped    bool
@@ -86,10 +93,18 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Timing.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Supervision == (Supervision{}) {
+		cfg.Supervision = DefaultSupervision()
+	}
+	if err := cfg.Supervision.Validate(); err != nil {
+		return nil, err
+	}
 	n := cfg.Topology.ClusterSize
 	c := &Cluster{
 		cfg:            cfg,
 		timing:         cfg.Timing,
+		sup:            cfg.Supervision,
+		rng:            rand.New(rand.NewSource(cfg.Supervision.JitterSeed)),
 		bus:            NewBus(),
 		configStore:    NewQuorumStore("cassandra-config", n),
 		analyticsStore: NewQuorumStore("cassandra-analytics", n),
@@ -339,19 +354,23 @@ func (c *Cluster) lookup(role string, node int, name string) (*Proc, procKey, er
 	return p, k, nil
 }
 
-// KillProcess crashes one process instance.
+// KillProcess crashes one process instance. Killing an already-failed (or
+// Fatal) process is a no-op. Repeated crashes of a supervised child feed
+// the supervision ladder: backoff growth, and Fatal once the retry budget
+// is exhausted or flapping detection trips.
 func (c *Cluster) KillProcess(role string, node int, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, k, err := c.lookup(role, node, name)
+	p, _, err := c.lookup(role, node, name)
 	if err != nil {
 		return err
 	}
-	if p.state == Failed {
+	if p.state != Running {
 		return nil
 	}
+	now := time.Now()
 	p.state = Failed
-	p.failedAt = time.Now()
+	p.failedAt = now
 	if !p.IsSup {
 		if sup, ok := c.cfg.Profile.SupervisorOf(profile.Role(role)); ok {
 			if !c.aliveLocked(procKey{role: role, node: node, name: sup.Name}) {
@@ -359,13 +378,15 @@ func (c *Cluster) KillProcess(role string, node int, name string) error {
 			}
 		}
 	}
-	_ = k
+	c.noteCrashLocked(p, now)
 	c.recomputeLocked()
 	return nil
 }
 
 // RestartProcess performs a manual restart of one process instance. It
-// fails if the underlying hardware is down.
+// fails if the underlying hardware is down. A manual restart recovers a
+// Fatal process and resets its crash-loop bookkeeping — the operator's
+// intervention grants a fresh retry budget.
 func (c *Cluster) RestartProcess(role string, node int, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -378,6 +399,7 @@ func (c *Cluster) RestartProcess(role string, node int, name string) error {
 	}
 	p.state = Running
 	p.restarts++
+	p.resetSupervision()
 	c.recomputeLocked()
 	return nil
 }
@@ -403,10 +425,12 @@ func (c *Cluster) RestartNodeRole(role string, node int) error {
 		if k.role == role && k.node == node && !p.IsSup {
 			p.state = Failed
 			p.failedAt = time.Now()
+			p.resetSupervision() // the fresh supervisor starts with clean state
 		}
 	}
 	c.procs[supKey].state = Running
 	c.procs[supKey].restarts++
+	c.procs[supKey].resetSupervision()
 	c.recomputeLocked()
 	return nil
 }
@@ -450,9 +474,14 @@ func (c *Cluster) setHW(kind, name string, up bool) error {
 			p.state = Failed
 			p.failedAt = time.Now()
 		} else if c.hwUpLocked(k) {
+			// A booted element runs a fresh supervisord: FATAL does not
+			// survive a reboot, and crash-loop bookkeeping starts clean.
+			p.resetSupervision()
 			if p.IsSup {
 				p.state = Running
 				p.restarts++
+			} else if p.state == Fatal {
+				p.state = Failed // the fresh supervisor will start it
 			}
 		}
 	}
@@ -481,6 +510,9 @@ type ProcStatus struct {
 	State    ProcState
 	Alive    bool // state ∧ hardware
 	Restarts int
+	// Unsupervised counts failures that occurred while the process's
+	// supervisor was down (requiring manual restart to recover).
+	Unsupervised int
 }
 
 // Snapshot lists every process with its effective liveness, sorted by
@@ -493,10 +525,20 @@ func (c *Cluster) Snapshot() []ProcStatus {
 		out = append(out, ProcStatus{
 			Role: k.role, Node: k.node, Name: k.name,
 			State: p.state, Alive: c.aliveLocked(k), Restarts: p.restarts,
+			Unsupervised: p.unsuper,
 		})
 	}
 	sortStatuses(out)
 	return out
+}
+
+// BusStats returns the message bus's aggregate accepted/dropped counters.
+func (c *Cluster) BusStats() (published, dropped uint64) { return c.bus.Stats() }
+
+// BusSubscriptionStats returns per-subscription drop counts, so lossy
+// consumers can be identified individually.
+func (c *Cluster) BusSubscriptionStats() []SubscriptionStats {
+	return c.bus.SubscriptionStats()
 }
 
 func sortStatuses(s []ProcStatus) {

@@ -100,8 +100,8 @@ func (ctl *controlNode) resyncLocked() {
 		if peer.node == ctl.node || !ctl.c.aliveLocked(peer.key()) {
 			continue
 		}
-		if ctl.c.isolated[peer.node] != ctl.c.isolated[ctl.node] {
-			continue // the partition separates us
+		if !ctl.c.meshConnectedLocked(peer.node, ctl.node) {
+			continue // a partition or link cut separates us
 		}
 		if peer.cfgVersion > ctl.cfgVersion {
 			ctl.cfgVersion = peer.cfgVersion
@@ -137,7 +137,7 @@ func (ctl *controlNode) advertiseLocked(prefix, nexthop string) {
 	install(ctl)
 	for _, peer := range ctl.c.controls {
 		if peer.node != ctl.node && ctl.c.aliveLocked(peer.key()) &&
-			ctl.c.isolated[peer.node] == ctl.c.isolated[ctl.node] {
+			ctl.c.meshConnectedLocked(peer.node, ctl.node) {
 			install(peer)
 		}
 	}
@@ -157,7 +157,7 @@ func (ctl *controlNode) withdrawLocked(prefix, nexthop string) {
 	remove(ctl)
 	for _, peer := range ctl.c.controls {
 		if peer.node != ctl.node && ctl.c.aliveLocked(peer.key()) &&
-			ctl.c.isolated[peer.node] == ctl.c.isolated[ctl.node] {
+			ctl.c.meshConnectedLocked(peer.node, ctl.node) {
 			remove(peer)
 		}
 	}

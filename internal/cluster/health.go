@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdnavail/internal/profile"
+)
+
+// Degraded-health reporting. The availability probes (ProbeCP/ProbeDP) are
+// binary — up or down — but operations cares just as much about the state
+// between: quorums running at bare majority, a split control mesh, node
+// roles running unsupervised, processes the supervisors have given up on.
+// Health rolls those per-subsystem views into a single snapshot so a chaos
+// report (or an operator) can tell "degraded" from "down".
+
+// Health is a coarse cluster health level.
+type Health int
+
+const (
+	// Healthy: every subsystem has failure headroom.
+	Healthy Health = iota
+	// Degraded: service still works, but headroom or coverage is lost —
+	// bare quorum, mesh cuts, unsupervised node-roles, Fatal processes.
+	Degraded
+	// Critical: at least one subsystem is no longer functional (quorum
+	// lost, no usable control node, nothing supervised).
+	Critical
+)
+
+// String names the level.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
+// SubsystemHealth is one subsystem's verdict with its reason.
+type SubsystemHealth struct {
+	Name   string
+	Level  Health
+	Reason string
+}
+
+// HealthReport is a point-in-time cluster health snapshot.
+type HealthReport struct {
+	// Level is the worst subsystem level.
+	Level Health
+	// Subsystems holds the per-subsystem verdicts (quorum, mesh,
+	// supervision, processes), in that order.
+	Subsystems []SubsystemHealth
+	// FatalProcs names every process in the Fatal state (role/node/name).
+	FatalProcs []string
+}
+
+// String renders the report, one subsystem per line.
+func (r HealthReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cluster health: %s\n", r.Level)
+	for _, s := range r.Subsystems {
+		fmt.Fprintf(&sb, "  %-12s %-9s %s\n", s.Name+":", s.Level.String(), s.Reason)
+	}
+	return sb.String()
+}
+
+// Health computes the cluster health snapshot: quorum margins across the
+// four Database-backed stores, control-mesh connectivity, supervision
+// coverage, and crash-looped (Fatal) processes.
+func (c *Cluster) Health() HealthReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rep HealthReport
+	add := func(name string, level Health, reason string) {
+		rep.Subsystems = append(rep.Subsystems, SubsystemHealth{Name: name, Level: level, Reason: reason})
+		if level > rep.Level {
+			rep.Level = level
+		}
+	}
+
+	n := c.cfg.Topology.ClusterSize
+	need := n/2 + 1
+
+	// Quorum margin per clustered store.
+	db := string(profile.Database)
+	stores := []struct{ store, proc string }{
+		{"cassandra-config", "cassandra-db (Config)"},
+		{"cassandra-analytics", "cassandra-db (Analytics)"},
+		{"zookeeper", "zookeeper"},
+		{"kafka", "kafka"},
+	}
+	level := Healthy
+	var reasons []string
+	for _, s := range stores {
+		up := 0
+		for node := 0; node < n; node++ {
+			if c.usableLocked(procKey{role: db, node: node, name: s.proc}) {
+				up++
+			}
+		}
+		switch margin := up - need; {
+		case margin < 0:
+			level = Critical
+			reasons = append(reasons, fmt.Sprintf("%s quorum lost (%d/%d replicas usable, need %d)", s.store, up, n, need))
+		case margin == 0:
+			if level < Degraded {
+				level = Degraded
+			}
+			reasons = append(reasons, fmt.Sprintf("%s at bare quorum (%d/%d replicas usable, margin 0)", s.store, up, n))
+		}
+	}
+	if len(reasons) == 0 {
+		add("quorum", Healthy, fmt.Sprintf("all stores have failure headroom (majority %d of %d)", need, n))
+	} else {
+		add("quorum", level, strings.Join(reasons, "; "))
+	}
+
+	// Control-mesh connectivity over the usable control processes.
+	var usable []int
+	for node := 0; node < n; node++ {
+		if c.usableLocked(procKey{role: string(profile.Control), node: node, name: "control"}) {
+			usable = append(usable, node)
+		}
+	}
+	cuts := len(c.cutLinks)
+	switch comps := c.meshComponentsLocked(usable); {
+	case len(usable) == 0:
+		add("mesh", Critical, "no usable control node: agents flush and host data planes fail")
+	case comps > 1:
+		add("mesh", Degraded, fmt.Sprintf("control mesh split into %d components (%d link cut(s))", comps, cuts))
+	case len(usable) < n:
+		add("mesh", Degraded, fmt.Sprintf("%d of %d control nodes usable", len(usable), n))
+	case cuts > 0:
+		add("mesh", Degraded, fmt.Sprintf("%d mesh link(s) cut; mesh still connected", cuts))
+	default:
+		add("mesh", Healthy, fmt.Sprintf("full mesh over %d control nodes", n))
+	}
+
+	// Supervision coverage: node-roles whose supervisor is alive.
+	total, dead := 0, 0
+	var deadRoles []string
+	for k, p := range c.procs {
+		if !p.IsSup {
+			continue
+		}
+		total++
+		if !c.aliveLocked(k) {
+			dead++
+			deadRoles = append(deadRoles, fmt.Sprintf("%s/%d", k.role, k.node))
+		}
+	}
+	sort.Strings(deadRoles)
+	switch {
+	case dead == 0:
+		add("supervision", Healthy, fmt.Sprintf("all %d node-roles supervised", total))
+	case dead == total:
+		add("supervision", Critical, "every node-role unsupervised: no automatic restarts anywhere")
+	default:
+		add("supervision", Degraded, fmt.Sprintf("%d of %d node-roles unsupervised: %s", dead, total, strings.Join(deadRoles, ", ")))
+	}
+
+	// Fatal processes: supervisors that gave up.
+	failed := 0
+	for k, p := range c.procs {
+		switch {
+		case p.state == Fatal:
+			rep.FatalProcs = append(rep.FatalProcs, fmt.Sprintf("%s/%d/%s", k.role, k.node, k.name))
+		case !c.aliveLocked(k):
+			failed++
+		}
+	}
+	sort.Strings(rep.FatalProcs)
+	if len(rep.FatalProcs) > 0 {
+		add("processes", Degraded, fmt.Sprintf("%d process(es) FATAL (restart budget exhausted, manual restart required): %s",
+			len(rep.FatalProcs), strings.Join(rep.FatalProcs, ", ")))
+	} else {
+		add("processes", Healthy, fmt.Sprintf("no FATAL processes (%d failed awaiting restart)", failed))
+	}
+	return rep
+}
+
+// meshComponentsLocked counts connected components of the control mesh
+// restricted to the given (usable) nodes, honoring isolation and link
+// cuts. Callers hold c.mu.
+func (c *Cluster) meshComponentsLocked(nodes []int) int {
+	if len(nodes) == 0 {
+		return 0
+	}
+	seen := map[int]bool{}
+	comps := 0
+	for _, start := range nodes {
+		if seen[start] {
+			continue
+		}
+		comps++
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, next := range nodes {
+				if !seen[next] && c.meshConnectedLocked(cur, next) {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return comps
+}

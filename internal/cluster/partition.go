@@ -2,19 +2,34 @@ package cluster
 
 import "fmt"
 
-// Network partitions. The testbed models the dominant real-world incident:
-// a set of controller nodes becomes isolated from the rest of the cluster
-// and from the compute hosts (an inter-rack uplink failure, say). Isolated
-// nodes keep running — their processes are alive — but nothing outside the
-// isolation can reach them: quorum backends lose their replicas, vRouter
-// agents drop their sessions, and the BGP mesh stops flooding to them.
-// Healing the partition restores reachability; stores catch stale replicas
-// up by read repair and control processes re-sync from the mesh.
+// Network partitions. The testbed models two incident classes:
+//
+//   - Whole-node isolation (IsolateNodes): a set of controller nodes
+//     becomes unreachable from the rest of the cluster and from the
+//     compute hosts (an inter-rack uplink failure, say). Isolated nodes
+//     keep running — their processes are alive — but nothing outside the
+//     isolation can reach them: quorum backends lose their replicas,
+//     vRouter agents drop their sessions, and the BGP mesh stops flooding
+//     to them.
+//
+//   - Asymmetric link cuts (CutLink): a single controller-pair mesh link
+//     fails while both endpoints stay reachable by clients and compute
+//     hosts — the gray, partial partition of a flaky cross-rack path. The
+//     iBGP full mesh does not re-advertise through a third node, so the
+//     pair stops exchanging routes while everything else still works; the
+//     cluster degrades without going down.
+//
+// Healing restores reachability; stores catch stale replicas up by read
+// repair and control processes re-sync from the mesh.
 
 // IsolateNodes partitions the given controller nodes away from the rest of
 // the cluster and from the compute hosts. Calling it again replaces the
-// isolated set.
+// isolated set. At least one node is required: an empty call used to
+// silently heal the partition, which is what HealPartition is for.
 func (c *Cluster) IsolateNodes(nodes ...int) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("cluster: IsolateNodes needs at least one node (use HealPartition to clear isolation)")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, n := range nodes {
@@ -22,7 +37,7 @@ func (c *Cluster) IsolateNodes(nodes ...int) error {
 			return fmt.Errorf("cluster: no controller node %d", n)
 		}
 	}
-	c.isolated = map[int]bool{}
+	c.isolated = make(map[int]bool, len(nodes))
 	for _, n := range nodes {
 		c.isolated[n] = true
 	}
@@ -44,6 +59,94 @@ func (c *Cluster) Isolated(node int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.isolated[node]
+}
+
+// link names a severed controller-pair mesh link, normalized a < b.
+type link struct{ a, b int }
+
+func normLink(a, b int) link {
+	if a > b {
+		a, b = b, a
+	}
+	return link{a: a, b: b}
+}
+
+// CutLink severs the control-mesh link between two controller nodes. Both
+// nodes stay reachable by clients and compute hosts; only their mutual BGP
+// session drops. Cutting an already-cut link is a no-op.
+func (c *Cluster) CutLink(a, b int) error {
+	if a == b {
+		return fmt.Errorf("cluster: cannot cut a link from node %d to itself", a)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range []int{a, b} {
+		if n < 0 || n >= c.cfg.Topology.ClusterSize {
+			return fmt.Errorf("cluster: no controller node %d", n)
+		}
+	}
+	if c.cutLinks == nil {
+		c.cutLinks = map[link]bool{}
+	}
+	c.cutLinks[normLink(a, b)] = true
+	c.recomputeLocked()
+	return nil
+}
+
+// RestoreLink heals one severed mesh link; the endpoints re-exchange state
+// on the next mesh refresh.
+func (c *Cluster) RestoreLink(a, b int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range []int{a, b} {
+		if n < 0 || n >= c.cfg.Topology.ClusterSize {
+			return fmt.Errorf("cluster: no controller node %d", n)
+		}
+	}
+	delete(c.cutLinks, normLink(a, b))
+	if len(c.cutLinks) == 0 {
+		c.cutLinks = nil
+	}
+	c.meshRefreshLocked()
+	c.recomputeLocked()
+	return nil
+}
+
+// HealLinks restores every severed mesh link.
+func (c *Cluster) HealLinks() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cutLinks = nil
+	c.meshRefreshLocked()
+	c.recomputeLocked()
+}
+
+// LinkCut reports whether the mesh link between the two controller nodes
+// is currently severed.
+func (c *Cluster) LinkCut(a, b int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.linkCutLocked(a, b)
+}
+
+func (c *Cluster) linkCutLocked(a, b int) bool {
+	return c.cutLinks[normLink(a, b)]
+}
+
+// meshConnectedLocked reports whether two controller nodes can exchange
+// mesh state: same side of any isolation, and the pairwise link intact.
+func (c *Cluster) meshConnectedLocked(a, b int) bool {
+	return c.isolated[a] == c.isolated[b] && !c.linkCutLocked(a, b)
+}
+
+// meshRefreshLocked re-syncs every alive control from its now-reachable
+// peers — the BGP session re-establishment after a link heals.
+func (c *Cluster) meshRefreshLocked() {
+	for _, ctl := range c.controls {
+		if c.aliveLocked(ctl.key()) {
+			ctl.resyncLocked()
+		}
+	}
 }
 
 // reachableLocked reports whether the controller node can be reached from

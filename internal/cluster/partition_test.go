@@ -143,6 +143,135 @@ func TestIsolateValidation(t *testing.T) {
 	c.HealPartition()
 }
 
+// TestIsolateNodesEmptyArgsError: an empty IsolateNodes call must be
+// rejected and must NOT silently heal an existing partition (that is
+// HealPartition's job).
+func TestIsolateNodesEmptyArgsError(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	if err := c.IsolateNodes(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IsolateNodes(); err == nil {
+		t.Fatal("empty IsolateNodes call accepted")
+	}
+	if !c.Isolated(1) {
+		t.Fatal("empty IsolateNodes call healed the existing partition")
+	}
+	c.HealPartition()
+	if c.Isolated(1) {
+		t.Fatal("HealPartition did not clear isolation")
+	}
+}
+
+// TestCutLinkValidation covers link-cut argument checking and the
+// symmetric bookkeeping.
+func TestCutLinkValidation(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	if err := c.CutLink(0, 0); err == nil {
+		t.Error("self-link cut accepted")
+	}
+	if err := c.CutLink(0, 9); err == nil {
+		t.Error("out-of-range link cut accepted")
+	}
+	if err := c.RestoreLink(0, 9); err == nil {
+		t.Error("out-of-range link restore accepted")
+	}
+	if err := c.CutLink(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The cut is symmetric and normalized.
+	if !c.LinkCut(0, 2) || !c.LinkCut(2, 0) {
+		t.Error("link cut not symmetric")
+	}
+	if c.LinkCut(0, 1) {
+		t.Error("uncut link reported cut")
+	}
+	if err := c.RestoreLink(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.LinkCut(0, 2) {
+		t.Error("restored link still reported cut")
+	}
+}
+
+// TestAsymmetricLinkCutDegradesWithoutOutage: cutting the mesh links
+// around one control node leaves it reachable by clients and agents (CP
+// and DP stay up) but unable to exchange mesh state — a restarted control
+// behind the cuts cannot resync until the links heal. Health reports the
+// whole episode as degraded, not critical.
+func TestAsymmetricLinkCutDegradesWithoutOutage(t *testing.T) {
+	c := newTestCluster(t, topology.Small)
+	id, err := c.CreateNetwork("pre-cut", "10.60.0.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := c.WaitUntil(waitLong, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.controls[1].cfgVersion >= id
+	})
+	if !ok {
+		t.Fatal("control 1 did not apply the pre-cut config")
+	}
+
+	// Sever both mesh links of control node 1.
+	if err := c.CutLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CutLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both planes ride through: the config path (bus) and the agent
+	// connections do not traverse the mesh links.
+	if err := c.ProbeCP(waitLong); err != nil {
+		t.Fatalf("CP should survive mesh link cuts: %v", err)
+	}
+	for h := 0; h < 3; h++ {
+		if err := c.ProbeDP(h); err != nil {
+			t.Fatalf("DP host %d should survive mesh link cuts: %v", h, err)
+		}
+	}
+	rep := c.Health()
+	if rep.Level != Degraded {
+		t.Fatalf("health during link cuts = %v, want Degraded\n%s", rep.Level, rep)
+	}
+
+	// A control that crashes behind the cuts loses its state and cannot
+	// resync from the mesh: it stays at config version 0 even though its
+	// peers hold the config.
+	if err := c.KillProcess("Control", 1, "control"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitUntil(waitLong, func() bool { return c.Alive("Control", 1, "control") }) {
+		t.Fatal("supervisor did not restart control 1")
+	}
+	c.mu.Lock()
+	behind := c.controls[1].cfgVersion
+	peer := c.controls[0].cfgVersion
+	c.mu.Unlock()
+	if peer < id {
+		t.Fatalf("peer control lost config version: %d < %d", peer, id)
+	}
+	if behind >= id {
+		t.Fatalf("control 1 resynced across cut links (version %d)", behind)
+	}
+
+	// Healing triggers a mesh refresh: the stale control catches up.
+	c.HealLinks()
+	ok = c.WaitUntil(waitLong, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.controls[1].cfgVersion >= id
+	})
+	if !ok {
+		t.Fatal("control 1 did not catch up after links healed")
+	}
+	if rep := c.Health(); rep.Level != Healthy {
+		t.Fatalf("health after heal = %v, want Healthy\n%s", rep.Level, rep)
+	}
+}
+
 // TestPolicyPropagation: a deny policy installed through the northbound
 // API must reach the vRouter agents and stop forwarding; flipping it back
 // to allow restores traffic.

@@ -14,6 +14,12 @@ const (
 	// Failed: the process has crashed or been killed and awaits restart
 	// (automatic by its supervisor, or manual).
 	Failed
+	// Fatal: the process crash-looped until its supervisor exhausted the
+	// restart budget (or flapping detection tripped) and gave up — the
+	// supervisord FATAL state. The process is no longer auto-restarted; it
+	// returns only via a manual restart, a node-role restart, or a host
+	// reboot (which boots a fresh supervisor).
+	Fatal
 )
 
 // String names the state.
@@ -23,6 +29,8 @@ func (s ProcState) String() string {
 		return "running"
 	case Failed:
 		return "failed"
+	case Fatal:
+		return "fatal"
 	default:
 		return fmt.Sprintf("ProcState(%d)", int(s))
 	}
@@ -42,6 +50,23 @@ type Proc struct {
 	failedAt time.Time
 	restarts int // completed restarts, for diagnostics
 	unsuper  int // failures that occurred while the supervisor was down
+
+	// Supervision bookkeeping (auto-restart children only).
+	backoffs       int         // consecutive quick failures since the last stable run
+	backoffUntil   time.Time   // the supervisor may not restart before this
+	lastSupRestart time.Time   // when the supervisor last restarted this child
+	failTimes      []time.Time // recent crash times, for flapping detection
+}
+
+// resetSupervision clears the crash-loop bookkeeping — called on any manual
+// intervention (manual restart, node-role restart) and on host reboot,
+// where a fresh supervisor starts with clean state (FATAL does not survive
+// a supervisord restart).
+func (p *Proc) resetSupervision() {
+	p.backoffs = 0
+	p.backoffUntil = time.Time{}
+	p.lastSupRestart = time.Time{}
+	p.failTimes = nil
 }
 
 // key identifies a process within the cluster tables.
@@ -83,12 +108,126 @@ func (t Timing) Validate() error {
 	return nil
 }
 
+// Supervision configures the supervisors' restart policy — the testbed's
+// supervisord semantics. A child that dies shortly after a supervised
+// restart (within QuickFailWindow) is treated as a failed start attempt:
+// the next restart waits an exponentially growing, jittered backoff, and
+// after StartRetries consecutive failed attempts the supervisor gives up
+// and the child enters Fatal (supervisord's FATAL after startretries).
+// Independently, FlapThreshold crashes within FlapWindow mark the child
+// Fatal even when each individual run lasted long enough to look healthy.
+type Supervision struct {
+	// StartRetries is the retry budget: the number of consecutive quick
+	// failures tolerated before the child goes Fatal.
+	StartRetries int
+	// BackoffBase is the backoff before the first retry; it doubles per
+	// consecutive quick failure.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff.
+	BackoffMax time.Duration
+	// QuickFailWindow: a crash within this window after a supervised
+	// restart counts against the retry budget (the restart "didn't take").
+	QuickFailWindow time.Duration
+	// FlapWindow and FlapThreshold drive flapping detection: at least
+	// FlapThreshold crashes within FlapWindow mark the child Fatal.
+	FlapWindow    time.Duration
+	FlapThreshold int
+	// JitterSeed seeds the backoff jitter source, for reproducible runs.
+	JitterSeed int64
+}
+
+// DefaultSupervision returns the scaled defaults (supervisord's
+// startretries=3, shrunk from seconds to milliseconds like Timing).
+func DefaultSupervision() Supervision {
+	return Supervision{
+		StartRetries:    3,
+		BackoffBase:     4 * time.Millisecond,
+		BackoffMax:      40 * time.Millisecond,
+		QuickFailWindow: 20 * time.Millisecond,
+		FlapWindow:      300 * time.Millisecond,
+		FlapThreshold:   6,
+		JitterSeed:      1,
+	}
+}
+
+// Validate reports out-of-range supervision parameters.
+func (s Supervision) Validate() error {
+	if s.StartRetries < 0 {
+		return fmt.Errorf("cluster: StartRetries must be non-negative, got %d", s.StartRetries)
+	}
+	if s.BackoffBase <= 0 || s.BackoffMax <= 0 || s.QuickFailWindow <= 0 || s.FlapWindow <= 0 {
+		return fmt.Errorf("cluster: supervision durations must be positive: %+v", s)
+	}
+	if s.BackoffMax < s.BackoffBase {
+		return fmt.Errorf("cluster: BackoffMax %v below BackoffBase %v", s.BackoffMax, s.BackoffBase)
+	}
+	if s.FlapThreshold < 1 {
+		return fmt.Errorf("cluster: FlapThreshold must be at least 1, got %d", s.FlapThreshold)
+	}
+	return nil
+}
+
+// noteCrashLocked records an effective crash (Running → Failed transition
+// via KillProcess) for supervision accounting. Hardware failures and
+// intentional restarts do not run through here: a host outage is not a
+// crash loop, and a node-role restart is the cure, not the disease.
+// Callers hold c.mu.
+func (c *Cluster) noteCrashLocked(p *Proc, now time.Time) {
+	if p.Manual || p.IsSup {
+		return // nobody auto-restarts these; the ladder does not apply
+	}
+	// Flapping detection over a sliding window of crash times.
+	cutoff := now.Add(-c.sup.FlapWindow)
+	keep := p.failTimes[:0]
+	for _, ts := range p.failTimes {
+		if ts.After(cutoff) {
+			keep = append(keep, ts)
+		}
+	}
+	p.failTimes = append(keep, now)
+	if len(p.failTimes) >= c.sup.FlapThreshold {
+		p.state = Fatal
+		return
+	}
+	// Retry budget: a crash shortly after a supervised restart means the
+	// restart attempt failed.
+	if !p.lastSupRestart.IsZero() && now.Sub(p.lastSupRestart) < c.sup.QuickFailWindow {
+		p.backoffs++
+		if p.backoffs > c.sup.StartRetries {
+			p.state = Fatal
+			return
+		}
+		p.backoffUntil = now.Add(c.backoffDelayLocked(p.backoffs))
+		return
+	}
+	// The child ran long enough to count as a stable start: fresh budget.
+	p.backoffs = 0
+	p.backoffUntil = time.Time{}
+}
+
+// backoffDelayLocked computes the jittered exponential backoff for the
+// given consecutive-failure count (attempt ≥ 1). Callers hold c.mu.
+func (c *Cluster) backoffDelayLocked(attempt int) time.Duration {
+	shift := uint(attempt - 1)
+	if shift > 20 {
+		shift = 20 // cap the exponent well past any sane BackoffMax
+	}
+	d := c.sup.BackoffBase << shift
+	if d <= 0 || d > c.sup.BackoffMax {
+		d = c.sup.BackoffMax
+	}
+	// Up to +50% jitter decorrelates restart storms across children.
+	return d + time.Duration(c.rng.Int63n(int64(d)/2+1))
+}
+
 // supervisor drives auto-restart for one node-role. It runs as a goroutine
 // owned by the Cluster and scans its children every SupervisorCheck tick:
-// any Failed, non-manual child is restarted after the AutoRestart delay,
-// but only while the supervisor process itself is effectively alive —
-// matching the paper's semantics that a dead supervisor leaves its
-// node-role unsupervised (children then require manual restart).
+// any Failed, non-manual child past its backoff deadline is restarted
+// after the AutoRestart delay, but only while the supervisor process
+// itself is effectively alive — matching the paper's semantics that a dead
+// supervisor leaves its node-role unsupervised (children then require
+// manual restart). Fatal children are never touched: the supervisor has
+// given up on them.
 type supervisor struct {
 	c        *Cluster
 	self     procKey
@@ -114,6 +253,7 @@ func (s *supervisor) run() {
 // scan restarts failed auto-restart children if the supervisor is alive.
 func (s *supervisor) scan() {
 	c := s.c
+	now := time.Now()
 	c.mu.Lock()
 	if !c.aliveLocked(s.self) {
 		c.mu.Unlock()
@@ -122,7 +262,7 @@ func (s *supervisor) scan() {
 	var toRestart []procKey
 	for _, k := range s.children {
 		p := c.procs[k]
-		if p.state == Failed && !p.Manual && c.hwUpLocked(k) {
+		if p.state == Failed && !p.Manual && c.hwUpLocked(k) && !now.Before(p.backoffUntil) {
 			toRestart = append(toRestart, k)
 		}
 	}
@@ -142,10 +282,12 @@ func (s *supervisor) scan() {
 	for _, k := range toRestart {
 		p := c.procs[k]
 		// Re-check: the supervisor may have died, or the child may have
-		// been restarted manually, while the restart was in flight.
+		// been restarted manually (or gone Fatal via another crash), while
+		// the restart was in flight.
 		if p.state == Failed && c.aliveLocked(s.self) && c.hwUpLocked(k) {
 			p.state = Running
 			p.restarts++
+			p.lastSupRestart = time.Now()
 		}
 	}
 	c.recomputeLocked()

@@ -207,6 +207,26 @@ type ClusterConfig = cluster.Config
 // ClusterTiming holds the testbed's scaled operational delays.
 type ClusterTiming = cluster.Timing
 
+// ClusterSupervision configures the supervisors' restart policy: retry
+// budget, exponential backoff, quick-fail window, and flapping detection
+// (supervisord semantics, scaled like ClusterTiming).
+type ClusterSupervision = cluster.Supervision
+
+// ClusterHealth is the coarse cluster health level (Healthy, Degraded or
+// Critical).
+type ClusterHealth = cluster.Health
+
+// ClusterHealthReport is a point-in-time per-subsystem health snapshot
+// from Cluster.Health().
+type ClusterHealthReport = cluster.HealthReport
+
+// Cluster health levels.
+const (
+	ClusterHealthy  = cluster.Healthy
+	ClusterDegraded = cluster.Degraded
+	ClusterCritical = cluster.Critical
+)
+
 // NewCluster assembles a testbed cluster (call Start, defer Stop).
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
@@ -232,6 +252,16 @@ func RunScenario(c *Cluster, actions []ChaosAction, settle, probeEvery, probeTim
 // SectionIIIScenario returns the paper's section III control failure
 // narrative as a scripted scenario.
 func SectionIIIScenario(step time.Duration) []ChaosAction { return chaos.SectionIII(step) }
+
+// FlakyProcess is a fault injector that crash-loops one process, driving
+// the supervision ladder (backoff, retry budget, FATAL).
+type FlakyProcess = chaos.FlakyProcess
+
+// CrashLoopScenario crash-loops a supervised process until its supervisor
+// gives up (FATAL), then recovers it with a manual restart.
+func CrashLoopScenario(role string, node int, name string, step time.Duration) []ChaosAction {
+	return chaos.CrashLoop(role, node, name, step)
+}
 
 // ---- frequency-duration and weak-link analysis (extensions) ----
 
