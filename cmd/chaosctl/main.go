@@ -5,8 +5,9 @@
 // Usage:
 //
 //	chaosctl [-topology small|large] [-hosts n]
-//	         [-scenario section3|dbquorum|rack|partition|asymlink|crashloop|flapping|campaign]
+//	         [-scenario section3|dbquorum|rack|partition|asymlink|crashloop|flapping|headless|staleread|campaign]
 //	         [-step d] [-duration d] [-mbf d] [-repair d] [-seed s]
+//	         [-headless-hold d] [-route-max-age d] [-catchup d]
 //	         [-snapshot]
 //
 // Scenarios:
@@ -18,7 +19,16 @@
 //	flapping  — flap a control process into FATAL via flap detection
 //	dbquorum  — Cassandra quorum loss and repair
 //	rack      — full rack outage and operator recovery sweep
+//	headless  — total control outages around a headless vRouter hold: the
+//	            first is ridden out on stale routes, the second outlives
+//	            the hold and flushes (defaults -headless-hold to 2*step)
+//	staleread — Cassandra replica revival with a deferred catch-up window
+//	            (defaults -catchup to step)
 //	campaign  — randomized Poisson fault injection over all processes
+//
+// The -headless-hold, -route-max-age and -catchup flags configure the
+// cluster's graceful-degradation knobs for any scenario; zero keeps the
+// strict flush-immediately / reconcile-instantly behaviour.
 package main
 
 import (
@@ -48,16 +58,27 @@ func run(args []string, out io.Writer) error {
 	var (
 		topoName = flag.String("topology", "small", "deployment topology: small or large")
 		hosts    = flag.Int("hosts", 3, "vRouter compute hosts")
-		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition, asymlink, crashloop, flapping or campaign")
+		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition, asymlink, crashloop, flapping, headless, staleread or campaign")
 		step     = flag.Duration("step", 250*time.Millisecond, "delay between scripted injections")
 		duration = flag.Duration("duration", 2*time.Second, "campaign duration")
 		mbf      = flag.Duration("mbf", 100*time.Millisecond, "campaign mean time between faults")
 		repair   = flag.Duration("repair", 80*time.Millisecond, "campaign operator repair delay")
 		seed     = flag.Int64("seed", 1, "campaign seed")
+		hold     = flag.Duration("headless-hold", 0, "vRouter headless hold (0 = flush immediately)")
+		maxAge   = flag.Duration("route-max-age", 0, "per-route staleness bound while headless (0 = keep all)")
+		catchup  = flag.Duration("catchup", 0, "revived store replica catch-up latency (0 = instant resync)")
 		snapshot = flag.Bool("snapshot", false, "print the process snapshot after the run")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
+	}
+	// The degradation scenarios are no-ops without their knob; default it
+	// from the step so the bare -scenario invocation shows the behaviour.
+	if *scenario == "headless" && *hold == 0 {
+		*hold = 2 * *step
+	}
+	if *scenario == "staleread" && *catchup == 0 {
+		*catchup = *step
 	}
 
 	prof := profile.OpenContrail3x()
@@ -71,7 +92,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown topology %q", *topoName)
 	}
 
-	c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: *hosts})
+	c, err := cluster.New(cluster.Config{
+		Profile: prof, Topology: topo, ComputeHosts: *hosts,
+		Degradation: cluster.Degradation{HeadlessHold: *hold, RouteMaxAge: *maxAge, ReplicaCatchUp: *catchup},
+	})
 	if err != nil {
 		return err
 	}
@@ -100,6 +124,10 @@ func run(args []string, out io.Writer) error {
 		rep, err = chaos.RunScenario(c, chaos.CrashLoop("Config", 0, "config-api", *step), *step, 0, 0)
 	case "flapping":
 		rep, err = chaos.RunScenario(c, chaos.FlappingControl(0, *step), *step, 0, 0)
+	case "headless":
+		rep, err = chaos.RunScenario(c, chaos.Headless(*step), 2**step, 0, 0)
+	case "staleread":
+		rep, err = chaos.RunScenario(c, chaos.StaleRead(*step), 3**step, 0, 0)
 	case "campaign":
 		var hostNames []string
 		for _, r := range topo.Racks {

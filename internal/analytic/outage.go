@@ -2,6 +2,7 @@ package analytic
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"sdnavail/internal/relmath"
@@ -141,6 +142,52 @@ func (m *Model) CPOutageEstimate(rt RepairTimes) (OutageEstimate, error) {
 // plane.
 func (m *Model) DPOutageEstimate(rt RepairTimes) (OutageEstimate, error) {
 	return m.outageEstimate((*Model).DataPlane, rt)
+}
+
+// HeadlessDataPlane returns the per-host data-plane availability when the
+// vRouter agents run a headless mode: a shared-DP outage only takes the
+// host data plane down once it has lasted longer than holdHours, because
+// the agents keep forwarding from their last-downloaded tables until the
+// hold expires (Contrail's "headless vRouter"; cluster.Degradation mirrors
+// it in the live testbed, mc.Config.HeadlessHold in the simulator).
+//
+// The shared-DP contribution is corrected with frequency-duration
+// analysis: outages arrive at rate f with mean duration D = U_SDP/f, so
+// with (approximately) exponential durations the expected downtime beyond
+// the hold is E[max(X−H, 0)] = D·e^{−H/D} per outage, shrinking the
+// shared unavailability to
+//
+//	U'_SDP = f · D·e^{−H/D} = U_SDP · e^{−H/D}
+//
+// and A_DP = (1 − U'_SDP) · A_LDP. The local vRouter term is unaffected:
+// a local process failure stops forwarding on that host regardless of any
+// cached routes. With holdHours = 0 this reduces exactly to DataPlane().
+// The exponential-duration assumption is exact when one repair class
+// dominates the shared-DP outages (e.g. the Small topology's shared rack)
+// and a second-order approximation otherwise;
+// TestMCHeadlessMatchesAnalytic validates it against the simulator.
+func (m *Model) HeadlessDataPlane(holdHours float64, rt RepairTimes) (float64, error) {
+	if holdHours < 0 {
+		return 0, fmt.Errorf("analytic: headless hold %g must be non-negative", holdHours)
+	}
+	if holdHours == 0 {
+		if err := m.Validate(); err != nil {
+			return 0, err
+		}
+		return m.DataPlane(), nil
+	}
+	est, err := m.outageEstimate((*Model).SharedDP, rt)
+	if err != nil {
+		return 0, err
+	}
+	u := 1 - est.Availability
+	freqPerHour := est.FrequencyPerYear / hoursPerYear
+	if u <= 0 || freqPerHour <= 0 {
+		return m.DataPlane(), nil
+	}
+	d := u / freqPerHour // mean shared-DP outage duration, hours
+	uHeld := u * math.Exp(-holdHours/d)
+	return (1 - uHeld) * m.LocalDP(), nil
 }
 
 // ImportanceEntry ranks one parameter class as a weak link.

@@ -336,3 +336,106 @@ func TestMajorityPartitionScenario(t *testing.T) {
 		t.Errorf("CP did not recover on heal: %s", tail.CPErr)
 	}
 }
+
+// newDegradedTestCluster boots the testbed with graceful-degradation
+// settings for the headless/staleread scenarios.
+func newDegradedTestCluster(t *testing.T, d cluster.Degradation) *cluster.Cluster {
+	t.Helper()
+	prof := profile.OpenContrail3x()
+	topo := topology.NewSmall(prof.ClusterRoles, 3)
+	c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 3, Degradation: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+// TestHeadlessScenario: with a hold of 2 steps, the first total control
+// outage (1 step) is ridden out headless — ProbeDP keeps passing with
+// every control dead — while the second (3 steps) outlives the hold and
+// flushes the tables; the final restore recovers the data planes.
+func TestHeadlessScenario(t *testing.T) {
+	const step = 150 * time.Millisecond
+	c := newDegradedTestCluster(t, cluster.Degradation{HeadlessHold: 2 * step})
+	rep, err := RunScenario(c, Headless(step), 2*step, 4*time.Millisecond, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := func(lo, hi time.Duration) (dpUpFrac float64, n int) {
+		up, total := 0, 0
+		for _, s := range rep.Samples {
+			if s.At < lo || s.At >= hi {
+				continue
+			}
+			for _, u := range s.DPUp {
+				total++
+				if u {
+					up++
+				}
+			}
+		}
+		if total == 0 {
+			return 0, 0
+		}
+		return float64(up) / float64(total), total
+	}
+	// Outage 1 spans (0, step) — shorter than the hold: the DP must stay
+	// up on stale forwarding state even though no control is alive.
+	if frac, n := window(step/4, step*9/10); n == 0 || frac < 0.9 {
+		t.Errorf("DP availability during in-hold outage = %.2f (n=%d), want ≈1", frac, n)
+	}
+	// Outage 2 starts at 2*step and the hold expires at ≈4*step: by the
+	// tail of the outage the tables are flushed and the DP is down.
+	if frac, n := window(step*9/2, step*5); n == 0 || frac > 0.3 {
+		t.Errorf("DP availability after the hold expired = %.2f (n=%d), want ≈0", frac, n)
+	}
+	// The restore at 5*step brings the data planes back.
+	tail := rep.Samples[len(rep.Samples)-1]
+	for h, up := range tail.DPUp {
+		if !up {
+			t.Errorf("host %d DP not recovered at end", h)
+		}
+	}
+}
+
+// TestStaleReadScenario: the replica catch-up window opens on the manual
+// restart; reads ride on the fresh majority throughout (CP stays up), the
+// cluster reports itself degraded during the window, and the maintenance
+// loop closes it before the end of the run.
+func TestStaleReadScenario(t *testing.T) {
+	const step = 150 * time.Millisecond
+	c := newDegradedTestCluster(t, cluster.Degradation{ReplicaCatchUp: step})
+	rep, err := RunScenario(c, StaleRead(step), 3*step, 4*time.Millisecond, 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPAvailability < 0.9 {
+		t.Errorf("CP availability %.3f; the fresh majority should serve reads throughout", rep.CPAvailability)
+	}
+	// Mid-window (just after the restart at 2*step) the cluster is
+	// degraded: the revived replica is catching up.
+	var degraded, n int
+	for _, s := range rep.Samples {
+		if s.At > 2*step && s.At < 2*step+step*3/4 {
+			n++
+			if s.Health >= cluster.Degraded {
+				degraded++
+			}
+		}
+	}
+	if n == 0 || degraded < n/2 {
+		t.Errorf("degraded health in %d/%d samples during the catch-up window, want most", degraded, n)
+	}
+	// The maintenance loop completed the catch-up: final health is clean
+	// and the write made during the outage is durable.
+	if len(rep.FinalHealth.CatchingUpReplicas) != 0 {
+		t.Errorf("catch-up never completed: %v", rep.FinalHealth.CatchingUpReplicas)
+	}
+	if v, err := c.GetNetwork("staleread-marker"); err != nil || v != "10.99.0.0/16" {
+		t.Errorf("GetNetwork after catch-up = %q, %v", v, err)
+	}
+}

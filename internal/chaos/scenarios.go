@@ -166,6 +166,65 @@ func AsymmetricPartition(step time.Duration) []Action {
 	}
 }
 
+// Headless exercises the graceful-degradation axis of the section III
+// narrative: with the cluster configured for a headless hold longer than
+// one step, a total control outage of one step is ridden out on stale
+// forwarding state (ProbeDP keeps passing); the second outage outlives the
+// hold, so the tables flush and the data planes go down until the final
+// restore. Run it against a cluster built with Degradation.HeadlessHold
+// between step and 3*step — with the hold at zero the first outage already
+// takes the data planes down, today's strict behaviour.
+func Headless(step time.Duration) []Action {
+	killAll := func(c *cluster.Cluster) error {
+		for node := 0; node < 3; node++ {
+			if err := c.KillProcess("Control", node, "control"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return []Action{
+		Step(0, "disable control supervision (kill all control supervisors)", func(c *cluster.Cluster) error {
+			for node := 0; node < 3; node++ {
+				if err := c.KillProcess("Control", node, "supervisor-control"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}),
+		Step(0, "kill all control processes (agents go headless)", killAll),
+		Step(step, "restore control-2 within the hold (DP never dropped)", func(c *cluster.Cluster) error {
+			return c.RestartProcess("Control", 1, "control")
+		}),
+		Step(step, "kill all control processes again", killAll),
+		Step(3*step, "restore control-1 after the hold expired (DPs flushed meanwhile)", func(c *cluster.Cluster) error {
+			return c.RestartProcess("Control", 0, "control")
+		}),
+	}
+}
+
+// StaleRead exercises the quorum-replica catch-up window: a Cassandra
+// (Config) replica dies, a config write lands on the surviving majority,
+// and the replica's manual restart parks it in the catching-up state —
+// excluded from read quorums, visible in Health().CatchingUpReplicas —
+// until the cluster's anti-entropy maintenance completes the resync. Run
+// it against a cluster built with Degradation.ReplicaCatchUp > 0; with the
+// latency at zero the revival reconciles instantly and no window exists.
+func StaleRead(step time.Duration) []Action {
+	return []Action{
+		Step(0, "kill cassandra-db (Config) on node 3", func(c *cluster.Cluster) error {
+			return c.KillProcess("Database", 2, "cassandra-db (Config)")
+		}),
+		Step(step, "write config while the replica is down", func(c *cluster.Cluster) error {
+			_, err := c.CreateNetwork("staleread-marker", "10.99.0.0/16")
+			return err
+		}),
+		Step(step, "manual restart of cassandra-db (Config) on node 3 (catch-up window opens)", func(c *cluster.Cluster) error {
+			return c.RestartProcess("Database", 2, "cassandra-db (Config)")
+		}),
+	}
+}
+
 // MajorityPartition isolates two controller nodes: the reachable side
 // loses every quorum and the control plane fails, while host data planes
 // survive on the remaining control process; healing restores service with

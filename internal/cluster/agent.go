@@ -9,10 +9,14 @@ import (
 
 // vRouterAgent is the per-compute-host forwarding agent. It maintains
 // connections to exactly two control nodes (round-robin over the alive
-// ones, per section II), downloads routes over those connections,
-// re-advertises its own prefix, and — if it ever holds zero connections —
-// flushes its forwarding table, taking the host data plane down until a
-// control node returns (section III).
+// ones, per section II), downloads routes over those connections, and
+// re-advertises its own prefix. When it holds zero connections the default
+// policy flushes the forwarding table immediately, taking the host data
+// plane down until a control node returns (section III). With a headless
+// hold configured (Degradation.HeadlessHold) the agent instead keeps
+// forwarding from its last-downloaded table — aging out individual routes
+// past Degradation.RouteMaxAge — and only flushes once the hold expires,
+// mirroring Contrail/Tungsten Fabric's headless vRouter mode.
 type vRouterAgent struct {
 	c      *Cluster
 	idx    int
@@ -24,6 +28,10 @@ type vRouterAgent struct {
 	policies map[string]bool
 	flushed  bool
 	rrNext   int // round-robin cursor for rediscovery
+
+	routeSeen     map[string]time.Time // last download refresh per prefix
+	headless      bool                 // forwarding on stale state, no control connection
+	headlessSince time.Time
 }
 
 func newAgent(c *Cluster, idx int, host string) *vRouterAgent {
@@ -31,10 +39,11 @@ func newAgent(c *Cluster, idx int, host string) *vRouterAgent {
 		c:        c,
 		idx:      idx,
 		host:     host,
-		prefix:   fmt.Sprintf("10.1.%d.0/24", idx),
-		routes:   map[string]string{},
-		policies: map[string]bool{},
-		rrNext:   idx, // spread initial connections round-robin across hosts
+		prefix:    fmt.Sprintf("10.1.%d.0/24", idx),
+		routes:    map[string]string{},
+		policies:  map[string]bool{},
+		routeSeen: map[string]time.Time{},
+		rrNext:    idx, // spread initial connections round-robin across hosts
 	}
 	a.conns[0], a.conns[1] = -1, -1
 	return a
@@ -79,8 +88,10 @@ func (a *vRouterAgent) dpdkKey() procKey {
 // Callers hold c.mu.
 func (a *vRouterAgent) maintainLocked() {
 	if !a.c.aliveLocked(a.agentKey()) {
-		// A dead agent holds no sessions; its XMPP connections drop.
+		// A dead agent holds no sessions (its XMPP connections drop) and
+		// no headless state survives the process.
 		a.conns[0], a.conns[1] = -1, -1
+		a.headless = false
 		return
 	}
 	// Drop connections whose control process died or became unreachable.
@@ -105,7 +116,6 @@ func (a *vRouterAgent) maintainLocked() {
 				if a.c.usableLocked(a.c.controls[cand].key()) {
 					a.conns[i] = cand
 					a.rrNext = (cand + 1) % n
-					a.downloadLocked(cand)
 					a.c.controls[cand].advertiseLocked(a.prefix, a.host)
 					break
 				}
@@ -113,40 +123,102 @@ func (a *vRouterAgent) maintainLocked() {
 		}
 	}
 	if a.conns[0] < 0 && a.conns[1] < 0 {
-		// No control connection anywhere: BGP forwarding state is
-		// flushed and the host data plane goes down.
-		if !a.flushed {
-			a.routes = map[string]string{}
-			a.flushed = true
-		}
+		a.disconnectedLocked(time.Now())
 		return
 	}
-	// Connected: keep the forwarding table synchronized.
+	// Connected: rebuild the forwarding table from the attached controls.
+	a.headless = false
 	a.flushed = false
 	for _, node := range a.conns {
 		if node >= 0 {
-			a.downloadLocked(node)
 			a.c.controls[node].advertiseLocked(a.prefix, a.host)
+		}
+	}
+	a.downloadLocked(time.Now())
+}
+
+// disconnectedLocked handles a maintenance pass with zero control
+// connections. Default policy: the BGP forwarding state is flushed at once
+// and the host data plane goes down. With a headless hold the agent keeps
+// its last-downloaded table, ages individual routes, and flushes only when
+// the hold expires. Callers hold c.mu.
+func (a *vRouterAgent) disconnectedLocked(now time.Time) {
+	hold := a.c.cfg.Degradation.HeadlessHold
+	if hold <= 0 || a.flushed {
+		if !a.flushed {
+			a.routes = map[string]string{}
+			a.routeSeen = map[string]time.Time{}
+			a.flushed = true
+		}
+		a.headless = false
+		return
+	}
+	if !a.headless {
+		a.headless = true
+		a.headlessSince = now
+	}
+	if now.Sub(a.headlessSince) >= hold {
+		a.routes = map[string]string{}
+		a.routeSeen = map[string]time.Time{}
+		a.flushed = true
+		a.headless = false
+		return
+	}
+	if maxAge := a.c.cfg.Degradation.RouteMaxAge; maxAge > 0 {
+		for prefix, seen := range a.routeSeen {
+			if now.Sub(seen) >= maxAge {
+				delete(a.routes, prefix)
+				delete(a.routeSeen, prefix)
+			}
 		}
 	}
 }
 
-// downloadLocked copies the control node's routes and policies into the
-// forwarding state. Callers hold c.mu.
-func (a *vRouterAgent) downloadLocked(node int) {
-	ctl := a.c.controls[node]
-	for prefix, hops := range ctl.routes {
-		if prefix == a.prefix {
+// downloadLocked rebuilds the forwarding state from the attached control
+// nodes: the new table is exactly the union of their routes and policies,
+// so prefixes a control has withdrawn disappear instead of lingering
+// forever, and every surviving route's staleness clock is reset. Callers
+// hold c.mu.
+func (a *vRouterAgent) downloadLocked(now time.Time) {
+	routes := map[string]string{}
+	policies := map[string]bool{}
+	for _, node := range a.conns {
+		if node < 0 {
 			continue
 		}
-		for h := range hops {
-			a.routes[prefix] = h
-			break
+		ctl := a.c.controls[node]
+		for prefix, hops := range ctl.routes {
+			if prefix == a.prefix {
+				continue
+			}
+			if _, ok := routes[prefix]; ok {
+				continue
+			}
+			for h := range hops {
+				routes[prefix] = h
+				break
+			}
+		}
+		for prefix, allow := range ctl.policies {
+			policies[prefix] = allow
 		}
 	}
-	for prefix, allow := range ctl.policies {
-		a.policies[prefix] = allow
+	for prefix := range routes {
+		a.routeSeen[prefix] = now
 	}
+	for prefix := range a.routeSeen {
+		if _, ok := routes[prefix]; !ok {
+			delete(a.routeSeen, prefix)
+		}
+	}
+	a.routes = routes
+	a.policies = policies
+}
+
+// headlessActiveLocked reports whether the agent is currently riding out a
+// control outage on stale state. Callers hold c.mu.
+func (a *vRouterAgent) headlessActiveLocked() bool {
+	return a.headless && !a.flushed
 }
 
 // connections returns the currently connected control node indices.
@@ -223,6 +295,11 @@ func (c *Cluster) Resolve(h int, fqdn string) error {
 	a := c.agents[h]
 	if !c.aliveLocked(a.agentKey()) {
 		return fmt.Errorf("cluster: host %s: vrouter-agent down", a.host)
+	}
+	if a.headlessActiveLocked() {
+		// Headless: resolution is served from the agent's local DNS
+		// cache, just as forwarding runs on the last-downloaded table.
+		return nil
 	}
 	ctlRole := string(profile.Control)
 	for _, node := range a.conns {

@@ -25,6 +25,11 @@ type Config struct {
 	// Supervision holds the supervisors' restart policy (backoff, retry
 	// budget, flapping detection). Zero value means DefaultSupervision.
 	Supervision Supervision
+	// Degradation holds the graceful-degradation knobs (headless agents,
+	// route aging, replica catch-up latency). The zero value keeps the
+	// strict historical behaviour: flush on disconnect, instant replica
+	// reconciliation.
+	Degradation Degradation
 }
 
 // hwLoc names the hardware column a process runs on.
@@ -56,6 +61,7 @@ type Cluster struct {
 	redisAlive []bool              // previous redis liveness, for cache loss on crash
 	isolated   map[int]bool        // controller nodes partitioned away
 	cutLinks   map[link]bool       // severed controller-pair mesh links
+	catchUpAt  map[catchUpKey]time.Time // deferred replica catch-up deadlines
 	probeSeq   uint64
 	started    bool
 	stopped    bool
@@ -99,6 +105,9 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Supervision.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Degradation.Validate(); err != nil {
+		return nil, err
+	}
 	n := cfg.Topology.ClusterSize
 	c := &Cluster{
 		cfg:            cfg,
@@ -115,7 +124,12 @@ func New(cfg Config) (*Cluster, error) {
 		rackUp:         map[string]bool{},
 		hostUp:         map[string]bool{},
 		vmUp:           map[string]bool{},
+		catchUpAt:      map[catchUpKey]time.Time{},
 		stopAll:        make(chan struct{}),
+	}
+	if cfg.Degradation.ReplicaCatchUp > 0 {
+		c.configStore.SetDeferredCatchUp(true)
+		c.analyticsStore.SetDeferredCatchUp(true)
 	}
 	for i := 0; i < n; i++ {
 		c.redis = append(c.redis, map[string]string{})
@@ -224,6 +238,25 @@ func (c *Cluster) Start() error {
 	for _, ag := range c.agents {
 		ag.start()
 	}
+	// Deferred replica catch-up runs off its own maintenance ticker so a
+	// revived store replica rejoins read quorums after the configured
+	// latency even while nothing else changes.
+	if c.cfg.Degradation.ReplicaCatchUp > 0 {
+		c.loops.Add(1)
+		go func() {
+			defer c.loops.Done()
+			ticker := time.NewTicker(c.timing.SupervisorCheck)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-c.stopAll:
+					return
+				case <-ticker.C:
+					c.runCatchUps()
+				}
+			}
+		}()
+	}
 	// Initial route convergence: the first agents to connect could not
 	// yet see the prefixes of agents that connected after them, so run
 	// one more synchronous maintenance pass over all agents.
@@ -305,8 +338,8 @@ func (c *Cluster) recomputeLocked() {
 	db := string(profile.Database)
 	an := string(profile.Analytics)
 	for node := 0; node < c.cfg.Topology.ClusterSize; node++ {
-		c.configStore.SetAlive(node, c.usableLocked(procKey{role: db, node: node, name: "cassandra-db (Config)"}))
-		c.analyticsStore.SetAlive(node, c.usableLocked(procKey{role: db, node: node, name: "cassandra-db (Analytics)"}))
+		c.setStoreAliveLocked(c.configStore, node, c.usableLocked(procKey{role: db, node: node, name: "cassandra-db (Config)"}))
+		c.setStoreAliveLocked(c.analyticsStore, node, c.usableLocked(procKey{role: db, node: node, name: "cassandra-db (Analytics)"}))
 		c.seq.SetAlive(node, c.usableLocked(procKey{role: db, node: node, name: "zookeeper"}))
 		c.log.SetAlive(node, c.usableLocked(procKey{role: db, node: node, name: "kafka"}))
 
@@ -339,6 +372,45 @@ func (c *Cluster) recomputeLocked() {
 			ctl.resyncLocked()
 		}
 		ctl.wasUsable = usable
+	}
+}
+
+// catchUpKey names one replica of one quorum store for deferred catch-up
+// scheduling.
+type catchUpKey struct {
+	store *QuorumStore
+	node  int
+}
+
+// setStoreAliveLocked propagates replica usability into a quorum store
+// and, with deferred catch-up configured, schedules the anti-entropy pass
+// for a replica that just came back. Callers hold c.mu.
+func (c *Cluster) setStoreAliveLocked(s *QuorumStore, node int, usable bool) {
+	was := s.Alive(node)
+	s.SetAlive(node, usable)
+	if c.cfg.Degradation.ReplicaCatchUp <= 0 {
+		return
+	}
+	k := catchUpKey{store: s, node: node}
+	switch {
+	case usable && !was:
+		c.catchUpAt[k] = time.Now().Add(c.cfg.Degradation.ReplicaCatchUp)
+	case !usable:
+		delete(c.catchUpAt, k)
+	}
+}
+
+// runCatchUps completes replica catch-ups whose latency has elapsed. It is
+// called from the degradation maintenance loop.
+func (c *Cluster) runCatchUps() {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, due := range c.catchUpAt {
+		if !now.Before(due) {
+			k.store.CatchUp(k.node)
+			delete(c.catchUpAt, k)
+		}
 	}
 }
 

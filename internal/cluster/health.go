@@ -55,10 +55,17 @@ type HealthReport struct {
 	// Level is the worst subsystem level.
 	Level Health
 	// Subsystems holds the per-subsystem verdicts (quorum, mesh,
-	// supervision, processes), in that order.
+	// supervision, processes, degradation), in that order.
 	Subsystems []SubsystemHealth
 	// FatalProcs names every process in the Fatal state (role/node/name).
 	FatalProcs []string
+	// HeadlessAgents names the compute hosts whose vRouter agent is
+	// forwarding headless — no control connection, riding out the outage
+	// on its last-downloaded table.
+	HeadlessAgents []string
+	// CatchingUpReplicas names revived quorum-store replicas still running
+	// anti-entropy catch-up ("store/node"), excluded from read quorums.
+	CatchingUpReplicas []string
 }
 
 // String renders the report, one subsystem per line.
@@ -182,6 +189,38 @@ func (c *Cluster) Health() HealthReport {
 			len(rep.FatalProcs), strings.Join(rep.FatalProcs, ", ")))
 	} else {
 		add("processes", Healthy, fmt.Sprintf("no FATAL processes (%d failed awaiting restart)", failed))
+	}
+
+	// Graceful-degradation states: agents forwarding headless on stale
+	// routes, and revived store replicas still catching up. Both keep
+	// service up while shrinking correctness/consistency headroom.
+	for _, a := range c.agents {
+		if a.headlessActiveLocked() {
+			rep.HeadlessAgents = append(rep.HeadlessAgents, a.host)
+		}
+	}
+	for _, s := range []*QuorumStore{c.configStore, c.analyticsStore} {
+		for node := 0; node < s.Replicas(); node++ {
+			if s.CatchingUp(node) {
+				rep.CatchingUpReplicas = append(rep.CatchingUpReplicas, fmt.Sprintf("%s/%d", s.name, node))
+			}
+		}
+	}
+	sort.Strings(rep.HeadlessAgents)
+	sort.Strings(rep.CatchingUpReplicas)
+	switch {
+	case len(rep.HeadlessAgents) > 0 && len(rep.CatchingUpReplicas) > 0:
+		add("degradation", Degraded, fmt.Sprintf("%d agent(s) headless on stale routes (%s); %d replica(s) catching up (%s)",
+			len(rep.HeadlessAgents), strings.Join(rep.HeadlessAgents, ", "),
+			len(rep.CatchingUpReplicas), strings.Join(rep.CatchingUpReplicas, ", ")))
+	case len(rep.HeadlessAgents) > 0:
+		add("degradation", Degraded, fmt.Sprintf("%d agent(s) forwarding headless on stale routes: %s",
+			len(rep.HeadlessAgents), strings.Join(rep.HeadlessAgents, ", ")))
+	case len(rep.CatchingUpReplicas) > 0:
+		add("degradation", Degraded, fmt.Sprintf("%d store replica(s) catching up, excluded from reads: %s",
+			len(rep.CatchingUpReplicas), strings.Join(rep.CatchingUpReplicas, ", ")))
+	default:
+		add("degradation", Healthy, "no headless agents, no catching-up replicas")
 	}
 	return rep
 }

@@ -25,12 +25,24 @@ type versioned struct {
 // QuorumStore is a replicated key/value store. Writes and reads require a
 // majority of replicas to be alive; read repair reconciles divergent
 // replicas by highest version.
+//
+// A replica that returns from the dead holds stale data. By default the
+// store reconciles it synchronously on revival (instant anti-entropy, the
+// pre-existing behaviour as observed by callers). With deferred catch-up
+// enabled the revived replica instead enters a catching-up state: it keeps
+// accepting writes but is excluded from read quorums until an explicit
+// CatchUp pass — driven by the cluster maintenance loop after the
+// configured catch-up latency — reconciles it. Writes record hinted
+// handoffs for down replicas so the reconciliation is incremental.
 type QuorumStore struct {
 	name string
 
 	mu       sync.Mutex
 	replicas []map[string]versioned
 	alive    []bool
+	catching []bool            // revived but not yet reconciled; excluded from reads
+	hints    []map[string]bool // keys written or deleted while replica i was down
+	deferred bool              // revival waits for an explicit CatchUp
 	version  uint64
 }
 
@@ -40,6 +52,8 @@ func NewQuorumStore(name string, n int) *QuorumStore {
 	for i := 0; i < n; i++ {
 		s.replicas = append(s.replicas, map[string]versioned{})
 		s.alive = append(s.alive, true)
+		s.catching = append(s.catching, false)
+		s.hints = append(s.hints, map[string]bool{})
 	}
 	return s
 }
@@ -47,12 +61,105 @@ func NewQuorumStore(name string, n int) *QuorumStore {
 // Replicas returns the replica count.
 func (s *QuorumStore) Replicas() int { return len(s.replicas) }
 
+// SetDeferredCatchUp selects the revival policy: when on, a replica that
+// comes back is excluded from read quorums until CatchUp runs; when off
+// (the default), revival reconciles synchronously.
+func (s *QuorumStore) SetDeferredCatchUp(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deferred = on
+}
+
 // SetAlive marks replica i up or down. A replica that returns keeps its
-// (possibly stale) data; read repair catches it up lazily.
+// (possibly stale) data; it is reconciled immediately, or — with deferred
+// catch-up — parked in the catching-up state until CatchUp.
 func (s *QuorumStore) SetAlive(i int, alive bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	revived := alive && !s.alive[i]
 	s.alive[i] = alive
+	if !alive {
+		s.catching[i] = false
+		return
+	}
+	if !revived {
+		return
+	}
+	if s.deferred {
+		s.catching[i] = true
+	} else {
+		s.resyncLocked(i)
+	}
+}
+
+// CatchUp runs the anti-entropy pass for replica i, promoting it back into
+// read quorums. It is a no-op for replicas that are down or already fresh.
+func (s *QuorumStore) CatchUp(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.replicas) || !s.alive[i] {
+		return
+	}
+	s.resyncLocked(i)
+}
+
+// CatchingUp reports whether replica i is alive but still reconciling.
+func (s *QuorumStore) CatchingUp(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return i >= 0 && i < len(s.catching) && s.catching[i]
+}
+
+// CatchingCount returns the number of replicas still reconciling.
+func (s *QuorumStore) CatchingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.catching {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// resyncLocked reconciles replica i against the fresh replicas and clears
+// its catch-up state. Hinted handoff makes the pass incremental: only keys
+// touched while the replica was down are examined. A hinted key absent
+// from every fresh replica was deleted during the outage and is purged.
+// With no fresh peer available the replica's own data is already the best
+// copy, so it is promoted as-is; versioned read repair mops up any
+// residual divergence. Callers hold mu.
+func (s *QuorumStore) resyncLocked(i int) {
+	hasFresh := false
+	for j := range s.replicas {
+		if j != i && s.alive[j] && !s.catching[j] {
+			hasFresh = true
+			break
+		}
+	}
+	if hasFresh {
+		for key := range s.hints[i] {
+			best, found := versioned{}, false
+			for j := range s.replicas {
+				if j == i || !s.alive[j] || s.catching[j] {
+					continue
+				}
+				if v, ok := s.replicas[j][key]; ok && (!found || v.version > best.version) {
+					best, found = v, true
+				}
+			}
+			if !found {
+				delete(s.replicas[i], key)
+				continue
+			}
+			if v, ok := s.replicas[i][key]; !ok || v.version < best.version {
+				s.replicas[i][key] = best
+			}
+		}
+	}
+	s.hints[i] = map[string]bool{}
+	s.catching[i] = false
 }
 
 // Alive reports replica i's state.
@@ -73,6 +180,28 @@ func (s *QuorumStore) aliveCountLocked() int {
 	return n
 }
 
+// freshCountLocked counts replicas eligible for reads: alive and not
+// catching up. Callers hold mu.
+func (s *QuorumStore) freshCountLocked() int {
+	n := 0
+	for i, a := range s.alive {
+		if a && !s.catching[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// readQuorumErrLocked builds the no-quorum error for the read path,
+// naming catch-up when it is the cause. Callers hold mu.
+func (s *QuorumStore) readQuorumErrLocked() error {
+	if n := s.aliveCountLocked() - s.freshCountLocked(); n > 0 {
+		return fmt.Errorf("%w: %s has %d/%d fresh replicas (%d catching up)",
+			ErrNoQuorum, s.name, s.freshCountLocked(), len(s.replicas), n)
+	}
+	return fmt.Errorf("%w: %s has %d/%d replicas", ErrNoQuorum, s.name, s.aliveCountLocked(), len(s.replicas))
+}
+
 // HasQuorum reports whether a majority of replicas is alive.
 func (s *QuorumStore) HasQuorum() bool {
 	s.mu.Lock()
@@ -80,7 +209,9 @@ func (s *QuorumStore) HasQuorum() bool {
 	return s.aliveCountLocked() >= len(s.replicas)/2+1
 }
 
-// Put writes key=value to all live replicas; it fails without a majority.
+// Put writes key=value to all live replicas — including ones still
+// catching up, which keeps the reconciliation window from growing — and
+// records a hint for every down replica. It fails without a majority.
 func (s *QuorumStore) Put(key, value string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -92,23 +223,26 @@ func (s *QuorumStore) Put(key, value string) error {
 	for i, alive := range s.alive {
 		if alive {
 			s.replicas[i][key] = v
+		} else {
+			s.hints[i][key] = true
 		}
 	}
 	return nil
 }
 
-// Get reads the freshest value among a majority of live replicas and
-// repairs stale live replicas. The boolean reports presence.
+// Get reads the freshest value among a majority of fresh replicas and
+// repairs stale fresh replicas. Replicas still catching up are excluded:
+// they may serve arbitrarily old versions. The boolean reports presence.
 func (s *QuorumStore) Get(key string) (string, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.aliveCountLocked() < len(s.replicas)/2+1 {
-		return "", false, fmt.Errorf("%w: %s has %d/%d replicas", ErrNoQuorum, s.name, s.aliveCountLocked(), len(s.replicas))
+	if s.freshCountLocked() < len(s.replicas)/2+1 {
+		return "", false, s.readQuorumErrLocked()
 	}
 	best := versioned{}
 	found := false
 	for i, alive := range s.alive {
-		if !alive {
+		if !alive || s.catching[i] {
 			continue
 		}
 		if v, ok := s.replicas[i][key]; ok && (!found || v.version > best.version) {
@@ -120,7 +254,7 @@ func (s *QuorumStore) Get(key string) (string, bool, error) {
 		return "", false, nil
 	}
 	for i, alive := range s.alive { // read repair
-		if alive {
+		if alive && !s.catching[i] {
 			if v, ok := s.replicas[i][key]; !ok || v.version < best.version {
 				s.replicas[i][key] = best
 			}
@@ -129,7 +263,8 @@ func (s *QuorumStore) Get(key string) (string, bool, error) {
 	return best.value, true, nil
 }
 
-// Delete removes a key from all live replicas; it fails without a majority.
+// Delete removes a key from all live replicas and hints down ones; it
+// fails without a majority.
 func (s *QuorumStore) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -139,22 +274,24 @@ func (s *QuorumStore) Delete(key string) error {
 	for i, alive := range s.alive {
 		if alive {
 			delete(s.replicas[i], key)
+		} else {
+			s.hints[i][key] = true
 		}
 	}
 	return nil
 }
 
-// Keys returns the sorted union of keys across live replicas; it fails
-// without a majority.
+// Keys returns the sorted union of keys across fresh replicas; it fails
+// without a read majority.
 func (s *QuorumStore) Keys() ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.aliveCountLocked() < len(s.replicas)/2+1 {
-		return nil, fmt.Errorf("%w: %s", ErrNoQuorum, s.name)
+	if s.freshCountLocked() < len(s.replicas)/2+1 {
+		return nil, s.readQuorumErrLocked()
 	}
 	set := map[string]bool{}
 	for i, alive := range s.alive {
-		if alive {
+		if alive && !s.catching[i] {
 			for k := range s.replicas[i] {
 				set[k] = true
 			}

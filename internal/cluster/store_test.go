@@ -7,6 +7,9 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
 )
 
 func TestBusPubSub(t *testing.T) {
@@ -338,5 +341,150 @@ func TestEventLogBadOffset(t *testing.T) {
 	}
 	if _, err := l.ReadFrom(2); err == nil {
 		t.Error("past-end offset accepted")
+	}
+}
+
+func TestQuorumStoreDeferredCatchUpExcludesRevivedReplica(t *testing.T) {
+	s := NewQuorumStore("test", 3)
+	s.SetDeferredCatchUp(true)
+	s.Put("k", "old")
+	s.SetAlive(2, false) // replica 2 misses the update
+	s.Put("k", "new")
+	s.SetAlive(2, true) // revived, but parked in catch-up
+	if !s.CatchingUp(2) || s.CatchingCount() != 1 {
+		t.Fatal("revived replica should be catching up")
+	}
+	// Reads still have a fresh majority (replicas 0 and 1).
+	if v, ok, err := s.Get("k"); err != nil || !ok || v != "new" {
+		t.Fatalf("Get = %q, %v, %v; want new", v, ok, err)
+	}
+	// Losing a fresh replica drops the read quorum even though two
+	// replicas are alive — the catching-up one must not be counted.
+	s.SetAlive(0, false)
+	if _, _, err := s.Get("k"); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("Get with 1 fresh replica = %v, want ErrNoQuorum", err)
+	}
+	if _, err := s.Keys(); !errors.Is(err, ErrNoQuorum) {
+		t.Fatal("Keys should also need a fresh majority")
+	}
+	// Writes only need an alive majority, and they land on the
+	// catching-up replica too, so the window cannot grow.
+	if err := s.Put("k2", "x"); err != nil {
+		t.Fatalf("write during catch-up: %v", err)
+	}
+	// Completing the catch-up restores the read quorum.
+	s.CatchUp(2)
+	if s.CatchingUp(2) {
+		t.Fatal("catch-up did not complete")
+	}
+	if v, ok, err := s.Get("k"); err != nil || !ok || v != "new" {
+		t.Fatalf("Get after catch-up = %q, %v, %v; want new", v, ok, err)
+	}
+	if v, ok, err := s.Get("k2"); err != nil || !ok || v != "x" {
+		t.Fatalf("Get of write-during-catch-up = %q, %v, %v; want x", v, ok, err)
+	}
+}
+
+func TestRevivedReplicaServesStaleUntilCatchUp(t *testing.T) {
+	s := NewQuorumStore("test", 3)
+	s.SetDeferredCatchUp(true)
+	s.Put("k", "old")
+	s.Put("gone", "x")
+	s.SetAlive(2, false)
+	s.Put("k", "new")
+	s.Delete("gone")
+	s.SetAlive(2, true)
+	// Before the anti-entropy pass the replica's local state is exactly
+	// what it held when it died: the old version, and the deleted key.
+	s.mu.Lock()
+	v := s.replicas[2]["k"].value
+	_, hasGone := s.replicas[2]["gone"]
+	s.mu.Unlock()
+	if v != "old" || !hasGone {
+		t.Fatalf("replica 2 before catch-up: k=%q gone=%v; want stale old state", v, hasGone)
+	}
+	s.CatchUp(2)
+	// The hinted, incremental resync copies the freshest version and
+	// purges the key deleted during the outage.
+	s.mu.Lock()
+	v = s.replicas[2]["k"].value
+	_, hasGone = s.replicas[2]["gone"]
+	s.mu.Unlock()
+	if v != "new" || hasGone {
+		t.Fatalf("replica 2 after catch-up: k=%q gone=%v; want new, purged", v, hasGone)
+	}
+	// The caught-up replica is fully trusted: with both others down it
+	// cannot form a quorum, but with one fresh peer it serves "new".
+	s.SetAlive(0, false)
+	if v, ok, err := s.Get("k"); err != nil || !ok || v != "new" {
+		t.Fatalf("Get via caught-up replica = %q, %v, %v; want new", v, ok, err)
+	}
+}
+
+// TestClusterReplicaCatchUpWindow drives the deferred catch-up end to end
+// through the cluster: a Cassandra (Config) replica dies, config writes
+// continue, the process restarts, and for ReplicaCatchUp the replica is
+// excluded from reads and visible in Health().CatchingUpReplicas; the
+// maintenance loop then completes the resync on its own.
+func TestClusterReplicaCatchUpWindow(t *testing.T) {
+	prof := profile.OpenContrail3x()
+	topo, err := topology.ByKind(topology.Small, prof.ClusterRoles, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Profile: prof, Topology: topo, ComputeHosts: 3,
+		Degradation: Degradation{ReplicaCatchUp: 150 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	if err := c.KillProcess("Database", 2, "cassandra-db (Config)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateNetwork("degraded-net", "10.42.0.0/16"); err != nil {
+		t.Fatalf("create during replica outage: %v", err)
+	}
+	// Cassandra is manual-restart: revive it and observe the window.
+	if err := c.RestartProcess("Database", 2, "cassandra-db (Config)"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range c.Health().CatchingUpReplicas {
+		if r == "cassandra-config/2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Health().CatchingUpReplicas = %v, want cassandra-config/2", c.Health().CatchingUpReplicas)
+	}
+	if lvl := c.Health().Level; lvl < Degraded {
+		t.Errorf("health level during catch-up = %v, want at least degraded", lvl)
+	}
+	// Reads still work off the two fresh replicas throughout the window.
+	if v, err := c.GetNetwork("degraded-net"); err != nil || v != "10.42.0.0/16" {
+		t.Errorf("GetNetwork during catch-up = %q, %v", v, err)
+	}
+	// The maintenance loop completes the catch-up after the latency.
+	if !c.WaitUntil(waitLong, func() bool { return len(c.Health().CatchingUpReplicas) == 0 }) {
+		t.Fatal("replica never finished catching up")
+	}
+	// Post-resync the revived replica holds the update written while it
+	// was down even if both other replicas die.
+	for _, node := range []int{0, 1} {
+		if err := c.KillProcess("Database", node, "cassandra-db (Config)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	v, ok := c.configStore.replicas[2]["net/degraded-net"]
+	c.mu.Unlock()
+	if !ok || v.value != "10.42.0.0/16" {
+		t.Errorf("caught-up replica holds %+v, want the outage-era write", v)
 	}
 }

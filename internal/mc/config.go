@@ -62,6 +62,14 @@ type Config struct {
 	// A_LDP model, compute-host hardware is not part of the local DP
 	// term; only the K vRouter processes and their supervisor are.
 	ComputeHosts int
+	// HeadlessHold, when positive, gives the vRouter agents a headless
+	// mode: after the shared data plane goes down, every compute host
+	// keeps forwarding from its stale tables for up to HeadlessHold hours
+	// (or until the shared DP recovers). Zero is the strict
+	// flush-immediately behaviour, where the host DP tracks the shared DP
+	// exactly. Mirrors cluster.Degradation.HeadlessHold in the live
+	// testbed; analytic.Model.HeadlessDataPlane is the closed form.
+	HeadlessHold float64
 
 	// Horizon is the simulated time per replication (default 2e6).
 	Horizon float64
@@ -162,6 +170,9 @@ func (c Config) Validate() error {
 	}
 	if c.ComputeHosts < 0 {
 		return fmt.Errorf("mc: ComputeHosts = %d", c.ComputeHosts)
+	}
+	if c.HeadlessHold < 0 {
+		return fmt.Errorf("mc: HeadlessHold = %g", c.HeadlessHold)
 	}
 	if c.WindowHours < 0 {
 		return fmt.Errorf("mc: WindowHours = %g", c.WindowHours)

@@ -7,9 +7,14 @@ import "container/heap"
 type event struct {
 	at     float64
 	seq    uint64
-	entity int  // index into the simulator's entity table
+	entity int  // index into the simulator's entity table, or timerEntity
 	up     bool // true: repair completes; false: failure occurs
 }
+
+// timerEntity marks a pure timer event: no entity changes state, but the
+// simulator re-evaluates its indicators at that instant. Used for the
+// headless-hold expiry so the host-DP accumulator sees the boundary.
+const timerEntity = -1
 
 // eventHeap is a min-heap of events ordered by (at, seq).
 type eventHeap []event

@@ -1,0 +1,147 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+// headlessParams makes the Small topology's shared rack dominate the
+// shared-DP outages (hardware and process availabilities near 1, rack at
+// 0.99 with the 48 h exponential repair), so the analytic
+// exponential-duration correction behind HeadlessDataPlane is near-exact
+// and the simulator comparison is a sharp test.
+func headlessParams() analytic.Params {
+	return analytic.Params{
+		AC: 0.995,
+		AV: 0.99999,
+		AH: 0.99999,
+		AR: 0.99,
+		A:  0.99999,
+		AS: 0.9999,
+	}
+}
+
+func headlessConfig(t *testing.T, hold float64) Config {
+	t.Helper()
+	prof := profile.OpenContrail3x()
+	topo := topology.NewSmall(prof.ClusterRoles, 3)
+	cfg := NewConfig(prof, topo, analytic.SupervisorNotRequired, headlessParams())
+	cfg.Horizon = 4e5
+	cfg.ComputeHosts = 2
+	cfg.HeadlessHold = hold
+	return cfg
+}
+
+// repairTimesOf mirrors the simulation's repair assumptions into the
+// analytic frequency-duration machinery so both sides model the same
+// system.
+func repairTimesOf(cfg Config) analytic.RepairTimes {
+	return analytic.RepairTimes{
+		Auto:   cfg.AutoRestart,
+		Manual: cfg.ManualRestart,
+		VM:     cfg.VMRepair,
+		Host:   cfg.HostRepair,
+		Rack:   cfg.RackRepair,
+	}
+}
+
+// TestMCHeadlessMatchesAnalytic validates the headless-on/off axis: with a
+// hold of a quarter of the dominant repair time, the simulated host-DP
+// availability must match the closed-form U' = U_SDP·e^{−H/D} uplift
+// within the Monte Carlo confidence interval plus the usual second-order
+// allowance, while the shared-DP measurement itself stays on the
+// uncorrected closed form (the hold shields hosts, not the controllers).
+func TestMCHeadlessMatchesAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation validation skipped in -short mode")
+	}
+	const hold = 12 // hours: H/D ≈ 0.25 against the 48 h rack repair
+	cfg := headlessConfig(t, hold)
+	est, err := Run(cfg, 12, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := analytic.NewModel(cfg.Profile, analytic.Option1S)
+	model.Params = cfg.Params()
+	want, err := model.HeadlessDataPlane(hold, repairTimesOf(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := est.HostDP.HalfWide + 6e-4
+	if d := math.Abs(est.HostDP.Mean - want); d > tol {
+		t.Errorf("headless DP: sim %v vs analytic %.6f (|Δ|=%.2e > %.2e)", est.HostDP, want, d, tol)
+	}
+	wantSDP := model.SharedDP()
+	sdpTol := est.SharedDP.HalfWide + 4e-4
+	if d := math.Abs(est.SharedDP.Mean - wantSDP); d > sdpTol {
+		t.Errorf("shared DP: sim %v vs analytic %.6f (|Δ|=%.2e > %.2e)", est.SharedDP, wantSDP, d, sdpTol)
+	}
+	// Sanity on the direction of the correction: the hold must put the
+	// host DP above the strict closed form.
+	if strict := model.DataPlane(); want <= strict {
+		t.Errorf("analytic headless DP %.6f should beat strict %.6f", want, strict)
+	}
+}
+
+// TestMCHeadlessUplift: turning the hold on must raise the measured
+// host-DP availability, and hold = 0 must reproduce the historical strict
+// behaviour (the plain DataPlane closed form).
+func TestMCHeadlessUplift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation validation skipped in -short mode")
+	}
+	strictCfg := headlessConfig(t, 0)
+	heldCfg := headlessConfig(t, 12)
+	base, err := Run(strictCfg, 8, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := Run(heldCfg, 8, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.HostDP.Mean <= base.HostDP.Mean {
+		t.Errorf("headless hold did not raise host DP: %.6f -> %.6f", base.HostDP.Mean, held.HostDP.Mean)
+	}
+	model := analytic.NewModel(strictCfg.Profile, analytic.Option1S)
+	model.Params = strictCfg.Params()
+	want := model.DataPlane()
+	tol := base.HostDP.HalfWide + 6e-4
+	if d := math.Abs(base.HostDP.Mean - want); d > tol {
+		t.Errorf("strict DP: sim %v vs analytic %.6f (|Δ|=%.2e > %.2e)", base.HostDP, want, d, tol)
+	}
+	// The closed form degenerates exactly at zero hold and rejects a
+	// negative one.
+	got, err := model.HeadlessDataPlane(0, repairTimesOf(strictCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("HeadlessDataPlane(0) = %.9f, want DataPlane() = %.9f", got, want)
+	}
+	if _, err := model.HeadlessDataPlane(-1, repairTimesOf(strictCfg)); err == nil {
+		t.Error("negative hold accepted")
+	}
+}
+
+// TestHeadlessDeterminism: the hold-expiry timer events must not disturb
+// same-seed reproducibility.
+func TestHeadlessDeterminism(t *testing.T) {
+	cfg := headlessConfig(t, 12)
+	cfg.Horizon = 5e4
+	s1, err := New(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1, r2 := s1.Run(), s2.Run(); !resultsEqual(r1, r2) {
+		t.Errorf("same seed produced different results:\n%+v\n%+v", r1, r2)
+	}
+}

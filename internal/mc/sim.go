@@ -83,10 +83,11 @@ type Sim struct {
 	hosts     []computeHost
 
 	// running indicators
-	cpUp    bool
-	sdpUp   bool
-	hostUp  []bool
-	cpStart float64 // start of current CP outage, valid when !cpUp
+	cpUp      bool
+	sdpUp     bool
+	hostUp    []bool
+	cpStart   float64 // start of current CP outage, valid when !cpUp
+	sdpDownAt float64 // start of current shared-DP outage, valid when !sdpUp
 
 	// accumulators
 	cpTime     float64
@@ -379,9 +380,24 @@ func (s *Sim) refresh() {
 		}
 		s.cpUp = cp
 	}
-	s.sdpUp = s.groupsSatisfied(s.dpGroups)
+	sdp := s.groupsSatisfied(s.dpGroups)
+	if sdp != s.sdpUp {
+		if !sdp && s.cfg.HeadlessHold > 0 {
+			// Headless window opens. Schedule a timer event at its expiry
+			// so the accumulator sees the boundary even if no entity
+			// transitions then; if the shared DP recovers first the timer
+			// fires as a no-op.
+			s.sdpDownAt = s.now
+			s.schedule(s.now+s.cfg.HeadlessHold, timerEntity, false)
+		}
+		s.sdpUp = sdp
+	}
+	// While the hold lasts, the agents forward from stale tables: the host
+	// DP survives a shared-DP outage shorter than HeadlessHold, matching
+	// the testbed's vRouter headless mode.
+	headless := !s.sdpUp && s.cfg.HeadlessHold > 0 && s.now-s.sdpDownAt < s.cfg.HeadlessHold
 	for i := range s.hosts {
-		s.hostUp[i] = s.sdpUp && s.localUp(&s.hosts[i])
+		s.hostUp[i] = (s.sdpUp || headless) && s.localUp(&s.hosts[i])
 	}
 }
 
@@ -426,27 +442,29 @@ func (s *Sim) Run() Result {
 		}
 		s.accumulate(ev.at - s.now)
 		s.now = ev.at
-		e := &s.entities[ev.entity]
-		e.up = ev.up
-		if ev.up {
-			s.schedule(s.now+s.exp(e.mtbf), ev.entity, false)
-			if e.kind != kindProcess && s.cfg.RepairCrews > 0 {
-				s.crewsBusy--
-				if len(s.crewQueue) > 0 {
-					next := s.crewQueue[0]
-					s.crewQueue = s.crewQueue[1:]
-					s.startRepair(next)
-				}
-			}
-		} else {
-			if e.kind != kindProcess && s.cfg.RepairCrews > 0 {
-				if s.crewsBusy >= s.cfg.RepairCrews {
-					s.crewQueue = append(s.crewQueue, ev.entity)
-				} else {
-					s.startRepair(ev.entity)
+		if ev.entity >= 0 {
+			e := &s.entities[ev.entity]
+			e.up = ev.up
+			if ev.up {
+				s.schedule(s.now+s.exp(e.mtbf), ev.entity, false)
+				if e.kind != kindProcess && s.cfg.RepairCrews > 0 {
+					s.crewsBusy--
+					if len(s.crewQueue) > 0 {
+						next := s.crewQueue[0]
+						s.crewQueue = s.crewQueue[1:]
+						s.startRepair(next)
+					}
 				}
 			} else {
-				s.schedule(s.now+s.repairTime(e), ev.entity, true)
+				if e.kind != kindProcess && s.cfg.RepairCrews > 0 {
+					if s.crewsBusy >= s.cfg.RepairCrews {
+						s.crewQueue = append(s.crewQueue, ev.entity)
+					} else {
+						s.startRepair(ev.entity)
+					}
+				} else {
+					s.schedule(s.now+s.repairTime(e), ev.entity, true)
+				}
 			}
 		}
 		s.refresh()

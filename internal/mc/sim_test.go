@@ -255,6 +255,7 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.RackRepair = 0 },
 		func(c *Config) { c.Horizon = 0 },
 		func(c *Config) { c.ComputeHosts = -1 },
+		func(c *Config) { c.HeadlessHold = -1 },
 	}
 	for i, mutate := range cases {
 		cfg := good

@@ -212,6 +212,12 @@ type ClusterTiming = cluster.Timing
 // (supervisord semantics, scaled like ClusterTiming).
 type ClusterSupervision = cluster.Supervision
 
+// ClusterDegradation configures the testbed's graceful-degradation knobs:
+// the vRouter headless hold and per-route staleness bound, and the revived
+// store replica catch-up latency. The zero value keeps the strict
+// flush-immediately / reconcile-instantly behaviour.
+type ClusterDegradation = cluster.Degradation
+
 // ClusterHealth is the coarse cluster health level (Healthy, Degraded or
 // Critical).
 type ClusterHealth = cluster.Health
@@ -262,6 +268,17 @@ type FlakyProcess = chaos.FlakyProcess
 func CrashLoopScenario(role string, node int, name string, step time.Duration) []ChaosAction {
 	return chaos.CrashLoop(role, node, name, step)
 }
+
+// HeadlessScenario exercises the headless vRouter hold: a total control
+// outage shorter than the hold is ridden out on stale forwarding state, a
+// longer one flushes. Build the cluster with ClusterDegradation
+// .HeadlessHold between step and 3*step.
+func HeadlessScenario(step time.Duration) []ChaosAction { return chaos.Headless(step) }
+
+// StaleReadScenario exercises the deferred replica catch-up window after a
+// Cassandra (Config) replica revival. Build the cluster with
+// ClusterDegradation.ReplicaCatchUp > 0.
+func StaleReadScenario(step time.Duration) []ChaosAction { return chaos.StaleRead(step) }
 
 // ---- frequency-duration and weak-link analysis (extensions) ----
 
