@@ -40,3 +40,23 @@ func TestSimulationErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestSoakValidationMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak skipped in -short mode")
+	}
+	var sb strings.Builder
+	err := run([]string{"-soak", "-soak-hours", "150", "-topology", "small", "-compute", "2", "-reps", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"soaking the live testbed", "Small topology", "150 simulated hours",
+		"Soak validation", "control plane A_CP", "host DP A_DP",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}

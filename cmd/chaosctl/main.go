@@ -9,6 +9,7 @@
 //	         [-step d] [-duration d] [-mbf d] [-repair d] [-seed s]
 //	         [-headless-hold d] [-route-max-age d] [-catchup d]
 //	         [-snapshot]
+//	chaosctl -soak [-soak-hours h] [-soak-mtbf h] [-topology t] [-hosts n] [-seed s]
 //
 // Scenarios:
 //
@@ -29,6 +30,13 @@
 // The -headless-hold, -route-max-age and -catchup flags configure the
 // cluster's graceful-degradation knobs for any scenario; zero keeps the
 // strict flush-immediately / reconcile-instantly behaviour.
+//
+// -soak switches to the long-horizon soak mode: the testbed runs under a
+// deterministic virtual clock through -soak-hours simulated hours of
+// MTBF/MTTR-driven process failures (supervisors and an operator model
+// performing the repairs), and the observed availability is compared
+// against the Monte Carlo simulator and the closed-form models at the
+// same parameters. A thousand simulated hours costs seconds of wall time.
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 
 	"sdnavail/internal/chaos"
 	"sdnavail/internal/cluster"
+	"sdnavail/internal/experiments"
 	"sdnavail/internal/profile"
 	"sdnavail/internal/topology"
 )
@@ -68,6 +77,10 @@ func run(args []string, out io.Writer) error {
 		maxAge   = flag.Duration("route-max-age", 0, "per-route staleness bound while headless (0 = keep all)")
 		catchup  = flag.Duration("catchup", 0, "revived store replica catch-up latency (0 = instant resync)")
 		snapshot = flag.Bool("snapshot", false, "print the process snapshot after the run")
+
+		soak      = flag.Bool("soak", false, "run the long-horizon virtual-time soak instead of a scenario")
+		soakHours = flag.Float64("soak-hours", 1000, "soak: simulated hours")
+		soakMTBF  = flag.Float64("soak-mtbf", 100, "soak: process mean time between failures in simulated hours")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -90,6 +103,22 @@ func run(args []string, out io.Writer) error {
 		topo = topology.NewLarge(prof.ClusterRoles, 3)
 	default:
 		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+
+	if *soak {
+		sc := chaos.SoakConfig{
+			Profile: prof, Topology: topo, ComputeHosts: *hosts,
+			Hours: *soakHours, Seed: *seed, ProcessMTBF: *soakMTBF,
+		}
+		start := time.Now()
+		row, table, err := experiments.SoakValidation(sc, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "soak: %.0f simulated hours on %s topology in %v wall (%d failures injected, %d operator restarts)\n\n",
+			row.Hours, topo.Name, time.Since(start).Round(time.Millisecond), row.Failures, row.OperatorRestarts)
+		fmt.Fprint(out, table.Text())
+		return nil
 	}
 
 	c, err := cluster.New(cluster.Config{

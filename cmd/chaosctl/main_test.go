@@ -82,3 +82,22 @@ func TestScenarioErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestSoakMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-soak", "-soak-hours", "150", "-hosts", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"soak: 150 simulated hours", "failures injected", "operator restarts",
+		"Soak validation", "control plane A_CP", "host DP A_DP", "true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+	"sdnavail/internal/vclock"
+)
+
+// The benchmark scenario is fixed so the Real and Fake runs are directly
+// comparable: the Cassandra quorum-loss script stretched to a 12 s step
+// (36 s of scenario time) probed every 200 ms, with the cluster's
+// maintenance cadences (supervisor scan, agent rediscovery) coarsened to
+// match the longer steps — the fake clock's wall cost is one scheduling
+// round per timer fire, so millisecond-cadence tickers on a 36 s scenario
+// would measure the tickers, not the scenario. Under the real clock the
+// run costs its full scenario time in wall clock; under the fake clock it
+// costs only the scheduling work of the same ~180 probes.
+const (
+	benchStep         = 12 * time.Second
+	benchProbeEvery   = 200 * time.Millisecond
+	benchProbeTimeout = 800 * time.Millisecond
+)
+
+func benchTiming() cluster.Timing {
+	return cluster.Timing{
+		SupervisorCheck: 100 * time.Millisecond,
+		AutoRestart:     150 * time.Millisecond,
+		Rediscover:      250 * time.Millisecond,
+	}
+}
+
+func benchCluster(b *testing.B, clk vclock.Clock) *cluster.Cluster {
+	b.Helper()
+	prof := profile.OpenContrail3x()
+	topo := topology.NewSmall(prof.ClusterRoles, 3)
+	c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 3, Clock: clk, Timing: benchTiming()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchScenario(b *testing.B, mkClock func() vclock.Clock) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := benchCluster(b, mkClock())
+		b.StartTimer()
+		if _, err := RunScenario(c, DatabaseQuorumLoss(benchStep), benchStep, benchProbeEvery, benchProbeTimeout); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		c.Stop()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkScenarioRealClock runs the fixed scenario in wall time. One
+// iteration takes the full 9 s of scenario time — run with -benchtime 1x.
+func BenchmarkScenarioRealClock(b *testing.B) {
+	benchScenario(b, func() vclock.Clock { return vclock.Real{} })
+}
+
+// BenchmarkScenarioFakeClock runs the identical scenario under virtual
+// time; the speedup over BenchmarkScenarioRealClock is the headline number
+// recorded in BENCH_vclock.json.
+func BenchmarkScenarioFakeClock(b *testing.B) {
+	benchScenario(b, func() vclock.Clock { return vclock.NewFake(time.Time{}) })
+}
+
+// TestWriteVclockBenchArtifact times one Real and several Fake runs of the
+// fixed scenario and writes BENCH_vclock.json to the path named by the
+// BENCH_VCLOCK_OUT environment variable. Skipped (it costs ~9 s of wall
+// time) unless that variable is set:
+//
+//	BENCH_VCLOCK_OUT=$PWD/BENCH_vclock.json go test ./internal/chaos/ -run WriteVclockBenchArtifact -v
+func TestWriteVclockBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_VCLOCK_OUT")
+	if out == "" {
+		t.Skip("set BENCH_VCLOCK_OUT to write the benchmark artifact")
+	}
+
+	time1 := func(clk vclock.Clock) time.Duration {
+		prof := profile.OpenContrail3x()
+		topo := topology.NewSmall(prof.ClusterRoles, 3)
+		c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 3, Clock: clk, Timing: benchTiming()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+		start := time.Now()
+		if _, err := RunScenario(c, DatabaseQuorumLoss(benchStep), benchStep, benchProbeEvery, benchProbeTimeout); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	realDur := time1(vclock.Real{})
+	// The fake run's wall cost is scheduler noise; take the best of a few.
+	fakeDur := time.Duration(1<<62 - 1)
+	for i := 0; i < 5; i++ {
+		if d := time1(vclock.NewFake(time.Time{})); d < fakeDur {
+			fakeDur = d
+		}
+	}
+
+	artifact := struct {
+		Scenario     string  `json:"scenario"`
+		ScenarioTime string  `json:"scenario_time"`
+		ProbeEvery   string  `json:"probe_every"`
+		RealNsPerOp  int64   `json:"real_ns_per_op"`
+		FakeNsPerOp  int64   `json:"fake_ns_per_op"`
+		Speedup      float64 `json:"speedup"`
+	}{
+		Scenario:     "DatabaseQuorumLoss",
+		ScenarioTime: (3 * benchStep).String(),
+		ProbeEvery:   benchProbeEvery.String(),
+		RealNsPerOp:  realDur.Nanoseconds(),
+		FakeNsPerOp:  fakeDur.Nanoseconds(),
+		Speedup:      float64(realDur) / float64(fakeDur),
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("real=%v fake=%v speedup=%.0fx -> %s", realDur, fakeDur, artifact.Speedup, out)
+	if artifact.Speedup < 100 {
+		t.Errorf("speedup %.1fx below the 100x bar", artifact.Speedup)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"sdnavail/internal/cluster"
 	"sdnavail/internal/stats"
+	"sdnavail/internal/vclock"
 )
 
 // Action is one scripted injection or repair.
@@ -218,9 +219,11 @@ func summarize(r *Report) {
 	r.DPAvailability = acc.Mean()
 }
 
-// prober samples the cluster's planes at a fixed period.
+// prober samples the cluster's planes at a fixed period on the cluster's
+// clock — virtual samples under a fake clock, wall-time otherwise.
 type prober struct {
 	c       *cluster.Cluster
+	clk     vclock.Clock
 	period  time.Duration
 	timeout time.Duration
 	// retries is the number of extra CP probe attempts after a failure.
@@ -231,30 +234,37 @@ type prober struct {
 
 	mu      sync.Mutex
 	samples []Sample
+	ticker  vclock.Ticker
 	stop    chan struct{}
 	done    chan struct{}
 	start   time.Time
 }
 
 func newProber(c *cluster.Cluster, period, timeout time.Duration) *prober {
+	clk := c.Clock()
 	return &prober{
-		c: c, period: period, timeout: timeout, retries: 1,
+		c: c, clk: clk, period: period, timeout: timeout, retries: 1,
 		stop: make(chan struct{}), done: make(chan struct{}),
-		start: time.Now(),
+		start: clk.Now(),
 	}
+}
+
+// launch registers the prober's goroutine with the cluster clock and
+// starts it. Both the registration and the ticker creation happen
+// synchronously, so a fake clock counts the prober — and has its sampling
+// cadence armed — from the moment launch returns.
+func (p *prober) launch() {
+	p.ticker = p.clk.NewTicker(p.period)
+	p.clk.Register()
+	go p.run()
 }
 
 func (p *prober) run() {
 	defer close(p.done)
-	ticker := time.NewTicker(p.period)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-p.stop:
-			return
-		case <-ticker.C:
-			p.sampleOnce()
-		}
+	defer p.clk.Unregister()
+	defer p.ticker.Stop()
+	for p.ticker.Wait(p.stop) {
+		p.sampleOnce()
 	}
 }
 
@@ -262,7 +272,7 @@ func (p *prober) sampleOnce() {
 	// Probe the data planes first: DP probes are instantaneous, while a
 	// failing CP probe blocks for its timeout and would skew the sample's
 	// timestamp against the DP observations.
-	s := Sample{At: time.Since(p.start), Health: p.c.Health().Level}
+	s := Sample{At: p.clk.Since(p.start), Health: p.c.Health().Level}
 	for h := 0; h < p.c.ComputeHostCount(); h++ {
 		s.DPUp = append(s.DPUp, p.c.ProbeDP(h) == nil)
 	}
@@ -311,21 +321,29 @@ func RunScenario(c *cluster.Cluster, actions []Action, settle, probeEvery, probe
 	if probeTimeout <= 0 {
 		probeTimeout = 50 * time.Millisecond
 	}
+	// The scenario driver itself is clock-driven (it sleeps between
+	// actions), so it registers too; under a fake clock the whole script
+	// then runs in virtual time. Registering before the prober exists
+	// pins the virtual instant: no advance can happen between the
+	// prober's start timestamp and its first armed tick.
+	clk := c.Clock()
+	clk.Register()
+	defer clk.Unregister()
 	p := newProber(c, probeEvery, probeTimeout)
-	go p.run()
-	start := time.Now()
+	p.launch()
+	start := clk.Now()
 	var injections []string
 	for _, a := range actions {
-		time.Sleep(a.After)
+		clk.Sleep(a.After)
 		if err := a.Do(c); err != nil {
 			p.halt()
 			return Report{}, fmt.Errorf("chaos: action %q: %w", a.Name, err)
 		}
-		injections = append(injections, fmt.Sprintf("[%8v] %s", time.Since(start).Round(time.Millisecond), a.Name))
+		injections = append(injections, fmt.Sprintf("[%8v] %s", clk.Since(start).Round(time.Millisecond), a.Name))
 	}
-	time.Sleep(settle)
+	clk.Sleep(settle)
 	r := Report{
-		Duration:   time.Since(start),
+		Duration:   clk.Since(start),
 		Samples:    p.halt(),
 		Injections: injections,
 	}
@@ -436,6 +454,9 @@ func (cp Campaign) Run(c *cluster.Cluster, hostNames, rackNames []string) (Repor
 		return Report{}, fmt.Errorf("chaos: campaign has no targets")
 	}
 	rng := rand.New(rand.NewSource(cp.Seed))
+	clk := c.Clock()
+	clk.Register()
+	defer clk.Unregister()
 	p := newProber(c, cp.ProbeEvery, cp.ProbeTimeout)
 	if cp.ProbeEvery <= 0 {
 		p.period = 5 * time.Millisecond
@@ -449,29 +470,31 @@ func (cp Campaign) Run(c *cluster.Cluster, hostNames, rackNames []string) (Repor
 			p.retries = 0
 		}
 	}
-	go p.run()
+	p.launch()
 
-	start := time.Now()
+	start := clk.Now()
 	var injections []string
 	var wg sync.WaitGroup
-	for time.Since(start) < cp.Duration {
+	for clk.Since(start) < cp.Duration {
 		wait := time.Duration(rng.ExpFloat64() * float64(cp.MeanBetweenFaults))
-		if remaining := cp.Duration - time.Since(start); wait > remaining {
-			time.Sleep(remaining)
+		if remaining := cp.Duration - clk.Since(start); wait > remaining {
+			clk.Sleep(remaining)
 			break
 		}
-		time.Sleep(wait)
+		clk.Sleep(wait)
 		tgt := targets[rng.Intn(len(targets))]
 		if err := tgt.inject(c); err != nil {
 			p.halt()
 			return Report{}, fmt.Errorf("chaos: inject %q: %w", tgt.name, err)
 		}
-		injections = append(injections, fmt.Sprintf("[%8v] %s", time.Since(start).Round(time.Millisecond), tgt.name))
+		injections = append(injections, fmt.Sprintf("[%8v] %s", clk.Since(start).Round(time.Millisecond), tgt.name))
 		if tgt.manual {
 			wg.Add(1)
+			clk.Register()
 			go func(tgt targetSpec) {
 				defer wg.Done()
-				time.Sleep(cp.RepairAfter)
+				defer clk.Unregister()
+				clk.Sleep(cp.RepairAfter)
 				// Repairs can race with other faults on the same target;
 				// failures (e.g. hardware still down) are acceptable — the
 				// operator retries on the next pass, modeled by ignoring
@@ -480,15 +503,21 @@ func (cp Campaign) Run(c *cluster.Cluster, hostNames, rackNames []string) (Repor
 			}(tgt)
 		}
 	}
-	wg.Wait()
+	// Waiting for the repair goroutines is a non-clock block, so park:
+	// their pending repair sleeps are what drives a fake clock forward.
+	repairsDone := make(chan struct{})
+	go func() { wg.Wait(); close(repairsDone) }()
+	unpark := clk.Park()
+	<-repairsDone
+	unpark()
 	// Final sweep: restore everything so the report's tail reflects a
 	// repaired system.
 	for _, tgt := range targets {
 		_ = tgt.repair(c)
 	}
-	time.Sleep(cp.RepairAfter)
+	clk.Sleep(cp.RepairAfter)
 	r := Report{
-		Duration:   time.Since(start),
+		Duration:   clk.Since(start),
 		Samples:    p.halt(),
 		Injections: injections,
 	}

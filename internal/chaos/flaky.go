@@ -60,12 +60,15 @@ func (f *FlakyProcess) Start(c *cluster.Cluster) error {
 	}
 	f.stop = make(chan struct{})
 	f.done = make(chan struct{})
+	c.Clock().Register()
 	go f.run(c, f.stop, f.done)
 	return nil
 }
 
 func (f *FlakyProcess) run(c *cluster.Cluster, stop, done chan struct{}) {
+	clk := c.Clock()
 	defer close(done)
+	defer clk.Unregister()
 	rng := rand.New(rand.NewSource(f.Seed))
 	for {
 		var wait time.Duration
@@ -77,12 +80,8 @@ func (f *FlakyProcess) run(c *cluster.Cluster, stop, done chan struct{}) {
 		if wait < 100*time.Microsecond {
 			wait = 100 * time.Microsecond
 		}
-		timer := time.NewTimer(wait)
-		select {
-		case <-stop:
-			timer.Stop()
+		if !clk.SleepOr(wait, stop) {
 			return
-		case <-timer.C:
 		}
 		// Only a Running target can crash; while it is down (awaiting its
 		// supervisor, backing off, or Fatal) the injector just waits.

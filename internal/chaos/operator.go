@@ -54,6 +54,7 @@ func (o *Operator) Start(c *cluster.Cluster) error {
 	}
 	o.stop = make(chan struct{})
 	o.done = make(chan struct{})
+	c.Clock().Register()
 	go o.run(c)
 	return nil
 }
@@ -88,46 +89,44 @@ type failKey struct {
 }
 
 func (o *Operator) run(c *cluster.Cluster) {
+	clk := c.Clock()
 	defer close(o.done)
+	defer clk.Unregister()
 	firstSeen := map[failKey]time.Time{}
-	ticker := time.NewTicker(o.CheckEvery)
+	ticker := clk.NewTicker(o.CheckEvery)
 	defer ticker.Stop()
-	for {
-		select {
-		case <-o.stop:
-			return
-		case now := <-ticker.C:
-			down := map[failKey]bool{}
-			for _, st := range c.Snapshot() {
-				if st.Alive {
-					continue
-				}
-				k := failKey{role: st.Role, node: st.Node, name: st.Name}
-				down[k] = true
-				seen, ok := firstSeen[k]
-				if !ok {
-					firstSeen[k] = now
-					continue
-				}
-				if now.Sub(seen) < o.ResponseTime {
-					continue
-				}
-				// The restart can legitimately fail (hardware down); the
-				// operator keeps watching and retries next time the
-				// process is still failed past its deadline.
-				if err := c.RestartProcess(st.Role, st.Node, st.Name); err == nil {
-					o.mu.Lock()
-					o.restarts++
-					o.mu.Unlock()
-					delete(firstSeen, k)
-				}
+	for ticker.Wait(o.stop) {
+		now := clk.Now()
+		down := map[failKey]bool{}
+		for _, st := range c.Snapshot() {
+			if st.Alive {
+				continue
 			}
-			// Forget healed processes so a later failure gets a fresh
-			// deadline.
-			for k := range firstSeen {
-				if !down[k] {
-					delete(firstSeen, k)
-				}
+			k := failKey{role: st.Role, node: st.Node, name: st.Name}
+			down[k] = true
+			seen, ok := firstSeen[k]
+			if !ok {
+				firstSeen[k] = now
+				continue
+			}
+			if now.Sub(seen) < o.ResponseTime {
+				continue
+			}
+			// The restart can legitimately fail (hardware down); the
+			// operator keeps watching and retries next time the
+			// process is still failed past its deadline.
+			if err := c.RestartProcess(st.Role, st.Node, st.Name); err == nil {
+				o.mu.Lock()
+				o.restarts++
+				o.mu.Unlock()
+				delete(firstSeen, k)
+			}
+		}
+		// Forget healed processes so a later failure gets a fresh
+		// deadline.
+		for k := range firstSeen {
+			if !down[k] {
+				delete(firstSeen, k)
 			}
 		}
 	}

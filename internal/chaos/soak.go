@@ -1,0 +1,299 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/mc"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+	"sdnavail/internal/vclock"
+)
+
+// Soak mode: the paper's validation triangle closed on running code. A
+// fake-clocked cluster lives through a long horizon (simulated weeks to
+// months) of MTBF/MTTR-driven process failures — every process draws
+// independent exponential up-times, supervisors auto-restart their
+// children, and an Operator model manually restarts everything else —
+// while the availability prober samples the planes in virtual time. The
+// same parameters feed the Monte Carlo simulator and the closed-form
+// models, so one SoakConfig yields three independently-derived
+// availability numbers that must agree.
+//
+// One simulated hour is one hour of virtual time; under the fake clock a
+// thousand-hour soak costs seconds of wall time (see BENCH_vclock.json).
+
+// SoakConfig parameterizes a soak run. Mean times are in simulated hours,
+// mirroring the mc and analytic conventions. The zero value of any field
+// selects the default noted on it.
+type SoakConfig struct {
+	// Profile and Topology describe the deployment (defaults:
+	// OpenContrail3x on the Small topology with 3-way role redundancy).
+	Profile  *profile.Profile
+	Topology *topology.Topology
+	// ComputeHosts is the number of vRouter compute hosts (default 3).
+	ComputeHosts int
+
+	// Hours is the simulated horizon (default 1000).
+	Hours float64
+	// Seed makes the failure schedule reproducible (default 1).
+	Seed int64
+
+	// ProcessMTBF is F, the mean up-time of every process between
+	// failures (default 100 — failure-dense so a modest horizon sees
+	// hundreds of repair cycles; the paper's production value is 5000).
+	ProcessMTBF float64
+	// AutoRestart is R, the target mean restart time of a supervised
+	// process (default 0.2). The cluster timing is derived so that the
+	// supervisor's detect-then-restart cycle averages R.
+	AutoRestart float64
+	// OperatorResponse is R_S, the target mean manual-restart time for
+	// manual-restart processes, dead supervisors, and anything whose
+	// supervisor has died (default 0.3). The Operator's polling and
+	// response delay are derived so the full cycle averages R_S.
+	OperatorResponse float64
+
+	// ProbeEveryHours is the availability sampling period (default 0.1,
+	// i.e. 6 simulated minutes). ProbeTimeoutHours bounds one CP probe
+	// (default 1/30, i.e. 2 simulated minutes); it must stay below the
+	// probe period so outage samples keep the cadence.
+	ProbeEveryHours   float64
+	ProbeTimeoutHours float64
+}
+
+// withDefaults resolves zero fields.
+func (sc SoakConfig) withDefaults() SoakConfig {
+	if sc.Profile == nil {
+		sc.Profile = profile.OpenContrail3x()
+	}
+	if sc.Topology == nil {
+		sc.Topology = topology.NewSmall(sc.Profile.ClusterRoles, 3)
+	}
+	if sc.ComputeHosts == 0 {
+		sc.ComputeHosts = 3
+	}
+	if sc.Hours == 0 {
+		sc.Hours = 1000
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.ProcessMTBF == 0 {
+		sc.ProcessMTBF = 100
+	}
+	if sc.AutoRestart == 0 {
+		sc.AutoRestart = 0.2
+	}
+	if sc.OperatorResponse == 0 {
+		sc.OperatorResponse = 0.3
+	}
+	if sc.ProbeEveryHours == 0 {
+		sc.ProbeEveryHours = 0.1
+	}
+	if sc.ProbeTimeoutHours == 0 {
+		sc.ProbeTimeoutHours = 1.0 / 30
+	}
+	return sc
+}
+
+// Validate reports the first problem with the configuration.
+func (sc SoakConfig) Validate() error {
+	sc = sc.withDefaults()
+	if sc.Hours < 0 || sc.ProcessMTBF < 0 || sc.AutoRestart < 0 || sc.OperatorResponse < 0 {
+		return fmt.Errorf("chaos: soak times must be positive: %+v", sc)
+	}
+	if sc.ProcessMTBF < 10*sc.OperatorResponse || sc.ProcessMTBF < 10*sc.AutoRestart {
+		return fmt.Errorf("chaos: soak MTBF %g must dominate repair times %g/%g", sc.ProcessMTBF, sc.AutoRestart, sc.OperatorResponse)
+	}
+	if sc.ProbeTimeoutHours >= sc.ProbeEveryHours {
+		return fmt.Errorf("chaos: probe timeout %g h must stay below the probe period %g h", sc.ProbeTimeoutHours, sc.ProbeEveryHours)
+	}
+	return nil
+}
+
+// hoursToDuration converts simulated hours to virtual time. A
+// time.Duration holds ~292 years, far beyond any soak horizon.
+func hoursToDuration(h float64) time.Duration {
+	return time.Duration(h * float64(time.Hour))
+}
+
+// Timing derives the cluster's operational delays so the supervised
+// restart cycle averages AutoRestart: the supervisor notices a failed
+// child half a scan period after the crash (on average) and then takes
+// the configured restart delay, so the delay is R minus half a period.
+func (sc SoakConfig) Timing() cluster.Timing {
+	sc = sc.withDefaults()
+	check := hoursToDuration(sc.AutoRestart / 4)
+	return cluster.Timing{
+		SupervisorCheck: check,
+		AutoRestart:     hoursToDuration(sc.AutoRestart) - check/2,
+		Rediscover:      2 * time.Minute,
+	}
+}
+
+// operatorFor derives the Operator whose detect-then-restart cycle
+// averages OperatorResponse: detection lags half a poll behind the
+// failure and the restart lands on the first poll past the response
+// deadline (another half poll), so the response time is R_S minus one
+// poll period.
+func (sc SoakConfig) operatorFor() *Operator {
+	sc = sc.withDefaults()
+	check := hoursToDuration(sc.OperatorResponse / 5)
+	op := NewOperator(hoursToDuration(sc.OperatorResponse) - check)
+	op.CheckEvery = check
+	return op
+}
+
+// SimConfig mirrors the soak parameters into a Monte Carlo configuration:
+// scenario 1 (the control plane does not require supervisors; a dead one
+// is replaced within the operator's response time, hence MaintenanceWindow
+// = R_S), identical process times, and effectively perfect hardware — the
+// soak injects process faults only.
+func (sc SoakConfig) SimConfig() mc.Config {
+	sc = sc.withDefaults()
+	return mc.Config{
+		Profile:           sc.Profile,
+		Topology:          sc.Topology,
+		Scenario:          analytic.SupervisorNotRequired,
+		ProcessMTBF:       sc.ProcessMTBF,
+		AutoRestart:       sc.AutoRestart,
+		ManualRestart:     sc.OperatorResponse,
+		MaintenanceWindow: sc.OperatorResponse,
+		VMMTBF:            1e12, VMRepair: 1e-6,
+		HostMTBF: 1e12, HostRepair: 1e-6,
+		RackMTBF: 1e12, RackRepair: 1e-6,
+		ComputeHosts: sc.ComputeHosts,
+		Horizon:      sc.Hours,
+		Seed:         sc.Seed,
+	}
+}
+
+// SoakResult is the outcome of one soak run.
+type SoakResult struct {
+	// Report carries the probe timeline and availability aggregates,
+	// exactly as a scenario or campaign reports them.
+	Report Report
+	// Config is the fully-resolved configuration the run used, so callers
+	// can mirror it into mc/analytic comparisons.
+	Config SoakConfig
+	// Hours is the simulated horizon actually covered.
+	Hours float64
+	// Failures counts injected process kills.
+	Failures int
+	// OperatorRestarts counts the Operator's manual interventions.
+	OperatorRestarts int
+}
+
+// RunSoak boots a fake-clocked cluster and lives through the configured
+// horizon of MTBF/MTTR cycles, returning the observed availability. The
+// entire run executes in virtual time; wall cost is proportional to the
+// number of timer fires, not the horizon.
+func RunSoak(sc SoakConfig) (SoakResult, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return SoakResult{}, err
+	}
+	fc := vclock.NewFake(time.Time{})
+	c, err := cluster.New(cluster.Config{
+		Profile: sc.Profile, Topology: sc.Topology, ComputeHosts: sc.ComputeHosts,
+		Clock: fc, Timing: sc.Timing(),
+	})
+	if err != nil {
+		return SoakResult{}, err
+	}
+	if err := c.Start(); err != nil {
+		return SoakResult{}, err
+	}
+	defer c.Stop()
+
+	op := sc.operatorFor()
+	if err := op.Start(c); err != nil {
+		return SoakResult{}, err
+	}
+
+	// The driver registers before the prober exists so the prober's start
+	// timestamp and first armed tick share one virtual instant.
+	clk := c.Clock()
+	clk.Register()
+	defer clk.Unregister()
+	p := newProber(c, hoursToDuration(sc.ProbeEveryHours), hoursToDuration(sc.ProbeTimeoutHours))
+	p.launch()
+	start := clk.Now()
+
+	// One failure loop per process: draw an exponential up-time, kill,
+	// then wait (coarsely polling in virtual time) until the supervisor or
+	// operator has repaired the process before arming the next draw —
+	// failure clocks only run while the process is up, matching the
+	// renewal model behind A = F/(F+R).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failures := 0
+	for i, st := range c.Snapshot() {
+		st := st
+		rng := rand.New(rand.NewSource(sc.Seed + int64(i+1)*7919))
+		clk.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer clk.Unregister()
+			for {
+				up := hoursToDuration(rng.ExpFloat64() * sc.ProcessMTBF)
+				if !clk.SleepOr(up, stop) {
+					return
+				}
+				if err := c.KillProcess(st.Role, st.Node, st.Name); err != nil {
+					continue
+				}
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				for !processAlive(c, st.Role, st.Node, st.Name) {
+					if !clk.SleepOr(time.Minute, stop) {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	clk.Sleep(hoursToDuration(sc.Hours))
+	horizon := clk.Since(start)
+
+	close(stop)
+	loopsDone := make(chan struct{})
+	go func() { wg.Wait(); close(loopsDone) }()
+	unpark := clk.Park()
+	<-loopsDone
+	unpark()
+
+	rep := Report{Duration: horizon, Samples: p.halt()}
+	restarts := op.Stop()
+	summarize(&rep)
+	finalize(&rep, c)
+	mu.Lock()
+	n := failures
+	mu.Unlock()
+	return SoakResult{
+		Report:           rep,
+		Config:           sc,
+		Hours:            float64(horizon) / float64(time.Hour),
+		Failures:         n,
+		OperatorRestarts: restarts,
+	}, nil
+}
+
+// processAlive reports whether the named process is currently effectively
+// alive.
+func processAlive(c *cluster.Cluster, role string, node int, name string) bool {
+	for _, st := range c.Snapshot() {
+		if st.Role == role && st.Node == node && st.Name == name {
+			return st.Alive
+		}
+	}
+	return false
+}

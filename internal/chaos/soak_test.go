@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sdnavail/internal/mc"
+)
+
+// TestSoakShortRun exercises the soak machinery on a short horizon: the
+// run must cover the horizon, inject a failure load consistent with the
+// configured MTBF, and show the operator handling the manual-restart
+// share.
+func TestSoakShortRun(t *testing.T) {
+	res, err := RunSoak(SoakConfig{Hours: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hours < 150 {
+		t.Errorf("covered %.1f simulated hours, want >= 150", res.Hours)
+	}
+	// ~30 processes × 150 h / 100 h MTBF ≈ 45 expected failures; accept a
+	// wide band around the Poisson mean.
+	if res.Failures < 15 || res.Failures > 150 {
+		t.Errorf("failures = %d, want a plausible count for F=100h over 150h", res.Failures)
+	}
+	if res.OperatorRestarts < 1 {
+		t.Error("operator performed no restarts; manual-restart processes never recovered")
+	}
+	if got := len(res.Report.Samples); got < 1000 {
+		t.Errorf("samples = %d, want >= 1000 (probe every 0.1h over 150h)", got)
+	}
+	if cp := res.Report.CPAvailability; cp < 0.99 || cp > 1 {
+		t.Errorf("CP availability = %v, want in (0.99, 1]", cp)
+	}
+	if dp := res.Report.DPAvailability; dp < 0.97 || dp > 1 {
+		t.Errorf("DP availability = %v, want in (0.97, 1]", dp)
+	}
+}
+
+// TestSoakValidatesAgainstMC is the acceptance run: >= 1000 simulated
+// hours on the Small topology must complete in < 30 s of wall time, and
+// the observed availability must agree with the Monte Carlo simulator run
+// at the same parameters. The live soak is a single realization of the
+// horizon while the simulator averages many, so the agreement band is the
+// replication CI widened by sqrt(replications) (i.e. ~the per-realization
+// spread) plus a small probe-quantization allowance.
+func TestSoakValidatesAgainstMC(t *testing.T) {
+	const reps = 16
+	wallStart := time.Now()
+	res, err := RunSoak(SoakConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(wallStart)
+	if res.Hours < 1000 {
+		t.Errorf("covered %.1f simulated hours, want >= 1000", res.Hours)
+	}
+	if wall >= 30*time.Second {
+		t.Errorf("soak took %v wall time, want < 30s", wall)
+	}
+
+	est, err := mc.Run(res.Config.SimConfig(), reps, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	band := func(half float64) float64 { return half*math.Sqrt(reps) + 5e-4 }
+	if diff := math.Abs(res.Report.CPAvailability - est.CP.Mean); diff > band(est.CP.HalfWide) {
+		t.Errorf("live CP %.6f vs simulated %.6f±%.6f: off by %.6f, band %.6f",
+			res.Report.CPAvailability, est.CP.Mean, est.CP.HalfWide, diff, band(est.CP.HalfWide))
+	}
+	if diff := math.Abs(res.Report.DPAvailability - est.HostDP.Mean); diff > band(est.HostDP.HalfWide) {
+		t.Errorf("live DP %.6f vs simulated %.6f±%.6f: off by %.6f, band %.6f",
+			res.Report.DPAvailability, est.HostDP.Mean, est.HostDP.HalfWide, diff, band(est.HostDP.HalfWide))
+	}
+	t.Logf("1000h soak in %v wall: %d failures, %d operator restarts; live cp=%.6f dp=%.6f, mc cp=%.6f±%.6f dp=%.6f±%.6f",
+		wall, res.Failures, res.OperatorRestarts,
+		res.Report.CPAvailability, res.Report.DPAvailability,
+		est.CP.Mean, est.CP.HalfWide, est.HostDP.Mean, est.HostDP.HalfWide)
+}
+
+// TestSoakConfigValidate covers the guard rails.
+func TestSoakConfigValidate(t *testing.T) {
+	if err := (SoakConfig{}).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (SoakConfig{ProcessMTBF: 1, OperatorResponse: 0.5}).Validate(); err == nil {
+		t.Error("MTBF below 10x repair time should be rejected")
+	}
+	if err := (SoakConfig{ProbeEveryHours: 0.01, ProbeTimeoutHours: 0.02}).Validate(); err == nil {
+		t.Error("probe timeout above the probe period should be rejected")
+	}
+}

@@ -1,0 +1,224 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+	"sdnavail/internal/vclock"
+)
+
+// Deterministic rewrites of the sleep-calibrated scenario tests: the same
+// scripts run under a fake clock, so injections land at exact virtual
+// instants and the assertions are exact windows (availability fractions of
+// precisely 1 or 0) instead of the ≈0.9/≈0.1 tolerances the wall-clock
+// versions need. The probe period (7 ms) is co-prime with the step
+// boundaries (multiples of 10 ms), so no sample ever collides with an
+// injection instant and every observation falls strictly inside a phase.
+
+func newFakeTestCluster(t *testing.T) (*cluster.Cluster, *vclock.Fake) {
+	t.Helper()
+	fc := vclock.NewFake(time.Time{})
+	prof := profile.OpenContrail3x()
+	topo := topology.NewSmall(prof.ClusterRoles, 3)
+	c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 3, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c, fc
+}
+
+// windowFracs computes exact CP and DP up-fractions over samples with
+// At in [lo, hi).
+func windowFracs(samples []Sample, lo, hi time.Duration) (cpFrac, dpFrac float64, n int) {
+	cpUp, dpUp, dpAll := 0, 0, 0
+	for _, s := range samples {
+		if s.At < lo || s.At >= hi {
+			continue
+		}
+		n++
+		if s.CPUp {
+			cpUp++
+		}
+		for _, u := range s.DPUp {
+			dpAll++
+			if u {
+				dpUp++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float64(cpUp) / float64(n), float64(dpUp) / float64(dpAll), n
+}
+
+// TestSectionIIIScenarioVirtual replays the section III narrative under the
+// fake clock and asserts the exact virtual timeline: the report duration is
+// precisely 5 steps (4 inter-action waits plus the settle step), every
+// injection is stamped at its scripted instant,
+// and the data-plane phase transitions are total (fraction exactly 1 or 0)
+// outside a small rediscovery margin.
+func TestSectionIIIScenarioVirtual(t *testing.T) {
+	c, _ := newFakeTestCluster(t)
+	const (
+		step = 120 * time.Millisecond
+		// margin covers the agents' Rediscover cadence (5 ms default): an
+		// agent notices a dead control at its next maintenance pass, so
+		// observations within a few periods of an injection are in flux.
+		margin = 15 * time.Millisecond
+		// probeTimeout bounds how long a CP probe straddles an injection:
+		// a probe started just before a repair can legitimately succeed.
+		probeTimeout = 30 * time.Millisecond
+	)
+	wallStart := time.Now()
+	rep, err := RunScenario(c, SectionIII(step), step, 7*time.Millisecond, probeTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(wallStart)
+
+	if rep.Duration != 5*step {
+		t.Errorf("virtual duration = %v, want exactly %v", rep.Duration, 5*step)
+	}
+	wantInjections := []string{
+		"[      0s] disable control supervision (kill all control supervisors)",
+		"[   120ms] kill control-1",
+		"[   240ms] kill control-2",
+		"[   360ms] kill control-3 (forwarding tables flush)",
+		"[   480ms] restore control-2",
+	}
+	if len(rep.Injections) != len(wantInjections) {
+		t.Fatalf("injections = %d, want %d:\n%v", len(rep.Injections), len(wantInjections), rep.Injections)
+	}
+	for i, want := range wantInjections {
+		if rep.Injections[i] != want {
+			t.Errorf("injection %d = %q, want exactly %q", i, rep.Injections[i], want)
+		}
+	}
+
+	// Exact phase windows. With two controls dead the DP is fully up; with
+	// all three dead it is fully down; after the restore it is fully up.
+	if cp, dp, n := windowFracs(rep.Samples, 2*step+margin, 3*step); n == 0 || dp != 1 || cp != 1 {
+		t.Errorf("one control left: cp=%.3f dp=%.3f (n=%d), want exactly 1/1", cp, dp, n)
+	}
+	if _, dp, n := windowFracs(rep.Samples, 3*step+margin, 4*step); n == 0 || dp != 0 {
+		t.Errorf("all controls dead: dp=%.3f (n=%d), want exactly 0", dp, n)
+	}
+	// CP probes block for up to probeTimeout, so a probe started shortly
+	// before the restore at 4*step can complete after it and succeed; the
+	// exact-down window therefore ends probeTimeout early.
+	if cp, _, n := windowFracs(rep.Samples, 3*step+margin, 4*step-probeTimeout); n == 0 || cp != 0 {
+		t.Errorf("all controls dead: cp=%.3f (n=%d), want exactly 0", cp, n)
+	}
+	if cp, dp, n := windowFracs(rep.Samples, 4*step+margin, 5*step); n == 0 || dp != 1 || cp != 1 {
+		t.Errorf("after restore: cp=%.3f dp=%.3f (n=%d), want exactly 1/1", cp, dp, n)
+	}
+	if rep.CPOutages < 1 {
+		t.Error("expected at least one CP outage")
+	}
+	// The whole 600 ms virtual scenario must finish faster than it would
+	// under the real clock — the point of the fake.
+	if wall >= 5*step {
+		t.Errorf("fake-clock scenario took %v wall time, want < %v", wall, 5*step)
+	}
+}
+
+// TestDatabaseQuorumScenarioVirtual replays the Cassandra quorum-loss
+// script under the fake clock. Quorum-store probes fail instantly (no
+// timeout wait), so the entire run consumes zero virtual time beyond the
+// scripted sleeps: every sample lands exactly on the 7 ms probe grid and
+// the CP outage spans exactly the quorum-loss phase.
+func TestDatabaseQuorumScenarioVirtual(t *testing.T) {
+	c, _ := newFakeTestCluster(t)
+	const step = 150 * time.Millisecond
+	wallStart := time.Now()
+	rep, err := RunScenario(c, DatabaseQuorumLoss(step), step, 7*time.Millisecond, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(wallStart)
+
+	if rep.Duration != 3*step {
+		t.Errorf("virtual duration = %v, want exactly %v", rep.Duration, 3*step)
+	}
+	wantInjections := []string{
+		"[      0s] kill cassandra-db (Config) on node 1",
+		"[   150ms] kill cassandra-db (Config) on node 2 (quorum lost)",
+		"[   300ms] manual restart of cassandra-db (Config) on node 1",
+	}
+	if len(rep.Injections) != len(wantInjections) {
+		t.Fatalf("injections = %d, want %d:\n%v", len(rep.Injections), len(wantInjections), rep.Injections)
+	}
+	for i, want := range wantInjections {
+		if rep.Injections[i] != want {
+			t.Errorf("injection %d = %q, want exactly %q", i, rep.Injections[i], want)
+		}
+	}
+
+	// Every sample sits exactly on the probe grid: At = 7 ms × (i+1).
+	wantSamples := int(3 * step / (7 * time.Millisecond))
+	if len(rep.Samples) != wantSamples {
+		t.Errorf("samples = %d, want exactly %d", len(rep.Samples), wantSamples)
+	}
+	for i, s := range rep.Samples {
+		if want := time.Duration(i+1) * 7 * time.Millisecond; s.At != want {
+			t.Fatalf("sample %d at %v, want exactly %v (virtual probe grid)", i, s.At, want)
+		}
+	}
+
+	// Exact availability per phase: CP up on 2/3 replicas, down from the
+	// instant quorum is lost until the instant it is restored, up after.
+	// The DP never flickers.
+	for _, s := range rep.Samples {
+		wantCP := s.At < step || s.At > 2*step
+		if s.CPUp != wantCP {
+			t.Errorf("sample at %v: CPUp=%v, want %v", s.At, s.CPUp, wantCP)
+		}
+		for h, u := range s.DPUp {
+			if !u {
+				t.Errorf("sample at %v: host %d DP down, want up throughout", s.At, h)
+			}
+		}
+	}
+	if rep.CPOutages != 1 {
+		t.Errorf("CP outages = %d, want exactly 1", rep.CPOutages)
+	}
+	if wall >= 3*step {
+		t.Errorf("fake-clock scenario took %v wall time, want < %v", wall, 3*step)
+	}
+}
+
+// TestScenarioVirtualDeterminism runs the quorum scenario twice on fresh
+// clusters and requires bit-identical sample timelines — the determinism
+// the wall-clock tests can only approximate with tolerances.
+func TestScenarioVirtualDeterminism(t *testing.T) {
+	run := func() []string {
+		c, _ := newFakeTestCluster(t)
+		rep, err := RunScenario(c, DatabaseQuorumLoss(150*time.Millisecond), 150*time.Millisecond, 7*time.Millisecond, 30*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, 0, len(rep.Samples))
+		for _, s := range rep.Samples {
+			out = append(out, fmt.Sprintf("%v cp=%v dp=%v health=%v", s.At, s.CPUp, s.DPUp, s.Health))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("timeline lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timelines diverge at sample %d:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+}

@@ -56,19 +56,17 @@ func (a *vRouterAgent) start() {
 	a.maintainLocked()
 	a.c.mu.Unlock()
 	a.c.loops.Add(1)
+	a.c.clk.Register()
 	go func() {
 		defer a.c.loops.Done()
-		ticker := time.NewTicker(a.c.timing.Rediscover)
+		defer a.c.clk.Unregister()
+		ticker := a.c.clk.NewTicker(a.c.timing.Rediscover)
 		defer ticker.Stop()
-		for {
-			select {
-			case <-a.c.stopAll:
-				return
-			case <-ticker.C:
-				a.c.mu.Lock()
-				a.maintainLocked()
-				a.c.mu.Unlock()
-			}
+		for ticker.Wait(a.c.stopAll) {
+			a.c.mu.Lock()
+			a.maintainLocked()
+			a.c.notifyLocked()
+			a.c.mu.Unlock()
 		}
 	}()
 }
@@ -123,7 +121,7 @@ func (a *vRouterAgent) maintainLocked() {
 		}
 	}
 	if a.conns[0] < 0 && a.conns[1] < 0 {
-		a.disconnectedLocked(time.Now())
+		a.disconnectedLocked(a.c.clk.Now())
 		return
 	}
 	// Connected: rebuild the forwarding table from the attached controls.
@@ -134,7 +132,7 @@ func (a *vRouterAgent) maintainLocked() {
 			a.c.controls[node].advertiseLocked(a.prefix, a.host)
 		}
 	}
-	a.downloadLocked(time.Now())
+	a.downloadLocked(a.c.clk.Now())
 }
 
 // disconnectedLocked handles a maintenance pass with zero control

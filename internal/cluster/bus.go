@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"sdnavail/internal/vclock"
 )
 
 // Message is a routed payload on the Bus.
@@ -37,6 +39,11 @@ type Bus struct {
 	// Published counts total messages accepted, for diagnostics.
 	published uint64
 	dropped   uint64
+	// clk, when set, gets one work token per enqueued message (retired by
+	// the consumer's Done call, or here when the message is dropped). The
+	// tokens keep a fake clock from advancing past messages that are
+	// delivered but not yet observed by their consumer goroutine.
+	clk vclock.Clock
 }
 
 // Subscription receives messages for one topic.
@@ -52,6 +59,15 @@ type Subscription struct {
 // NewBus returns an empty bus.
 func NewBus() *Bus {
 	return &Bus{subs: map[string][]*Subscription{}}
+}
+
+// SetClock attaches a clock for in-flight-delivery accounting. Call it
+// before any traffic flows; consumers of a clocked bus must acknowledge
+// every received message with Subscription.Done.
+func (b *Bus) SetClock(clk vclock.Clock) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clk = clk
 }
 
 // Subscribe registers a named consumer on a topic with the given queue
@@ -86,12 +102,20 @@ func (b *Bus) Publish(m Message) {
 		for {
 			select {
 			case s.ch <- m:
+				if b.clk != nil {
+					b.clk.AddWork(1)
+				}
 			default:
-				// Queue full: drop the oldest and retry.
+				// Queue full: drop the oldest and retry. The dropped
+				// message will never be acknowledged, so retire its work
+				// token here.
 				select {
 				case <-s.ch:
 					b.dropped++
 					s.dropped++
+					if b.clk != nil {
+						b.clk.DoneWork()
+					}
 					continue
 				default:
 				}
@@ -158,6 +182,19 @@ func (b *Bus) Close() {
 
 // C returns the receive channel of the subscription.
 func (s *Subscription) C() <-chan Message { return s.ch }
+
+// Done acknowledges one received message, retiring its clock work token.
+// Call it after the message has been fully handled (state applied,
+// waiters notified) so a fake clock cannot advance mid-delivery. No-op on
+// an unclocked bus.
+func (s *Subscription) Done() {
+	s.bus.mu.Lock()
+	clk := s.bus.clk
+	s.bus.mu.Unlock()
+	if clk != nil {
+		clk.DoneWork()
+	}
+}
 
 // Cancel removes the subscription from the bus and closes its channel.
 func (s *Subscription) Cancel() {

@@ -8,6 +8,7 @@ import (
 
 	"sdnavail/internal/profile"
 	"sdnavail/internal/topology"
+	"sdnavail/internal/vclock"
 )
 
 // Config assembles a testbed cluster.
@@ -30,6 +31,11 @@ type Config struct {
 	// strict historical behaviour: flush on disconnect, instant replica
 	// reconciliation.
 	Degradation Degradation
+	// Clock drives every timed operation in the testbed — supervisor
+	// scans, restart delays, agent rediscovery, catch-up deadlines, wait
+	// helpers. Nil defaults to the wall clock (vclock.Real); inject a
+	// *vclock.Fake for deterministic virtual-time runs.
+	Clock vclock.Clock
 }
 
 // hwLoc names the hardware column a process runs on.
@@ -43,6 +49,7 @@ type Cluster struct {
 	cfg    Config
 	timing Timing
 	sup    Supervision
+	clk    vclock.Clock
 	rng    *rand.Rand // backoff jitter source, guarded by mu
 
 	bus            *Bus
@@ -62,9 +69,17 @@ type Cluster struct {
 	isolated   map[int]bool        // controller nodes partitioned away
 	cutLinks   map[link]bool       // severed controller-pair mesh links
 	catchUpAt  map[catchUpKey]time.Time // deferred replica catch-up deadlines
-	probeSeq   uint64
-	started    bool
-	stopped    bool
+	// changed is closed and replaced whenever observable cluster state
+	// mutates; WaitUntil blocks on it instead of polling. changedWaiters
+	// counts the goroutines currently parked on the present generation of
+	// the channel: notifyLocked mints one clock work token per waiter so a
+	// fake clock cannot advance before every woken waiter has re-checked
+	// its condition.
+	changed        chan struct{}
+	changedWaiters int
+	probeSeq       uint64
+	started  bool
+	stopped  bool
 
 	controls []*controlNode
 	agents   []*vRouterAgent
@@ -108,11 +123,15 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Degradation.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
 	n := cfg.Topology.ClusterSize
 	c := &Cluster{
 		cfg:            cfg,
 		timing:         cfg.Timing,
 		sup:            cfg.Supervision,
+		clk:            cfg.Clock,
 		rng:            rand.New(rand.NewSource(cfg.Supervision.JitterSeed)),
 		bus:            NewBus(),
 		configStore:    NewQuorumStore("cassandra-config", n),
@@ -125,8 +144,10 @@ func New(cfg Config) (*Cluster, error) {
 		hostUp:         map[string]bool{},
 		vmUp:           map[string]bool{},
 		catchUpAt:      map[catchUpKey]time.Time{},
+		changed:        make(chan struct{}),
 		stopAll:        make(chan struct{}),
 	}
+	c.bus.SetClock(c.clk)
 	if cfg.Degradation.ReplicaCatchUp > 0 {
 		c.configStore.SetDeferredCatchUp(true)
 		c.analyticsStore.SetDeferredCatchUp(true)
@@ -227,7 +248,12 @@ func (c *Cluster) Start() error {
 			s := &supervisor{c: c, self: self, children: children, stop: c.stopAll, done: make(chan struct{})}
 			c.sups = append(c.sups, s)
 			c.loops.Add(1)
-			go func() { defer c.loops.Done(); s.run() }()
+			c.clk.Register()
+			go func() {
+				defer c.loops.Done()
+				defer c.clk.Unregister()
+				s.run()
+			}()
 		}
 	}
 	for _, ctl := range c.controls {
@@ -243,17 +269,14 @@ func (c *Cluster) Start() error {
 	// latency even while nothing else changes.
 	if c.cfg.Degradation.ReplicaCatchUp > 0 {
 		c.loops.Add(1)
+		c.clk.Register()
 		go func() {
 			defer c.loops.Done()
-			ticker := time.NewTicker(c.timing.SupervisorCheck)
+			defer c.clk.Unregister()
+			ticker := c.clk.NewTicker(c.timing.SupervisorCheck)
 			defer ticker.Stop()
-			for {
-				select {
-				case <-c.stopAll:
-					return
-				case <-ticker.C:
-					c.runCatchUps()
-				}
+			for ticker.Wait(c.stopAll) {
+				c.runCatchUps()
 			}
 		}()
 	}
@@ -281,6 +304,27 @@ func (c *Cluster) Stop() {
 	close(c.stopAll)
 	c.loops.Wait()
 	c.bus.Close()
+}
+
+// Clock returns the clock driving the cluster's timed operations. The
+// chaos harness uses it so probers, injectors and scenario drivers run on
+// the same (possibly virtual) timeline as the cluster itself.
+func (c *Cluster) Clock() vclock.Clock { return c.clk }
+
+// notifyLocked wakes every WaitUntil blocked on cluster state by closing
+// the generation channel and installing a fresh one. Every mutation path
+// (recompute, agent maintenance, config application, replica catch-up)
+// runs through it. Callers hold c.mu.
+func (c *Cluster) notifyLocked() {
+	// Every parked waiter becomes runnable when the channel closes, but a
+	// fake clock still counts it as parked until it is scheduled; the work
+	// tokens bridge that gap (each waiter retires one in WaitUntil).
+	if c.changedWaiters > 0 {
+		c.clk.AddWork(c.changedWaiters)
+		c.changedWaiters = 0
+	}
+	close(c.changed)
+	c.changed = make(chan struct{})
 }
 
 // ---- liveness ----
@@ -373,6 +417,7 @@ func (c *Cluster) recomputeLocked() {
 		}
 		ctl.wasUsable = usable
 	}
+	c.notifyLocked()
 }
 
 // catchUpKey names one replica of one quorum store for deferred catch-up
@@ -394,7 +439,7 @@ func (c *Cluster) setStoreAliveLocked(s *QuorumStore, node int, usable bool) {
 	k := catchUpKey{store: s, node: node}
 	switch {
 	case usable && !was:
-		c.catchUpAt[k] = time.Now().Add(c.cfg.Degradation.ReplicaCatchUp)
+		c.catchUpAt[k] = c.clk.Now().Add(c.cfg.Degradation.ReplicaCatchUp)
 	case !usable:
 		delete(c.catchUpAt, k)
 	}
@@ -403,14 +448,19 @@ func (c *Cluster) setStoreAliveLocked(s *QuorumStore, node int, usable bool) {
 // runCatchUps completes replica catch-ups whose latency has elapsed. It is
 // called from the degradation maintenance loop.
 func (c *Cluster) runCatchUps() {
-	now := time.Now()
+	now := c.clk.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	caught := false
 	for k, due := range c.catchUpAt {
 		if !now.Before(due) {
 			k.store.CatchUp(k.node)
 			delete(c.catchUpAt, k)
+			caught = true
 		}
+	}
+	if caught {
+		c.notifyLocked()
 	}
 }
 
@@ -440,7 +490,7 @@ func (c *Cluster) KillProcess(role string, node int, name string) error {
 	if p.state != Running {
 		return nil
 	}
-	now := time.Now()
+	now := c.clk.Now()
 	p.state = Failed
 	p.failedAt = now
 	if !p.IsSup {
@@ -496,7 +546,7 @@ func (c *Cluster) RestartNodeRole(role string, node int) error {
 	for k, p := range c.procs {
 		if k.role == role && k.node == node && !p.IsSup {
 			p.state = Failed
-			p.failedAt = time.Now()
+			p.failedAt = c.clk.Now()
 			p.resetSupervision() // the fresh supervisor starts with clean state
 		}
 	}
@@ -544,7 +594,7 @@ func (c *Cluster) setHW(kind, name string, up bool) error {
 		}
 		if !up {
 			p.state = Failed
-			p.failedAt = time.Now()
+			p.failedAt = c.clk.Now()
 		} else if c.hwUpLocked(k) {
 			// A booted element runs a fresh supervisord: FATAL does not
 			// survive a reboot, and crash-loop bookkeeping starts clean.
@@ -654,19 +704,54 @@ func (c *Cluster) StatusVisibility(role string, node int) bool {
 	return c.anyAliveLocked(string(profile.Analytics), "collector") >= 0
 }
 
-// WaitUntil polls cond every millisecond until it returns true or the
-// timeout expires, reporting success. It is the testbed's synchronization
-// helper for asynchronous recovery (supervisor restarts, agent
-// rediscovery).
+// WaitUntil blocks until cond returns true or the timeout expires,
+// reporting success. It is the testbed's synchronization helper for
+// asynchronous recovery (supervisor restarts, agent rediscovery).
+//
+// Rather than polling, it parks on the cluster's change-notification
+// channel: every state mutation (recompute, agent maintenance pass,
+// config application, replica catch-up) wakes it for a re-check. Under a
+// fake clock this matters doubly — a poll loop would step virtual time in
+// tiny increments, while parking lets the clock jump straight to the next
+// real deadline.
 func (c *Cluster) WaitUntil(timeout time.Duration, cond func() bool) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := c.clk.Now().Add(timeout)
 	for {
+		// Fetch the generation channel before evaluating cond: a change
+		// arriving between the check and the park then closes the channel
+		// we hold, so the wakeup cannot be missed.
+		c.mu.Lock()
+		ch := c.changed
+		c.mu.Unlock()
 		if cond() {
 			return true
 		}
-		if time.Now().After(deadline) {
+		remaining := deadline.Sub(c.clk.Now())
+		if remaining <= 0 {
 			return false
 		}
-		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+		if ch != c.changed {
+			// A notification already fired between the cond check and now;
+			// re-check immediately rather than parking on a dead channel.
+			c.mu.Unlock()
+			continue
+		}
+		c.changedWaiters++
+		c.mu.Unlock()
+		c.clk.SleepOr(remaining, ch)
+		c.mu.Lock()
+		if ch == c.changed {
+			// Timeout fired with no notification: withdraw from the
+			// generation so notifyLocked does not mint a token for us.
+			c.changedWaiters--
+			c.mu.Unlock()
+		} else {
+			// A notification fired (possibly racing the timeout) and
+			// minted a work token on our behalf; retire it now that we are
+			// demonstrably running again.
+			c.mu.Unlock()
+			c.clk.DoneWork()
+		}
 	}
 }

@@ -58,18 +58,27 @@ func (ctl *controlNode) start() error {
 	}
 	ctl.sub = sub
 	ctl.c.loops.Add(1)
+	ctl.c.clk.Register()
 	go func() {
 		defer ctl.c.loops.Done()
+		defer ctl.c.clk.Unregister()
 		for {
+			// The consumer blocks on the bus, not on the clock, so it
+			// parks explicitly: a fake clock may advance past it while it
+			// has nothing to consume.
+			unpark := ctl.c.clk.Park()
 			select {
 			case <-ctl.c.stopAll:
+				unpark()
 				return
 			case m, ok := <-sub.C():
+				unpark()
 				if !ok {
 					return
 				}
 				upd, ok := m.Payload.(configUpdate)
 				if !ok {
+					sub.Done()
 					continue
 				}
 				ctl.c.mu.Lock()
@@ -80,8 +89,13 @@ func (ctl *controlNode) start() error {
 					if upd.Kind == "policy" {
 						ctl.policies[upd.Prefix] = upd.Allow
 					}
+					ctl.c.notifyLocked()
 				}
 				ctl.c.mu.Unlock()
+				// Acknowledge only after the update (and any waiter
+				// notification) is applied, so a fake clock cannot advance
+				// between delivery and effect.
+				sub.Done()
 			}
 		}
 	}()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"sdnavail/internal/profile"
 )
@@ -52,6 +53,9 @@ type SubsystemHealth struct {
 
 // HealthReport is a point-in-time cluster health snapshot.
 type HealthReport struct {
+	// At is the cluster-clock timestamp of the snapshot — virtual time
+	// under a fake clock, wall time otherwise.
+	At time.Time
 	// Level is the worst subsystem level.
 	Level Health
 	// Subsystems holds the per-subsystem verdicts (quorum, mesh,
@@ -82,9 +86,10 @@ func (r HealthReport) String() string {
 // four Database-backed stores, control-mesh connectivity, supervision
 // coverage, and crash-looped (Fatal) processes.
 func (c *Cluster) Health() HealthReport {
+	now := c.clk.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var rep HealthReport
+	rep := HealthReport{At: now}
 	add := func(name string, level Health, reason string) {
 		rep.Subsystems = append(rep.Subsystems, SubsystemHealth{Name: name, Level: level, Reason: reason})
 		if level > rep.Level {

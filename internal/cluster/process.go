@@ -238,22 +238,17 @@ type supervisor struct {
 
 func (s *supervisor) run() {
 	defer close(s.done)
-	ticker := time.NewTicker(s.c.timing.SupervisorCheck)
+	ticker := s.c.clk.NewTicker(s.c.timing.SupervisorCheck)
 	defer ticker.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-ticker.C:
-			s.scan()
-		}
+	for ticker.Wait(s.stop) {
+		s.scan()
 	}
 }
 
 // scan restarts failed auto-restart children if the supervisor is alive.
 func (s *supervisor) scan() {
 	c := s.c
-	now := time.Now()
+	now := c.clk.Now()
 	c.mu.Lock()
 	if !c.aliveLocked(s.self) {
 		c.mu.Unlock()
@@ -271,12 +266,8 @@ func (s *supervisor) scan() {
 		return
 	}
 	// The restart itself takes R.
-	timer := time.NewTimer(c.timing.AutoRestart)
-	select {
-	case <-s.stop:
-		timer.Stop()
+	if !c.clk.SleepOr(c.timing.AutoRestart, s.stop) {
 		return
-	case <-timer.C:
 	}
 	c.mu.Lock()
 	for _, k := range toRestart {
@@ -287,7 +278,7 @@ func (s *supervisor) scan() {
 		if p.state == Failed && c.aliveLocked(s.self) && c.hwUpLocked(k) {
 			p.state = Running
 			p.restarts++
-			p.lastSupRestart = time.Now()
+			p.lastSupRestart = c.clk.Now()
 		}
 	}
 	c.recomputeLocked()

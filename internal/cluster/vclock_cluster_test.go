@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+	"sdnavail/internal/vclock"
+)
+
+// newFakeClusterT boots a Small-topology testbed on a fake clock. The
+// returned clock has the calling test registered as a driver goroutine, so
+// virtual time advances only while the test is blocked in clock-aware
+// waits.
+func newFakeClusterT(t *testing.T) (*Cluster, *vclock.Fake) {
+	t.Helper()
+	fc := vclock.NewFake(time.Time{})
+	prof := profile.OpenContrail3x()
+	topo := topology.NewSmall(prof.ClusterRoles, 3)
+	c, err := New(Config{Profile: prof, Topology: topo, ComputeHosts: 2, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	fc.Register()
+	t.Cleanup(fc.Unregister)
+	return c, fc
+}
+
+// TestFakeClockSupervisedRestart pins the supervisor's repair latency in
+// virtual time: a killed auto-restart process is noticed within one
+// SupervisorCheck period and running again AutoRestart later — bounds that
+// wall-clock tests can only approximate with generous sleeps.
+func TestFakeClockSupervisedRestart(t *testing.T) {
+	c, fc := newFakeClusterT(t)
+	timing := DefaultTiming()
+	killed := fc.Now()
+	if err := c.KillProcess("Control", 0, "control"); err != nil {
+		t.Fatal(err)
+	}
+	alive := func() bool {
+		for _, st := range c.Snapshot() {
+			if st.Role == "Control" && st.Node == 0 && st.Name == "control" {
+				return st.Alive
+			}
+		}
+		return false
+	}
+	if !c.WaitUntil(10*(timing.SupervisorCheck+timing.AutoRestart), alive) {
+		t.Fatal("supervisor never restarted the killed control process")
+	}
+	elapsed := fc.Since(killed)
+	if elapsed < timing.AutoRestart || elapsed > timing.SupervisorCheck+timing.AutoRestart {
+		t.Errorf("restart took %v virtual time, want in [%v, %v]",
+			elapsed, timing.AutoRestart, timing.SupervisorCheck+timing.AutoRestart)
+	}
+}
+
+// TestFakeClockWaitUntilTimeout verifies WaitUntil consumes exactly its
+// timeout in virtual time when the condition never holds.
+func TestFakeClockWaitUntilTimeout(t *testing.T) {
+	c, fc := newFakeClusterT(t)
+	start := fc.Now()
+	if c.WaitUntil(10*time.Millisecond, func() bool { return false }) {
+		t.Fatal("impossible condition reported true")
+	}
+	if got := fc.Since(start); got != 10*time.Millisecond {
+		t.Errorf("WaitUntil consumed %v virtual time, want exactly 10ms", got)
+	}
+}

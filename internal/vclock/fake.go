@@ -1,0 +1,464 @@
+package vclock
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Fake is a deterministic virtual clock. Time never flows on its own:
+// it jumps, and only to the earliest pending deadline, and only once
+// every goroutine declared with Register is parked in one of the
+// accounting-aware blocking primitives (Sleep, SleepOr, Ticker.Wait, or
+// an explicit Park). Work therefore happens at frozen virtual instants,
+// which is what makes scenario timelines exact: a supervisor restart
+// configured to take 3 virtual milliseconds takes exactly 3 virtual
+// milliseconds, regardless of scheduler load.
+//
+// Create with NewFake. Safe for concurrent use.
+type Fake struct {
+	mu         sync.Mutex
+	now        time.Time
+	registered int
+	parked     int
+	// ops counts clock interactions (parks, unparks, fires, cancels).
+	// The advance path uses it as a quiescence signal: yield to the
+	// scheduler, and only move time when no goroutine touched the clock
+	// in the meantime — giving just-woken or message-driven goroutines a
+	// chance to run at the current instant first.
+	ops     uint64
+	waiters map[*waiter]struct{}
+	// work counts outstanding deliveries (AddWork/DoneWork): messages or
+	// notifications handed to goroutines that have not yet consumed them.
+	// The clock never advances while work is outstanding — it closes the
+	// race where a consumer is runnable but not yet scheduled, so the
+	// park counters alone would call the system quiescent.
+	work int
+}
+
+// waiter is one armed deadline: a sleeper, a timer, or a ticker (which
+// rearms itself period by period).
+type waiter struct {
+	deadline time.Time
+	fire     chan time.Time // buffered(1); sends coalesce
+	period   time.Duration  // > 0 for tickers
+	parked   bool           // a goroutine is park-counted on this waiter
+}
+
+// NewFake returns a Fake clock reading start. A zero start defaults to a
+// fixed, readable epoch so timestamps in reports are stable across runs.
+func NewFake(start time.Time) *Fake {
+	if start.IsZero() {
+		start = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return &Fake{now: start, waiters: map[*waiter]struct{}{}}
+}
+
+// Now returns the current virtual time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Sleep blocks until virtual time has advanced by d.
+func (f *Fake) Sleep(d time.Duration) { f.SleepOr(d, nil) }
+
+// SleepOr blocks until virtual time has advanced by d or cancel closes,
+// reporting true in the former case. The block is park-counted.
+func (f *Fake) SleepOr(d time.Duration, cancel <-chan struct{}) bool {
+	select {
+	case <-cancel:
+		return false
+	default:
+	}
+	if d <= 0 {
+		return true
+	}
+	f.mu.Lock()
+	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1)}
+	f.waiters[w] = struct{}{}
+	f.parkLocked(w)
+	quiet := f.quietLocked()
+	f.mu.Unlock()
+	if quiet {
+		f.tryAdvance()
+	}
+	select {
+	case <-w.fire:
+		return true
+	case <-cancel:
+		return f.abandon(w)
+	}
+}
+
+// abandon detaches a cancelled waiter, reporting true if the deadline
+// fired concurrently with the cancellation (the sleep did complete).
+func (f *Fake) abandon(w *waiter) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-w.fire:
+		return true
+	default:
+	}
+	delete(f.waiters, w)
+	f.unparkLocked(w)
+	return false
+}
+
+// After returns a channel delivering the virtual time once d has
+// elapsed. Not park-counted: registered goroutines must not block on it
+// directly (use Sleep/SleepOr).
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	return f.newTimer(d).fire
+}
+
+// NewTimer returns a one-shot virtual timer. Not park-counted.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	return &fakeTimer{f: f, w: f.newTimer(d)}
+}
+
+func (f *Fake) newTimer(d time.Duration) *waiter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.fire <- f.now
+		return w
+	}
+	f.waiters[w] = struct{}{}
+	return w
+}
+
+// NewTicker returns a virtual ticker firing every d; its Wait method is
+// park-counted. Panics if d is not positive.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker period")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1), period: d}
+	f.waiters[w] = struct{}{}
+	return &fakeTicker{f: f, w: w}
+}
+
+// Register declares a clock-driven goroutine (see Clock.Register).
+func (f *Fake) Register() {
+	f.mu.Lock()
+	f.registered++
+	f.ops++
+	f.mu.Unlock()
+}
+
+// Unregister retires a registered goroutine. If everyone left is parked,
+// the departure itself can make the system quiescent, so it may trigger
+// an advance.
+func (f *Fake) Unregister() {
+	f.mu.Lock()
+	f.registered--
+	f.ops++
+	quiet := f.quietLocked()
+	f.mu.Unlock()
+	if quiet {
+		f.tryAdvance()
+	}
+}
+
+// AddWork declares n outstanding deliveries that must be consumed (each
+// retired by one DoneWork) before the clock may advance.
+func (f *Fake) AddWork(n int) {
+	if n <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.work += n
+	f.ops++
+	f.mu.Unlock()
+}
+
+// DoneWork retires one outstanding delivery. Retiring the last one can
+// complete quiescence, so it may trigger an advance.
+func (f *Fake) DoneWork() {
+	f.mu.Lock()
+	if f.work > 0 {
+		f.work--
+	}
+	f.ops++
+	quiet := f.quietLocked()
+	f.mu.Unlock()
+	if quiet {
+		f.tryAdvance()
+	}
+}
+
+// Work returns the number of outstanding deliveries.
+func (f *Fake) Work() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.work
+}
+
+// Park marks the calling registered goroutine as blocked outside the
+// clock. The returned function unparks it.
+func (f *Fake) Park() func() {
+	f.mu.Lock()
+	f.parked++
+	f.ops++
+	quiet := f.quietLocked()
+	f.mu.Unlock()
+	if quiet {
+		f.tryAdvance()
+	}
+	return func() {
+		f.mu.Lock()
+		f.parked--
+		f.ops++
+		f.mu.Unlock()
+	}
+}
+
+// Advance moves virtual time forward by d, firing every deadline passed
+// on the way in order (tickers fire once per elapsed period, coalescing
+// into their buffered channel). Meant for unit tests driving the clock
+// by hand; auto-advance runs make no Advance calls.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	target := f.now.Add(d)
+	for {
+		next, ok := f.nextDeadlineLocked()
+		if !ok || next.After(target) {
+			break
+		}
+		f.now = next
+		f.fireDueLocked()
+	}
+	f.now = target
+}
+
+// Registered returns the number of currently registered goroutines.
+func (f *Fake) Registered() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.registered
+}
+
+// Parked returns the number of currently park-counted goroutines.
+func (f *Fake) Parked() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.parked
+}
+
+// Pending returns the number of armed deadlines (sleepers, timers and
+// tickers).
+func (f *Fake) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// ---- internals (callers hold f.mu unless noted) ----
+
+func (f *Fake) parkLocked(w *waiter) {
+	w.parked = true
+	f.parked++
+	f.ops++
+}
+
+func (f *Fake) unparkLocked(w *waiter) {
+	if w.parked {
+		w.parked = false
+		f.parked--
+	}
+	f.ops++
+}
+
+// quietLocked reports whether every registered goroutine is parked and no
+// delivery is still in flight.
+func (f *Fake) quietLocked() bool {
+	return f.registered > 0 && f.parked >= f.registered && f.work == 0
+}
+
+// tryAdvance moves time to the next deadline if the system is (and
+// stays, across scheduler yields) fully parked. The yield rounds let
+// runnable-but-unscheduled goroutines — a consumer that just received a
+// message, a sleeper woken by a closed cancel channel — touch the clock
+// first, which bumps ops and aborts the attempt; the goroutine that
+// re-parks last retries. Called without f.mu held.
+func (f *Fake) tryAdvance() {
+	for attempt := 0; attempt < 64; attempt++ {
+		f.mu.Lock()
+		before := f.ops
+		quiet := f.quietLocked()
+		f.mu.Unlock()
+		if !quiet {
+			return
+		}
+		for i := 0; i < 8; i++ {
+			runtime.Gosched()
+		}
+		f.mu.Lock()
+		if f.ops == before && f.quietLocked() {
+			f.advanceLocked()
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Unlock()
+	}
+}
+
+// advanceLocked hops virtual time deadline by deadline until a fire
+// actually wakes a parked goroutine (which then runs and re-triggers the
+// next advance when it re-parks), or until no parked goroutine is waiting
+// on any deadline. Hopping through deadlines nobody currently observes —
+// a ticker whose owner is parked elsewhere with a tick already buffered,
+// so the fresh tick coalesces and wakes no one — is essential: stopping
+// after one such fire would strand the clock with everyone parked and no
+// goroutine left to trigger the next advance (e.g. a prober whose CP
+// probe outlasts its sampling period). Callers hold f.mu.
+func (f *Fake) advanceLocked() {
+	for {
+		// Only deadlines with a park-counted owner can wake anyone; with
+		// none left, everyone parked is waiting on something other than
+		// time (an unregistered goroutine, or test code about to act) and
+		// moving the clock would spin it forward for nothing.
+		anyParkedWaiter := false
+		for w := range f.waiters {
+			if w.parked {
+				anyParkedWaiter = true
+				break
+			}
+		}
+		if !anyParkedWaiter {
+			return
+		}
+		next, ok := f.nextDeadlineLocked()
+		if !ok {
+			return
+		}
+		if next.After(f.now) {
+			f.now = next
+		}
+		parkedBefore := f.parked
+		f.fireDueLocked()
+		if f.parked < parkedBefore {
+			return
+		}
+	}
+}
+
+// nextDeadlineLocked returns the earliest armed deadline.
+func (f *Fake) nextDeadlineLocked() (time.Time, bool) {
+	var min time.Time
+	found := false
+	for w := range f.waiters {
+		if !found || w.deadline.Before(min) {
+			min = w.deadline
+			found = true
+		}
+	}
+	return min, found
+}
+
+// fireDueLocked delivers every waiter whose deadline is at or before the
+// current virtual time. One-shot waiters are removed; tickers rearm one
+// period after the deadline that fired (sends into the buffered channel
+// coalesce, so a slow consumer sees one tick, not a backlog).
+func (f *Fake) fireDueLocked() {
+	for w := range f.waiters {
+		if w.deadline.After(f.now) {
+			continue
+		}
+		select {
+		case w.fire <- f.now:
+		default:
+		}
+		if w.period > 0 {
+			w.deadline = w.deadline.Add(w.period)
+		} else {
+			delete(f.waiters, w)
+		}
+		f.unparkLocked(w)
+	}
+}
+
+type fakeTimer struct {
+	f *Fake
+	w *waiter
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.w.fire }
+
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	if _, ok := t.f.waiters[t.w]; !ok {
+		return false
+	}
+	delete(t.f.waiters, t.w)
+	return true
+}
+
+type fakeTicker struct {
+	f       *Fake
+	w       *waiter
+	stopped bool
+}
+
+// Wait blocks until the next tick (park-counted) or cancellation. A tick
+// that fired while the consumer was busy is consumed immediately.
+func (t *fakeTicker) Wait(cancel <-chan struct{}) bool {
+	select {
+	case <-cancel:
+		return false
+	default:
+	}
+	t.f.mu.Lock()
+	if t.stopped {
+		t.f.mu.Unlock()
+		return false
+	}
+	select {
+	case <-t.w.fire:
+		t.f.mu.Unlock()
+		return true
+	default:
+	}
+	t.f.parkLocked(t.w)
+	quiet := t.f.quietLocked()
+	t.f.mu.Unlock()
+	if quiet {
+		t.f.tryAdvance()
+	}
+	select {
+	case <-t.w.fire:
+		return true
+	case <-cancel:
+		t.f.mu.Lock()
+		defer t.f.mu.Unlock()
+		select {
+		case <-t.w.fire:
+			return true
+		default:
+		}
+		t.f.unparkLocked(t.w)
+		return false
+	}
+}
+
+func (t *fakeTicker) Stop() {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	delete(t.f.waiters, t.w)
+	t.f.unparkLocked(t.w)
+}

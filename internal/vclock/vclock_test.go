@@ -1,0 +1,420 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// epoch is the fake clock's default start.
+var epoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealClockBasics(t *testing.T) {
+	var clk Real
+	t0 := clk.Now()
+	clk.Sleep(time.Millisecond)
+	if clk.Since(t0) <= 0 {
+		t.Fatalf("real clock did not advance")
+	}
+	if !clk.SleepOr(time.Microsecond, nil) {
+		t.Fatalf("SleepOr(nil cancel) = false")
+	}
+	cancel := make(chan struct{})
+	close(cancel)
+	if clk.SleepOr(time.Hour, cancel) {
+		t.Fatalf("SleepOr with closed cancel = true")
+	}
+	tk := clk.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	if !tk.Wait(nil) {
+		t.Fatalf("real ticker Wait = false")
+	}
+	if tk.Wait(cancel) {
+		t.Fatalf("real ticker Wait with closed cancel = true")
+	}
+	clk.Register() // no-ops
+	clk.Unregister()
+	clk.Park()()
+}
+
+// TestFakeAutoAdvance: two registered sleepers with different deadlines
+// wake in deadline order, and virtual time lands exactly on each
+// deadline — no wall time is spent.
+func TestFakeAutoAdvance(t *testing.T) {
+	f := NewFake(time.Time{})
+	type wake struct {
+		who string
+		at  time.Time
+	}
+	wakes := make(chan wake, 4)
+	var wg sync.WaitGroup
+	spawn := func(who string, d time.Duration) {
+		f.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer f.Unregister()
+			f.Sleep(d)
+			wakes <- wake{who, f.Now()}
+		}()
+	}
+	spawn("slow", 10*time.Hour)
+	spawn("fast", 3*time.Second)
+	wg.Wait()
+	first, second := <-wakes, <-wakes
+	if first.who != "fast" || second.who != "slow" {
+		t.Fatalf("wake order = %s, %s; want fast, slow", first.who, second.who)
+	}
+	if want := epoch.Add(3 * time.Second); !first.at.Equal(want) {
+		t.Fatalf("fast woke at %v, want %v", first.at, want)
+	}
+	if want := epoch.Add(10 * time.Hour); !second.at.Equal(want) {
+		t.Fatalf("slow woke at %v, want %v", second.at, want)
+	}
+	if got := f.Now(); !got.Equal(epoch.Add(10 * time.Hour)) {
+		t.Fatalf("final Now = %v", got)
+	}
+}
+
+// TestFakeTickerExactCadence: a registered ticker loop observes exactly
+// period-spaced virtual instants.
+func TestFakeTickerExactCadence(t *testing.T) {
+	f := NewFake(time.Time{})
+	const period = 7 * time.Millisecond
+	var at []time.Time
+	f.Register()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer f.Unregister()
+		tk := f.NewTicker(period)
+		defer tk.Stop()
+		for i := 0; i < 5; i++ {
+			if !tk.Wait(nil) {
+				t.Errorf("tick %d: Wait = false", i)
+				return
+			}
+			at = append(at, f.Now())
+		}
+	}()
+	<-done
+	if len(at) != 5 {
+		t.Fatalf("got %d ticks", len(at))
+	}
+	for i, ts := range at {
+		want := epoch.Add(time.Duration(i+1) * period)
+		if !ts.Equal(want) {
+			t.Fatalf("tick %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+// TestFakeTickerCoalescing: advancing across many periods while nobody
+// waits leaves exactly one pending tick.
+func TestFakeTickerCoalescing(t *testing.T) {
+	f := NewFake(time.Time{})
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+	f.Advance(10 * time.Second) // 10 periods elapse, sends coalesce
+	cancel := make(chan struct{})
+	close(cancel)
+	if !tk.Wait(nil) {
+		t.Fatalf("expected a coalesced pending tick")
+	}
+	if tk.Wait(cancel) {
+		t.Fatalf("second Wait should find no pending tick")
+	}
+	// The ticker rearmed relative to fired deadlines, not consumer speed:
+	// next deadline is 11s after epoch.
+	f.Advance(time.Second)
+	if !tk.Wait(nil) {
+		t.Fatalf("expected tick after one more period")
+	}
+}
+
+// TestFakeWaiterAccounting tracks Registered/Parked/Pending through a
+// sleeper's lifecycle.
+func TestFakeWaiterAccounting(t *testing.T) {
+	f := NewFake(time.Time{})
+	if f.Registered() != 0 || f.Parked() != 0 || f.Pending() != 0 {
+		t.Fatalf("fresh clock not empty: %d/%d/%d", f.Registered(), f.Parked(), f.Pending())
+	}
+	f.Register() // the test goroutine itself
+	f.Register() // the sleeper below
+	if f.Registered() != 2 {
+		t.Fatalf("Registered = %d, want 2", f.Registered())
+	}
+	started := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		defer f.Unregister()
+		close(started)
+		f.Sleep(time.Minute) // parks; auto-advance waits for the test goroutine
+		close(released)
+	}()
+	<-started
+	waitFor(t, func() bool { return f.Parked() == 1 && f.Pending() == 1 })
+	select {
+	case <-released:
+		t.Fatalf("sleeper released while a registered goroutine was still running")
+	default:
+	}
+	// The test goroutine parks too — now the system is quiescent and the
+	// clock advances, but only to the earliest deadline.
+	f.Sleep(time.Second)
+	if got := f.Since(epoch); got != time.Second {
+		t.Fatalf("advanced %v past the earliest deadline, want 1s", got)
+	}
+	select {
+	case <-released:
+		t.Fatalf("sleeper released at 1s, before its 1m deadline")
+	default:
+	}
+	// The test goroutine leaves; the sleeper alone is quiescent and the
+	// clock jumps to its deadline.
+	f.Unregister()
+	<-released
+	if got := f.Since(epoch); got != time.Minute {
+		t.Fatalf("advanced %v, want 1m", got)
+	}
+	waitFor(t, func() bool {
+		return f.Registered() == 0 && f.Parked() == 0 && f.Pending() == 0
+	})
+}
+
+// TestFakeSleepOrCancel: a closed cancel channel releases the sleeper
+// without advancing time, and the waiter is deregistered.
+func TestFakeSleepOrCancel(t *testing.T) {
+	f := NewFake(time.Time{})
+	cancel := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- f.SleepOr(time.Hour, cancel) }()
+	waitFor(t, func() bool { return f.Pending() == 1 })
+	close(cancel)
+	if <-done {
+		t.Fatalf("cancelled SleepOr returned true")
+	}
+	if f.Pending() != 0 || f.Parked() != 0 {
+		t.Fatalf("cancelled waiter leaked: pending=%d parked=%d", f.Pending(), f.Parked())
+	}
+	if !f.Now().Equal(epoch) {
+		t.Fatalf("time advanced on cancellation: %v", f.Now())
+	}
+	if f.SleepOr(time.Hour, cancel) {
+		t.Fatalf("SleepOr with already-closed cancel returned true")
+	}
+}
+
+// TestFakeTimerAndAfter: manual Advance drives one-shot deadlines; Stop
+// disarms a pending timer.
+func TestFakeTimerAndAfter(t *testing.T) {
+	f := NewFake(time.Time{})
+	ch := f.After(5 * time.Second)
+	tm := f.NewTimer(8 * time.Second)
+	stopped := f.NewTimer(time.Second)
+	if !stopped.Stop() {
+		t.Fatalf("Stop on pending timer = false")
+	}
+	if stopped.Stop() {
+		t.Fatalf("second Stop = true")
+	}
+	f.Advance(6 * time.Second)
+	select {
+	case at := <-ch:
+		if want := epoch.Add(5 * time.Second); !at.Equal(want) {
+			t.Fatalf("After fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatalf("After did not fire")
+	}
+	select {
+	case <-tm.C():
+		t.Fatalf("timer fired early")
+	default:
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case at := <-tm.C():
+		if want := epoch.Add(8 * time.Second); !at.Equal(want) {
+			t.Fatalf("timer fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatalf("timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatalf("Stop after fire = true")
+	}
+}
+
+// TestFakeParkUnpark: a registered goroutine blocked on a message
+// channel under Park does not stall the clock, and messages drain before
+// time moves again.
+func TestFakeParkUnpark(t *testing.T) {
+	f := NewFake(time.Time{})
+	msgs := make(chan int, 8)
+	var got []int
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	f.Register()
+	go func() {
+		defer close(done)
+		defer f.Unregister()
+		for {
+			unpark := f.Park()
+			select {
+			case <-stop:
+				unpark()
+				return
+			case m := <-msgs:
+				unpark()
+				mu.Lock()
+				got = append(got, m)
+				mu.Unlock()
+			}
+		}
+	}()
+	f.Register()
+	msgs <- 1
+	msgs <- 2
+	f.Sleep(time.Minute) // parks the driver; consumer drains, then time advances
+	if got := f.Since(epoch); got != time.Minute {
+		t.Fatalf("advanced %v, want 1m", got)
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	close(stop)
+	<-done
+	f.Unregister()
+}
+
+// TestFakeConcurrentLoad shakes the accounting under the race detector:
+// many registered sleepers and ticker loops running simultaneously.
+func TestFakeConcurrentLoad(t *testing.T) {
+	f := NewFake(time.Time{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		d := time.Duration(i+1) * 11 * time.Millisecond
+		f.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer f.Unregister()
+			for j := 0; j < 50; j++ {
+				f.Sleep(d)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		period := time.Duration(i+1) * 3 * time.Millisecond
+		f.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer f.Unregister()
+			tk := f.NewTicker(period)
+			defer tk.Stop()
+			for j := 0; j < 100; j++ {
+				if !tk.Wait(nil) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Parked() != 0 {
+		t.Fatalf("leftover parked count %d", f.Parked())
+	}
+	if f.Since(epoch) <= 0 {
+		t.Fatalf("virtual time did not advance")
+	}
+}
+
+// TestFakeWorkTokens verifies that outstanding work (a delivered-but-not-
+// yet-observed message) blocks auto-advance even while every registered
+// goroutine is parked, and that retiring the last token releases the clock.
+func TestFakeWorkTokens(t *testing.T) {
+	f := NewFake(time.Time{})
+	msgs := make(chan int, 8)
+	observed := make(chan time.Time, 8)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	f.Register()
+	go func() {
+		defer close(done)
+		defer f.Unregister()
+		for {
+			unpark := f.Park()
+			select {
+			case <-stop:
+				unpark()
+				return
+			case <-msgs:
+				unpark()
+				// Record the virtual instant at which the delivery was
+				// observed, then ack its token.
+				observed <- f.Now()
+				f.DoneWork()
+			}
+		}
+	}()
+
+	// Mint a token per message like a clocked bus publish would.
+	f.AddWork(1)
+	msgs <- 1
+	if f.Work() != 1 {
+		t.Fatalf("work = %d, want 1", f.Work())
+	}
+
+	f.Register()
+	f.Sleep(time.Minute) // may only elapse after the consumer acks
+	at := <-observed
+	if got := at.Sub(epoch); got != 0 {
+		t.Fatalf("message observed at virtual %v, want 0 (before any advance)", got)
+	}
+	if got := f.Since(epoch); got != time.Minute {
+		t.Fatalf("advanced %v, want 1m", got)
+	}
+	if f.Work() != 0 {
+		t.Fatalf("work = %d after ack, want 0", f.Work())
+	}
+
+	// A second round at the new virtual instant: same invariant holds.
+	f.AddWork(1)
+	msgs <- 2
+	f.Sleep(time.Minute)
+	at = <-observed
+	if got := at.Sub(epoch); got != time.Minute {
+		t.Fatalf("second message observed at virtual %v, want 1m", got)
+	}
+	close(stop)
+	<-done
+	f.Unregister()
+
+	// AddWork ignores non-positive counts; DoneWork never goes negative.
+	f.AddWork(0)
+	f.AddWork(-3)
+	if f.Work() != 0 {
+		t.Fatalf("work = %d after no-op adds, want 0", f.Work())
+	}
+	f.DoneWork()
+	if f.Work() != 0 {
+		t.Fatalf("work = %d after spurious DoneWork, want 0", f.Work())
+	}
+}
+
+// waitFor polls (in wall time) for a condition that becomes true after
+// scheduler handoff, failing the test after a second.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

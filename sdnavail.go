@@ -12,6 +12,7 @@ import (
 	"sdnavail/internal/relmath"
 	"sdnavail/internal/stats"
 	"sdnavail/internal/topology"
+	"sdnavail/internal/vclock"
 )
 
 // The public API re-exports the library's core types as aliases so that
@@ -385,3 +386,36 @@ type Operator = chaos.Operator
 // NewOperator returns an operator bot with the given response time; call
 // Start with a running cluster and Stop when done.
 func NewOperator(responseTime time.Duration) *Operator { return chaos.NewOperator(responseTime) }
+
+// ---- virtual time and long-horizon soak validation ----
+
+// Clock abstracts time for the testbed and chaos harness. The default
+// RealClock passes through to the runtime; a FakeClock makes every
+// scenario deterministic and lets simulated months run in wall-clock
+// seconds. The Monte Carlo simulator is unaffected: it keeps its own
+// discrete-event clock and never sleeps.
+type Clock = vclock.Clock
+
+// RealClock is the pass-through wall clock (the ClusterConfig default).
+type RealClock = vclock.Real
+
+// FakeClock is a deterministic virtual clock: it advances to the next
+// pending deadline whenever every registered goroutine is parked in a
+// clock-aware wait, so timed behaviour is exact and repeatable.
+type FakeClock = vclock.Fake
+
+// NewFakeClock returns a FakeClock starting at the given instant.
+func NewFakeClock(start time.Time) *FakeClock { return vclock.NewFake(start) }
+
+// SoakConfig parameterizes a long-horizon soak of the live testbed under
+// virtual time: simulated hours of MTBF/MTTR-driven process failures with
+// supervisors and an operator model performing the repairs.
+type SoakConfig = chaos.SoakConfig
+
+// SoakResult carries the soak's observed availability report and fault
+// counts, plus the resolved configuration for mirroring into the
+// simulator and closed forms.
+type SoakResult = chaos.SoakResult
+
+// RunSoak executes a fake-clocked soak of the live cluster.
+func RunSoak(sc SoakConfig) (SoakResult, error) { return chaos.RunSoak(sc) }
