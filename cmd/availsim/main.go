@@ -37,6 +37,7 @@ import (
 	"sdnavail/internal/mc"
 	"sdnavail/internal/profile"
 	"sdnavail/internal/relmath"
+	"sdnavail/internal/report"
 	"sdnavail/internal/topology"
 )
 
@@ -102,12 +103,16 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "soaking the live testbed: %s topology, %.0f simulated hours (seed %d), %d MC replications\n",
 			topo.Name, *soakHours, *seed, *reps)
-		row, table, err := experiments.SoakValidation(sc, *reps)
+		oc, err := experiments.SoakWithAttribution(sc, *reps)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%d failures injected, %d operator restarts\n\n", row.Failures, row.OperatorRestarts)
-		fmt.Fprint(out, table.Text())
+		fmt.Fprintf(out, "%d failures injected, %d operator restarts\n\n", oc.Row.Failures, oc.Row.OperatorRestarts)
+		fmt.Fprint(out, oc.AvailabilityTable.Text())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, oc.CP.Table.Text())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, oc.DP.Table.Text())
 		return nil
 	}
 	params := analytic.Params{AC: 0.995, AV: *av, AH: *ah, AR: *ar, A: *a, AS: *as}
@@ -162,5 +167,35 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "\n%d events total; %d CP outages, mean duration %.2f h\n", events, outages, meanOutage)
 	fmt.Fprintf(out, "simulated CP downtime: %.1f min/year equivalent\n",
 		relmath.DowntimeMinutesPerYear(est.CP.Mean))
+
+	// Per-failure-mode attribution from the simulator's ledger mirror. The
+	// analytic column covers the process modes only (it treats hardware as
+	// exogenous), so hardware modes compare against an empty share.
+	n := topo.ClusterSize
+	cpCmp := report.AttributionComparisonTable(
+		"\nControl-plane downtime shares by failure mode — Monte Carlo vs analytic (process modes)",
+		[]string{"monte carlo", "analytic"},
+		[]map[string]float64{
+			mc.ModeShares(est.CPDowntimeByMode),
+			contributionShares(analytic.CPContributions(prof, n, model.Params)),
+		})
+	fmt.Fprint(out, cpCmp.Text())
+	dpCmp := report.AttributionComparisonTable(
+		"\nHost data-plane downtime shares by failure mode — Monte Carlo vs analytic (process modes)",
+		[]string{"monte carlo", "analytic"},
+		[]map[string]float64{
+			mc.ModeShares(est.DPDowntimeByMode),
+			contributionShares(analytic.DPContributions(prof, n, model.Params)),
+		})
+	fmt.Fprint(out, dpCmp.Text())
 	return nil
+}
+
+// contributionShares flattens analytic contributions into mode → share.
+func contributionShares(contribs []analytic.ModeContribution) map[string]float64 {
+	out := map[string]float64{}
+	for _, c := range contribs {
+		out[c.Mode] = c.Share
+	}
+	return out
 }

@@ -8,8 +8,9 @@
 //	         [-scenario section3|dbquorum|rack|partition|asymlink|crashloop|flapping|headless|staleread|campaign]
 //	         [-step d] [-duration d] [-mbf d] [-repair d] [-seed s]
 //	         [-headless-hold d] [-route-max-age d] [-catchup d]
-//	         [-snapshot]
+//	         [-snapshot] [-trace file.jsonl] [-metrics file.json]
 //	chaosctl -soak [-soak-hours h] [-soak-mtbf h] [-topology t] [-hosts n] [-seed s]
+//	         [-trace file.jsonl] [-metrics file.json]
 //
 // Scenarios:
 //
@@ -37,9 +38,17 @@
 // performing the repairs), and the observed availability is compared
 // against the Monte Carlo simulator and the closed-form models at the
 // same parameters. A thousand simulated hours costs seconds of wall time.
+// The soak also prints the per-failure-mode downtime attribution tables
+// (live ledger vs Monte Carlo mirror vs analytic contributions).
+//
+// -trace writes the telemetry state-transition trace (one JSON event per
+// line) and -metrics the metrics-registry snapshot; either flag also
+// enables telemetry for scenario runs, adding the per-mode downtime
+// attribution tables to the report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +59,8 @@ import (
 	"sdnavail/internal/cluster"
 	"sdnavail/internal/experiments"
 	"sdnavail/internal/profile"
+	"sdnavail/internal/report"
+	"sdnavail/internal/telemetry"
 	"sdnavail/internal/topology"
 )
 
@@ -81,6 +92,9 @@ func run(args []string, out io.Writer) error {
 		soak      = flag.Bool("soak", false, "run the long-horizon virtual-time soak instead of a scenario")
 		soakHours = flag.Float64("soak-hours", 1000, "soak: simulated hours")
 		soakMTBF  = flag.Float64("soak-mtbf", 100, "soak: process mean time between failures in simulated hours")
+
+		tracePath   = flag.String("trace", "", "write the telemetry state-transition trace as JSONL to this file")
+		metricsPath = flag.String("metrics", "", "write the telemetry metrics snapshot as JSON to this file")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -111,19 +125,31 @@ func run(args []string, out io.Writer) error {
 			Hours: *soakHours, Seed: *seed, ProcessMTBF: *soakMTBF,
 		}
 		start := time.Now()
-		row, table, err := experiments.SoakValidation(sc, 16)
+		oc, err := experiments.SoakWithAttribution(sc, 16)
 		if err != nil {
 			return err
 		}
+		row := oc.Row
 		fmt.Fprintf(out, "soak: %.0f simulated hours on %s topology in %v wall (%d failures injected, %d operator restarts)\n\n",
 			row.Hours, topo.Name, time.Since(start).Round(time.Millisecond), row.Failures, row.OperatorRestarts)
-		fmt.Fprint(out, table.Text())
-		return nil
+		fmt.Fprint(out, oc.AvailabilityTable.Text())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, oc.CP.Table.Text())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, oc.DP.Table.Text())
+		return exportTelemetry(oc.Soak.Telemetry, *tracePath, *metricsPath)
 	}
 
+	// Telemetry stays off unless an export was requested — the disabled
+	// path costs one nil check per state mutation.
+	var tel *telemetry.Telemetry
+	if *tracePath != "" || *metricsPath != "" {
+		tel = telemetry.New()
+	}
 	c, err := cluster.New(cluster.Config{
 		Profile: prof, Topology: topo, ComputeHosts: *hosts,
 		Degradation: cluster.Degradation{HeadlessHold: *hold, RouteMaxAge: *maxAge, ReplicaCatchUp: *catchup},
+		Telemetry:   tel,
 	})
 	if err != nil {
 		return err
@@ -182,6 +208,21 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, rep.String())
 	fmt.Fprint(out, c.Health().String())
 
+	if tel != nil {
+		hours := c.TelemetryHours()
+		tel.Ledger.CloseAll(hours)
+		pub, dropped := c.BusStats()
+		tel.Metrics.Gauge("bus_published").Set(float64(pub))
+		tel.Metrics.Gauge("bus_dropped").Set(float64(dropped))
+		fmt.Fprintln(out)
+		fmt.Fprint(out, report.AttributionTable(tel.Ledger.Attribution("cp", hours)).Text())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, report.AttributionTable(tel.Ledger.MergedPrefix("dp", "dp:", hours)).Text())
+		if err := exportTelemetry(tel, *tracePath, *metricsPath); err != nil {
+			return err
+		}
+	}
+
 	if *snapshot {
 		fmt.Fprintln(out, "\nfinal process snapshot:")
 		for _, st := range c.Snapshot() {
@@ -194,6 +235,37 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "  %-10s node %d  %-26s %-5s (restarts: %d)\n",
 				st.Role, st.Node, st.Name, mark, st.Restarts)
+		}
+	}
+	return nil
+}
+
+// exportTelemetry writes the trace (JSONL) and/or metrics snapshot (JSON)
+// when paths were given.
+func exportTelemetry(tel *telemetry.Telemetry, tracePath, metricsPath string) error {
+	if tel == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tel.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		b, err := json.MarshalIndent(tel.Metrics.Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsPath, append(b, '\n'), 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

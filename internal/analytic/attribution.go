@@ -1,0 +1,142 @@
+package analytic
+
+import (
+	"sort"
+
+	"sdnavail/internal/profile"
+	"sdnavail/internal/relmath"
+)
+
+// Analytic downtime attribution: the closed-form counterpart of the
+// telemetry ledger. Each quorum requirement g ("quorum of n over the
+// group's member processes") is unavailable with probability
+// U_g = KofNComplement(need, n, α_g); in the rare-event regime the
+// requirements fail disjointly, so U_g is (to first order) the fraction
+// of time the plane is down *because of* group g, and the per-mode
+// downtime table follows by splitting U_g evenly over the group's member
+// processes — the same equal-split rule the ledger applies to an
+// interval's blame set. Mode keys match the telemetry ones
+// ("process:<name>"); hardware is taken as perfect here, mirroring the
+// process-fault-only soak it validates.
+
+// ModeContribution is one failure mode's expected share of a plane's
+// downtime.
+type ModeContribution struct {
+	// Mode is the failure-mode key ("process:<name>").
+	Mode string
+	// Unavailability is the expected fraction of time the plane is down
+	// with this mode to blame (first-order, rare-event regime).
+	Unavailability float64
+	// Share is Unavailability over the plane's total.
+	Share float64
+}
+
+// contribs accumulates per-mode unavailability and normalizes.
+type contribs map[string]float64
+
+func (c contribs) add(mode string, u float64) { c[mode] += u }
+
+func (c contribs) finish() []ModeContribution {
+	total := 0.0
+	for _, u := range c {
+		total += u
+	}
+	out := make([]ModeContribution, 0, len(c))
+	for m, u := range c {
+		mc := ModeContribution{Mode: m, Unavailability: u}
+		if total > 0 {
+			mc.Share = u / total
+		}
+		out = append(out, mc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Unavailability != out[j].Unavailability {
+			return out[i].Unavailability > out[j].Unavailability
+		}
+		return out[i].Mode < out[j].Mode
+	})
+	return out
+}
+
+// groupMembers resolves a quorum group's member process names, the same
+// expansion the testbed and simulator use.
+func groupMembers(p *profile.Profile, role profile.Role, pl profile.Plane, group string) []string {
+	var members []string
+	for _, proc := range p.RoleProcesses(role, false) {
+		if proc.PerHost {
+			continue
+		}
+		isMember := proc.Name == group
+		if pl == profile.DataPlane && proc.DPGroup != "" {
+			isMember = proc.DPGroup == group
+		}
+		if isMember {
+			members = append(members, proc.Name)
+		}
+	}
+	return members
+}
+
+// planeContributions accumulates every shared quorum requirement's
+// first-order unavailability for the plane, split evenly over member
+// processes.
+func planeContributions(p *profile.Profile, n int, params Params, pl profile.Plane, c contribs) {
+	for _, role := range p.ClusterRoles {
+		for _, g := range profile.QuorumGroups(p, role, pl) {
+			need := g.Need.Count(n)
+			if need == 0 {
+				continue
+			}
+			alpha := g.InstanceAvailability(params.A, params.AS)
+			u := relmath.KofNComplement(need, n, alpha) * float64(g.Count)
+			members := groupMembers(p, role, pl, g.Name)
+			if len(members) == 0 {
+				continue
+			}
+			for _, m := range members {
+				c.add("process:"+m, u/float64(len(members)))
+			}
+		}
+	}
+}
+
+// CPContributions returns the expected per-failure-mode decomposition of
+// control-plane downtime for an n-node cluster: each CP quorum group's
+// first-order unavailability, attributed to its member processes. The
+// shares are what a long process-fault-only soak (or MC run) should
+// converge to.
+func CPContributions(p *profile.Profile, n int, params Params) []ModeContribution {
+	c := contribs{}
+	planeContributions(p, n, params, profile.ControlPlane, c)
+	return c.finish()
+}
+
+// DPContributions returns the same decomposition for a host data plane:
+// the shared DP quorum requirements plus the host's local per-host
+// processes (each contributing its own 1−A or 1−A_S).
+func DPContributions(p *profile.Profile, n int, params Params) []ModeContribution {
+	c := contribs{}
+	planeContributions(p, n, params, profile.DataPlane, c)
+	for _, proc := range p.Processes {
+		if !proc.PerHost || proc.DP == profile.NotRequired {
+			continue
+		}
+		u := 1 - params.A
+		if proc.Restart == profile.ManualRestart {
+			u = 1 - params.AS
+		}
+		c.add("process:"+proc.Name, u)
+	}
+	return c.finish()
+}
+
+// Share returns the named mode's share from a contribution list (0 when
+// absent).
+func Share(contribs []ModeContribution, mode string) float64 {
+	for _, c := range contribs {
+		if c.Mode == mode {
+			return c.Share
+		}
+	}
+	return 0
+}

@@ -272,7 +272,7 @@ func (p *prober) sampleOnce() {
 	// Probe the data planes first: DP probes are instantaneous, while a
 	// failing CP probe blocks for its timeout and would skew the sample's
 	// timestamp against the DP observations.
-	s := Sample{At: p.clk.Since(p.start), Health: p.c.Health().Level}
+	s := Sample{At: p.clk.Since(p.start), Health: p.c.HealthLevel()}
 	for h := 0; h < p.c.ComputeHostCount(); h++ {
 		s.DPUp = append(s.DPUp, p.c.ProbeDP(h) == nil)
 	}

@@ -10,6 +10,7 @@ import (
 	"sdnavail/internal/cluster"
 	"sdnavail/internal/mc"
 	"sdnavail/internal/profile"
+	"sdnavail/internal/telemetry"
 	"sdnavail/internal/topology"
 	"sdnavail/internal/vclock"
 )
@@ -63,6 +64,11 @@ type SoakConfig struct {
 	// probe period so outage samples keep the cadence.
 	ProbeEveryHours   float64
 	ProbeTimeoutHours float64
+
+	// Telemetry, when non-nil, is attached to the soaked cluster instead
+	// of the aggregate RunSoak creates itself — callers that want the raw
+	// trace or registry can supply their own and keep a handle on it.
+	Telemetry *telemetry.Telemetry
 }
 
 // withDefaults resolves zero fields.
@@ -186,6 +192,15 @@ type SoakResult struct {
 	Failures int
 	// OperatorRestarts counts the Operator's manual interventions.
 	OperatorRestarts int
+	// Telemetry is the aggregate the soaked cluster fed: metrics, the
+	// state-transition trace, and the attribution ledger (every interval
+	// closed at the horizon).
+	Telemetry *telemetry.Telemetry
+	// CPAttribution and DPAttribution are the per-failure-mode downtime
+	// tables observed by the testbed: the "cp" plane, and the per-host
+	// "dp:*" planes merged.
+	CPAttribution telemetry.Attribution
+	DPAttribution telemetry.Attribution
 }
 
 // RunSoak boots a fake-clocked cluster and lives through the configured
@@ -197,10 +212,14 @@ func RunSoak(sc SoakConfig) (SoakResult, error) {
 	if err := sc.Validate(); err != nil {
 		return SoakResult{}, err
 	}
+	tel := sc.Telemetry
+	if tel == nil {
+		tel = telemetry.New()
+	}
 	fc := vclock.NewFake(time.Time{})
 	c, err := cluster.New(cluster.Config{
 		Profile: sc.Profile, Topology: sc.Topology, ComputeHosts: sc.ComputeHosts,
-		Clock: fc, Timing: sc.Timing(),
+		Clock: fc, Timing: sc.Timing(), Telemetry: tel,
 	})
 	if err != nil {
 		return SoakResult{}, err
@@ -278,12 +297,23 @@ func RunSoak(sc SoakConfig) (SoakResult, error) {
 	mu.Lock()
 	n := failures
 	mu.Unlock()
+
+	// Close the attribution ledger at the horizon and mirror the bus
+	// counters into the registry before the aggregate leaves the run.
+	hours := c.TelemetryHours()
+	tel.Ledger.CloseAll(hours)
+	pub, dropped := c.BusStats()
+	tel.Metrics.Gauge("bus_published").Set(float64(pub))
+	tel.Metrics.Gauge("bus_dropped").Set(float64(dropped))
 	return SoakResult{
 		Report:           rep,
 		Config:           sc,
 		Hours:            float64(horizon) / float64(time.Hour),
 		Failures:         n,
 		OperatorRestarts: restarts,
+		Telemetry:        tel,
+		CPAttribution:    tel.Ledger.Attribution("cp", hours),
+		DPAttribution:    tel.Ledger.MergedPrefix("dp", "dp:", hours),
 	}, nil
 }
 

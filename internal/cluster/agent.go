@@ -36,9 +36,9 @@ type vRouterAgent struct {
 
 func newAgent(c *Cluster, idx int, host string) *vRouterAgent {
 	a := &vRouterAgent{
-		c:        c,
-		idx:      idx,
-		host:     host,
+		c:         c,
+		idx:       idx,
+		host:      host,
 		prefix:    fmt.Sprintf("10.1.%d.0/24", idx),
 		routes:    map[string]string{},
 		policies:  map[string]bool{},
@@ -64,7 +64,16 @@ func (a *vRouterAgent) start() {
 		defer ticker.Stop()
 		for ticker.Wait(a.c.stopAll) {
 			a.c.mu.Lock()
+			// Process/hardware liveness changes always flow through
+			// recomputeLocked, which runs the full telemetry scan; the
+			// maintenance pass itself only moves flush/headless state, so
+			// the agent-granularity scan is needed (and paid for) only
+			// when one of those actually flipped.
+			flushedBefore, headlessBefore := a.flushed, a.headless
 			a.maintainLocked()
+			if a.flushed != flushedBefore || a.headless != headlessBefore {
+				a.c.telemetryAgentPassLocked()
+			}
 			a.c.notifyLocked()
 			a.c.mu.Unlock()
 		}

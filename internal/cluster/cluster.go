@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sdnavail/internal/profile"
+	"sdnavail/internal/telemetry"
 	"sdnavail/internal/topology"
 	"sdnavail/internal/vclock"
 )
@@ -36,6 +37,11 @@ type Config struct {
 	// helpers. Nil defaults to the wall clock (vclock.Real); inject a
 	// *vclock.Fake for deterministic virtual-time runs.
 	Clock vclock.Clock
+	// Telemetry, when non-nil, collects metrics, a state-transition trace
+	// and a downtime-attribution ledger from the cluster. Nil (the
+	// default) disables instrumentation at the cost of one pointer check
+	// per state mutation.
+	Telemetry *telemetry.Telemetry
 }
 
 // hwLoc names the hardware column a process runs on.
@@ -64,10 +70,10 @@ type Cluster struct {
 	rackUp     map[string]bool
 	hostUp     map[string]bool
 	vmUp       map[string]bool
-	redis      []map[string]string // per-node realtime cache content
-	redisAlive []bool              // previous redis liveness, for cache loss on crash
-	isolated   map[int]bool        // controller nodes partitioned away
-	cutLinks   map[link]bool       // severed controller-pair mesh links
+	redis      []map[string]string      // per-node realtime cache content
+	redisAlive []bool                   // previous redis liveness, for cache loss on crash
+	isolated   map[int]bool             // controller nodes partitioned away
+	cutLinks   map[link]bool            // severed controller-pair mesh links
 	catchUpAt  map[catchUpKey]time.Time // deferred replica catch-up deadlines
 	// changed is closed and replaced whenever observable cluster state
 	// mutates; WaitUntil blocks on it instead of polling. changedWaiters
@@ -78,11 +84,12 @@ type Cluster struct {
 	changed        chan struct{}
 	changedWaiters int
 	probeSeq       uint64
-	started  bool
-	stopped  bool
+	started        bool
+	stopped        bool
 
 	controls []*controlNode
 	agents   []*vRouterAgent
+	telState *telState // telemetry mirror, nil when disabled; guarded by mu
 
 	sups    []*supervisor
 	loops   sync.WaitGroup
@@ -210,6 +217,9 @@ func New(cfg Config) (*Cluster, error) {
 	// Control nodes.
 	for node := 0; node < n; node++ {
 		c.controls = append(c.controls, newControlNode(c, node))
+	}
+	if cfg.Telemetry != nil {
+		c.attachTelemetryLocked(cfg.Telemetry)
 	}
 	return c, nil
 }
@@ -417,6 +427,7 @@ func (c *Cluster) recomputeLocked() {
 		}
 		ctl.wasUsable = usable
 	}
+	c.telemetryScanLocked()
 	c.notifyLocked()
 }
 

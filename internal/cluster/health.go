@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sdnavail/internal/profile"
+	"sdnavail/internal/telemetry"
 )
 
 // Degraded-health reporting. The availability probes (ProbeCP/ProbeDP) are
@@ -70,6 +71,10 @@ type HealthReport struct {
 	// CatchingUpReplicas names revived quorum-store replicas still running
 	// anti-entropy catch-up ("store/node"), excluded from read quorums.
 	CatchingUpReplicas []string
+	// Telemetry is the point-in-time telemetry digest (counters and
+	// per-plane attributed downtime); nil when the cluster runs without a
+	// telemetry aggregate.
+	Telemetry *telemetry.Summary
 }
 
 // String renders the report, one subsystem per line.
@@ -85,7 +90,15 @@ func (r HealthReport) String() string {
 // Health computes the cluster health snapshot: quorum margins across the
 // four Database-backed stores, control-mesh connectivity, supervision
 // coverage, and crash-looped (Fatal) processes.
-func (c *Cluster) Health() HealthReport {
+func (c *Cluster) Health() HealthReport { return c.health(true) }
+
+// HealthLevel returns just the coarse health level — the form the
+// availability prober samples every probe period. It skips the telemetry
+// digest, whose snapshot/sort cost would otherwise be paid on every
+// probe for a level-only read.
+func (c *Cluster) HealthLevel() Health { return c.health(false).Level }
+
+func (c *Cluster) health(withTelemetry bool) HealthReport {
 	now := c.clk.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -226,6 +239,9 @@ func (c *Cluster) Health() HealthReport {
 			len(rep.CatchingUpReplicas), strings.Join(rep.CatchingUpReplicas, ", ")))
 	default:
 		add("degradation", Healthy, "no headless agents, no catching-up replicas")
+	}
+	if ts := c.telState; withTelemetry && ts != nil {
+		rep.Telemetry = ts.t.Summarize(ts.hours(now))
 	}
 	return rep
 }

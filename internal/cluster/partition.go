@@ -1,6 +1,11 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	"sdnavail/internal/telemetry"
+)
 
 // Network partitions. The testbed models two incident classes:
 //
@@ -88,6 +93,9 @@ func (c *Cluster) CutLink(a, b int) error {
 	if c.cutLinks == nil {
 		c.cutLinks = map[link]bool{}
 	}
+	if !c.cutLinks[normLink(a, b)] {
+		c.telemetryLinkEventLocked(telemetry.EventLinkCut, a, b)
+	}
 	c.cutLinks[normLink(a, b)] = true
 	c.recomputeLocked()
 	return nil
@@ -103,6 +111,9 @@ func (c *Cluster) RestoreLink(a, b int) error {
 			return fmt.Errorf("cluster: no controller node %d", n)
 		}
 	}
+	if c.cutLinks[normLink(a, b)] {
+		c.telemetryLinkEventLocked(telemetry.EventLinkHealed, a, b)
+	}
 	delete(c.cutLinks, normLink(a, b))
 	if len(c.cutLinks) == 0 {
 		c.cutLinks = nil
@@ -116,6 +127,21 @@ func (c *Cluster) RestoreLink(a, b int) error {
 func (c *Cluster) HealLinks() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.telState != nil && len(c.cutLinks) > 0 {
+		links := make([]link, 0, len(c.cutLinks))
+		for l := range c.cutLinks {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].a != links[j].a {
+				return links[i].a < links[j].a
+			}
+			return links[i].b < links[j].b
+		})
+		for _, l := range links {
+			c.telemetryLinkEventLocked(telemetry.EventLinkHealed, l.a, l.b)
+		}
+	}
 	c.cutLinks = nil
 	c.meshRefreshLocked()
 	c.recomputeLocked()

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/chaos"
+	"sdnavail/internal/mc"
+	"sdnavail/internal/report"
+	"sdnavail/internal/telemetry"
+)
+
+// Differential downtime attribution: the same failure schedule evaluated
+// by three independent estimators — the live testbed's telemetry ledger,
+// the Monte Carlo simulator's ledger mirror, and the analytic first-order
+// contributions — must blame the same failure modes in the same
+// proportions. SoakWithAttribution runs all three from one SoakConfig and
+// lines the per-mode shares up.
+
+// AttributionComparison is one plane's three-way share comparison.
+type AttributionComparison struct {
+	// Plane is "cp" or "dp".
+	Plane string
+	// Soak, Sim and Analytic map failure-mode keys to downtime shares as
+	// seen by the live soak ledger, the MC mirror, and the closed forms.
+	Soak     map[string]float64
+	Sim      map[string]float64
+	Analytic map[string]float64
+	// Table renders the comparison.
+	Table report.Table
+}
+
+// SoakOutcome bundles one soak's availability validation and downtime
+// attribution.
+type SoakOutcome struct {
+	// Row and AvailabilityTable are the three-way availability comparison,
+	// as from SoakValidation.
+	Row               SoakRow
+	AvailabilityTable report.Table
+	// Soak is the live run, including its telemetry aggregate.
+	Soak chaos.SoakResult
+	// CP and DP compare the per-failure-mode downtime shares.
+	CP AttributionComparison
+	DP AttributionComparison
+}
+
+// shareMap flattens a ledger attribution into mode → share.
+func shareMap(a telemetry.Attribution) map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range a.Modes {
+		out[m.Mode] = m.Share
+	}
+	return out
+}
+
+// contributionShares flattens analytic contributions into mode → share.
+func contributionShares(contribs []analytic.ModeContribution) map[string]float64 {
+	out := map[string]float64{}
+	for _, c := range contribs {
+		out[c.Mode] = c.Share
+	}
+	return out
+}
+
+// ShareAgreement returns the maximum absolute share discrepancy between
+// two sources over the modes whose reference share is at least floor —
+// small reference modes are dominated by sampling noise and excluded.
+func ShareAgreement(ref, got map[string]float64, floor float64) float64 {
+	worst := 0.0
+	for mode, r := range ref {
+		if r < floor {
+			continue
+		}
+		if d := abs(r - got[mode]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// SoakWithAttribution runs one live soak and one mirrored Monte Carlo
+// estimate, evaluates the closed forms, and returns the availability
+// validation plus the per-plane attribution comparisons. It costs one
+// soak — use it instead of calling SoakValidation and re-soaking.
+func SoakWithAttribution(sc chaos.SoakConfig, replications int) (SoakOutcome, error) {
+	if replications < 2 {
+		replications = 16
+	}
+	res, err := chaos.RunSoak(sc)
+	if err != nil {
+		return SoakOutcome{}, err
+	}
+	cfg := res.Config.SimConfig()
+	est, err := mc.Run(cfg, replications, 0.99)
+	if err != nil {
+		return SoakOutcome{}, err
+	}
+	row, table := soakRowFrom(res, est, replications)
+
+	params := cfg.Params()
+	n := res.Config.Topology.ClusterSize
+	out := SoakOutcome{Row: row, AvailabilityTable: table, Soak: res}
+
+	out.CP = AttributionComparison{
+		Plane:    "cp",
+		Soak:     shareMap(res.CPAttribution),
+		Sim:      mc.ModeShares(est.CPDowntimeByMode),
+		Analytic: contributionShares(analytic.CPContributions(res.Config.Profile, n, params)),
+	}
+	out.DP = AttributionComparison{
+		Plane:    "dp",
+		Soak:     shareMap(res.DPAttribution),
+		Sim:      mc.ModeShares(est.DPDowntimeByMode),
+		Analytic: contributionShares(analytic.DPContributions(res.Config.Profile, n, params)),
+	}
+	out.CP.Table = report.AttributionComparisonTable(
+		"Control-plane downtime shares by failure mode — live soak vs Monte Carlo vs analytic",
+		[]string{"live soak", "monte carlo", "analytic"},
+		[]map[string]float64{out.CP.Soak, out.CP.Sim, out.CP.Analytic})
+	out.DP.Table = report.AttributionComparisonTable(
+		"Host data-plane downtime shares by failure mode — live soak vs Monte Carlo vs analytic",
+		[]string{"live soak", "monte carlo", "analytic"},
+		[]map[string]float64{out.DP.Soak, out.DP.Sim, out.DP.Analytic})
+	return out, nil
+}

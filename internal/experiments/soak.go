@@ -57,6 +57,14 @@ func SoakValidation(sc chaos.SoakConfig, replications int) (SoakRow, report.Tabl
 	if err != nil {
 		return SoakRow{}, report.Table{}, err
 	}
+	row, t := soakRowFrom(res, est, replications)
+	return row, t, nil
+}
+
+// soakRowFrom builds the three-way availability comparison from an
+// already-run soak and Monte Carlo estimate.
+func soakRowFrom(res chaos.SoakResult, est mc.Estimate, replications int) (SoakRow, report.Table) {
+	cfg := res.Config.SimConfig()
 	model := analytic.NewModel(res.Config.Profile, analytic.Option{
 		Kind: res.Config.Topology.Kind, Scenario: analytic.SupervisorNotRequired,
 	})
@@ -85,5 +93,5 @@ func SoakValidation(sc chaos.SoakConfig, replications int) (SoakRow, report.Tabl
 	f := func(v float64) string { return fmt.Sprintf("%.6f", v) }
 	t.AddRow("control plane A_CP", f(row.LiveCP), f(row.SimCP), f(row.SimCPHalf), f(row.AnalyticCP), row.AgreeCP)
 	t.AddRow("host DP A_DP", f(row.LiveDP), f(row.SimDP), f(row.SimDPHalf), f(row.AnalyticDP), row.AgreeDP)
-	return row, t, nil
+	return row, t
 }

@@ -1,0 +1,154 @@
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/telemetry"
+	"sdnavail/internal/topology"
+)
+
+// Downtime attribution inside the simulator. The Sim drives the same
+// telemetry.Ledger the live testbed uses: on every plane down-transition
+// it names the failure modes active at that instant (the down entities of
+// the unsatisfied quorum requirements, hardware taking precedence over
+// the processes it carries), and the ledger splits each unavailable
+// interval's duration equally among them. Mode keys match the testbed's:
+// "process:<name>" (aggregated across nodes), "rack:/host:/vm:<name>".
+
+// hostPlane names the per-host DP ledger plane, matching the testbed.
+func hostPlane(i int) string { return fmt.Sprintf("dp:compute%d", i) }
+
+// modeName maps an entity to its failure-mode key.
+func (s *Sim) modeName(ent int) string {
+	e := &s.entities[ent]
+	switch e.kind {
+	case kindRack:
+		return "rack:" + e.name
+	case kindHost:
+		return "host:" + e.name
+	case kindVM:
+		return "vm:" + e.name
+	}
+	name := e.name
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[:i] // strip the node/host suffix: aggregate per process
+	}
+	return "process:" + name
+}
+
+// instBlames adds the failure modes keeping the instance from serving the
+// given members: its down hardware (rack > host > vm precedence), or its
+// down processes (including the supervisor when scenario 2 requires it).
+func (s *Sim) instBlames(inst *roleInstance, members []string, set map[string]bool) {
+	hwDown := -1
+	switch {
+	case !s.entities[inst.rackEnt].up:
+		hwDown = inst.rackEnt
+	case !s.entities[inst.hostEnt].up:
+		hwDown = inst.hostEnt
+	case !s.entities[inst.vmEnt].up:
+		hwDown = inst.vmEnt
+	}
+	if hwDown >= 0 {
+		set[s.modeName(hwDown)] = true
+		return
+	}
+	if s.cfg.Scenario == analytic.SupervisorRequired && inst.supEnt >= 0 && !s.entities[inst.supEnt].up {
+		set[s.modeName(inst.supEnt)] = true
+	}
+	for _, m := range members {
+		if pe := inst.procs[m]; !s.entities[pe].up {
+			set[s.modeName(pe)] = true
+		}
+	}
+}
+
+// groupBlames adds the failure modes of every unsatisfied group's broken
+// instances. Called only on plane down-transitions.
+func (s *Sim) groupBlames(groups []simGroup, set map[string]bool) {
+	n := s.cfg.Topology.ClusterSize
+	for _, g := range groups {
+		count := 0
+		for node := 0; node < n; node++ {
+			inst := &s.instances[s.byPlace[topology.Placement{Role: g.role, Node: node}]]
+			if s.instanceUp(inst, g.members) {
+				count++
+			}
+		}
+		if count >= g.need {
+			continue
+		}
+		for node := 0; node < n; node++ {
+			inst := &s.instances[s.byPlace[topology.Placement{Role: g.role, Node: node}]]
+			if !s.instanceUp(inst, g.members) {
+				s.instBlames(inst, g.members, set)
+			}
+		}
+	}
+}
+
+// cpBlames names the failure modes opening a CP outage.
+func (s *Sim) cpBlames() []string {
+	set := map[string]bool{}
+	s.groupBlames(s.cpGroups, set)
+	return sortedModes(set)
+}
+
+// hostBlames names the failure modes opening a host-DP outage: dead local
+// vRouter processes first, else the broken shared-DP requirements.
+func (s *Sim) hostBlames(i int) []string {
+	set := map[string]bool{}
+	ch := &s.hosts[i]
+	if !s.localUp(ch) {
+		if s.cfg.Scenario == analytic.SupervisorRequired && ch.supEnt >= 0 && !s.entities[ch.supEnt].up {
+			set[s.modeName(ch.supEnt)] = true
+		}
+		for _, pe := range ch.procEnts {
+			if !s.entities[pe].up {
+				set[s.modeName(pe)] = true
+			}
+		}
+	}
+	if len(set) == 0 {
+		s.groupBlames(s.dpGroups, set)
+	}
+	return sortedModes(set)
+}
+
+// modeMap flattens an attribution's per-mode hours into a map.
+func modeMap(a telemetry.Attribution) map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range a.Modes {
+		out[m.Mode] = m.Hours
+	}
+	return out
+}
+
+func sortedModes(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModeShares normalizes per-mode downtime hours into shares of the total
+// (empty when there was no downtime).
+func ModeShares(byMode map[string]float64) map[string]float64 {
+	total := 0.0
+	for _, h := range byMode {
+		total += h
+	}
+	out := map[string]float64{}
+	if total <= 0 {
+		return out
+	}
+	for m, h := range byMode {
+		out[m] = h / total
+	}
+	return out
+}

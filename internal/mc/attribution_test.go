@@ -1,0 +1,160 @@
+package mc
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/topology"
+)
+
+// TestSeedStabilityByteIdentical pins run-to-run determinism at the
+// serialization layer: two Runs of the same configuration and seed must
+// produce byte-identical JSON, per-mode attribution maps included (Go
+// marshals maps with sorted keys, so this also pins the export format).
+func TestSeedStabilityByteIdentical(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.Horizon = 5e4
+	marshal := func() []byte {
+		est, err := Run(cfg, 4, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(struct {
+			Results []Result
+			CPModes map[string]float64
+			DPModes map[string]float64
+		}{est.Results, est.CPDowntimeByMode, est.DPDowntimeByMode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1, b2 := marshal(), marshal()
+	if string(b1) != string(b2) {
+		t.Errorf("same seed produced different serialized results (%d vs %d bytes)", len(b1), len(b2))
+	}
+}
+
+// TestAttributionConservation: the ledger mirror must account every
+// downtime hour — the per-mode sums equal the plane downtimes implied by
+// the availability integrals, for both planes and both scenarios.
+func TestAttributionConservation(t *testing.T) {
+	for _, sc := range []analytic.Scenario{analytic.SupervisorNotRequired, analytic.SupervisorRequired} {
+		cfg := testConfig(t, topology.Small, sc)
+		cfg.Horizon = 1e5
+		s, err := New(cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run()
+
+		cpSum := 0.0
+		for _, h := range res.CPDowntimeByMode {
+			cpSum += h
+		}
+		cpWant := (1 - res.CPAvailability) * res.Hours
+		if math.Abs(cpSum-cpWant) > 1e-6*res.Hours {
+			t.Errorf("%v: attributed CP downtime %.6f h != measured %.6f h", sc, cpSum, cpWant)
+		}
+
+		dpSum := 0.0
+		for _, h := range res.DPDowntimeByMode {
+			dpSum += h
+		}
+		dpWant := (1 - res.HostDPAvailability) * res.Hours * float64(cfg.ComputeHosts)
+		if math.Abs(dpSum-dpWant) > 1e-6*res.Hours {
+			t.Errorf("%v: attributed DP downtime %.6f h != measured %.6f h over %d hosts", sc, dpSum, dpWant, cfg.ComputeHosts)
+		}
+	}
+}
+
+// TestAttributionModeKeys: every blamed mode uses a key from the shared
+// taxonomy, so the ledger mirror lines up with the testbed's and the
+// analytic contributions'.
+func TestAttributionModeKeys(t *testing.T) {
+	cfg := testConfig(t, topology.Small, analytic.SupervisorRequired)
+	cfg.Horizon = 1e5
+	s, err := New(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	prefixes := []string{"process:", "vm:", "host:", "rack:"}
+	for _, modes := range []map[string]float64{res.CPDowntimeByMode, res.DPDowntimeByMode} {
+		for mode, h := range modes {
+			if h < 0 {
+				t.Errorf("mode %s has negative downtime %v", mode, h)
+			}
+			ok := false
+			for _, p := range prefixes {
+				if strings.HasPrefix(mode, p) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("mode key %q outside the taxonomy %v", mode, prefixes)
+			}
+			// Process modes carry bare process names, not entity paths.
+			if strings.HasPrefix(mode, "process:") && strings.Contains(mode, "/") {
+				t.Errorf("process mode %q leaked an entity path", mode)
+			}
+		}
+	}
+	if len(res.CPDowntimeByMode) == 0 || len(res.DPDowntimeByMode) == 0 {
+		t.Error("degraded run produced no attributed downtime")
+	}
+}
+
+// TestModeShares normalizes and returns zero-safely.
+func TestModeShares(t *testing.T) {
+	shares := ModeShares(map[string]float64{"a": 3, "b": 1})
+	if shares["a"] != 0.75 || shares["b"] != 0.25 {
+		t.Errorf("shares = %v, want a:0.75 b:0.25", shares)
+	}
+	if got := ModeShares(map[string]float64{}); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+	if got := ModeShares(map[string]float64{"a": 0}); got["a"] != 0 {
+		t.Errorf("all-zero input gave %v", got)
+	}
+}
+
+// TestAttributionSharesTrackAnalytic: with hardware effectively perfect,
+// the simulator's long-run CP mode shares must converge on the analytic
+// per-process contributions — the closed-form counterpart of the
+// differential soak test, cheap enough to run everywhere.
+func TestAttributionSharesTrackAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence run skipped in -short mode")
+	}
+	cfg := testConfig(t, topology.Small, analytic.SupervisorNotRequired)
+	// Process faults only, as in the soak: push hardware MTBF out of the
+	// horizon so every downtime interval blames a process.
+	cfg.VMMTBF, cfg.VMRepair = 1e12, 1e-6
+	cfg.HostMTBF, cfg.HostRepair = 1e12, 1e-6
+	cfg.RackMTBF, cfg.RackRepair = 1e12, 1e-6
+	// A long horizon and many replications: each majority group loses
+	// quorum only ~once per 13k hours at these parameters, and the share
+	// comparison needs a few hundred intervals per mode to settle.
+	cfg.Horizon = 2e6
+	est, err := Run(cfg, 16, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ModeShares(est.CPDowntimeByMode)
+	want := analytic.CPContributions(cfg.Profile, cfg.Topology.ClusterSize, cfg.Params())
+	const floor, tol = 0.05, 0.10
+	for _, c := range want {
+		if c.Share < floor {
+			continue
+		}
+		if d := math.Abs(got[c.Mode] - c.Share); d > tol {
+			t.Errorf("mode %s: sim share %.3f vs analytic %.3f (|Δ|=%.3f > %.2f)",
+				c.Mode, got[c.Mode], c.Share, d, tol)
+		}
+	}
+}

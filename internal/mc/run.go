@@ -45,6 +45,10 @@ type Estimate struct {
 	CP       stats.Interval
 	SharedDP stats.Interval
 	HostDP   stats.Interval
+	// CPDowntimeByMode and DPDowntimeByMode are the mean per-replication
+	// downtime hours attributed to each failure mode.
+	CPDowntimeByMode map[string]float64
+	DPDowntimeByMode map[string]float64
 	// Results holds the per-replication measurements.
 	Results []Result
 }
@@ -84,15 +88,24 @@ func Run(cfg Config, replications int, level float64) (Estimate, error) {
 		}
 	}
 	var cp, sdp, dp stats.Accumulator
+	cpModes, dpModes := map[string]float64{}, map[string]float64{}
 	for _, res := range results {
 		cp.Add(res.CPAvailability)
 		sdp.Add(res.SharedDPAvailability)
 		dp.Add(res.HostDPAvailability)
+		for m, h := range res.CPDowntimeByMode {
+			cpModes[m] += h / float64(replications)
+		}
+		for m, h := range res.DPDowntimeByMode {
+			dpModes[m] += h / float64(replications)
+		}
 	}
 	return Estimate{
-		CP:       cp.ConfidenceInterval(level),
-		SharedDP: sdp.ConfidenceInterval(level),
-		HostDP:   dp.ConfidenceInterval(level),
-		Results:  results,
+		CP:               cp.ConfidenceInterval(level),
+		SharedDP:         sdp.ConfidenceInterval(level),
+		HostDP:           dp.ConfidenceInterval(level),
+		CPDowntimeByMode: cpModes,
+		DPDowntimeByMode: dpModes,
+		Results:          results,
 	}, nil
 }

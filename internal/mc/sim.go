@@ -7,6 +7,7 @@ import (
 
 	"sdnavail/internal/analytic"
 	"sdnavail/internal/profile"
+	"sdnavail/internal/telemetry"
 	"sdnavail/internal/topology"
 )
 
@@ -89,6 +90,10 @@ type Sim struct {
 	cpStart   float64 // start of current CP outage, valid when !cpUp
 	sdpDownAt float64 // start of current shared-DP outage, valid when !sdpUp
 
+	// ledger mirrors the testbed's downtime-attribution ledger on the
+	// simulated timeline ("cp" plus one "dp:compute<i>" plane per host).
+	ledger *telemetry.Ledger
+
 	// accumulators
 	cpTime     float64
 	sdpTime    float64
@@ -127,6 +132,13 @@ type Result struct {
 	// CPWindowDowntimes holds the control-plane downtime (hours) in each
 	// fixed window when Config.WindowHours is positive.
 	CPWindowDowntimes []float64
+	// CPDowntimeByMode attributes the control-plane downtime (hours) to
+	// failure-mode keys ("process:<name>", "rack:/host:/vm:<name>"), the
+	// simulator-side mirror of the testbed's attribution ledger.
+	CPDowntimeByMode map[string]float64
+	// DPDowntimeByMode attributes the per-host data-plane downtime
+	// (hours, summed across compute hosts) the same way.
+	DPDowntimeByMode map[string]float64
 }
 
 // New builds a simulator for one replication. The replication index is
@@ -139,6 +151,7 @@ func New(cfg Config, replication int) (*Sim, error) {
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(replication)*1_000_003)),
 		byPlace: map[topology.Placement]int{},
+		ledger:  telemetry.NewLedger(),
 	}
 	s.build()
 	return s, nil
@@ -373,10 +386,12 @@ func (s *Sim) refresh() {
 	if cp != s.cpUp {
 		if !cp {
 			s.cpStart = s.now
+			s.ledger.PlaneDown("cp", s.now, s.cpBlames())
 		} else {
 			s.cpOutages++
 			s.cpDowntime += s.now - s.cpStart
 			s.durations = append(s.durations, s.now-s.cpStart)
+			s.ledger.PlaneUp("cp", s.now)
 		}
 		s.cpUp = cp
 	}
@@ -397,7 +412,15 @@ func (s *Sim) refresh() {
 	// the testbed's vRouter headless mode.
 	headless := !s.sdpUp && s.cfg.HeadlessHold > 0 && s.now-s.sdpDownAt < s.cfg.HeadlessHold
 	for i := range s.hosts {
-		s.hostUp[i] = (s.sdpUp || headless) && s.localUp(&s.hosts[i])
+		up := (s.sdpUp || headless) && s.localUp(&s.hosts[i])
+		if up != s.hostUp[i] {
+			if !up {
+				s.ledger.PlaneDown(hostPlane(i), s.now, s.hostBlames(i))
+			} else {
+				s.ledger.PlaneUp(hostPlane(i), s.now)
+			}
+			s.hostUp[i] = up
+		}
 	}
 }
 
@@ -477,6 +500,7 @@ func (s *Sim) Run() Result {
 		s.cpDowntime += s.now - s.cpStart
 		s.durations = append(s.durations, s.now-s.cpStart)
 	}
+	s.ledger.CloseAll(horizon)
 
 	res := Result{
 		Hours:                horizon,
@@ -504,6 +528,12 @@ func (s *Sim) Run() Result {
 	}
 	res.CPOutageDurations = s.durations
 	res.CPWindowDowntimes = s.windows
+	res.CPDowntimeByMode = modeMap(s.ledger.Attribution("cp", horizon))
+	dpParts := make([]telemetry.Attribution, len(s.hosts))
+	for i := range s.hosts {
+		dpParts[i] = s.ledger.Attribution(hostPlane(i), horizon)
+	}
+	res.DPDowntimeByMode = modeMap(telemetry.Merge("dp", dpParts...))
 	return res
 }
 

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func TestLedgerSingleInterval(t *testing.T) {
+	l := NewLedger()
+	l.PlaneDown("cp", 1.0, []string{"process:control"})
+	l.PlaneUp("cp", 1.5)
+	a := l.Attribution("cp", 10)
+	if !approx(a.DowntimeHours, 0.5) || a.Intervals != 1 {
+		t.Fatalf("got %.4f h over %d intervals, want 0.5 over 1", a.DowntimeHours, a.Intervals)
+	}
+	if len(a.Modes) != 1 || a.Modes[0].Mode != "process:control" || !approx(a.Modes[0].Share, 1) {
+		t.Errorf("modes = %+v, want process:control at 100%%", a.Modes)
+	}
+}
+
+func TestLedgerEqualSplitAndDedupe(t *testing.T) {
+	l := NewLedger()
+	l.PlaneDown("cp", 0, []string{"process:a", "process:b", "process:a", ""})
+	l.PlaneUp("cp", 1)
+	a := l.Attribution("cp", 1)
+	if len(a.Modes) != 2 {
+		t.Fatalf("modes = %+v, want a and b only (deduped, empties dropped)", a.Modes)
+	}
+	for _, m := range a.Modes {
+		if !approx(m.Hours, 0.5) || !approx(m.Share, 0.5) {
+			t.Errorf("mode %s got %.3f h share %.3f, want even split", m.Mode, m.Hours, m.Share)
+		}
+	}
+}
+
+func TestLedgerBlameFrozenAtOpen(t *testing.T) {
+	l := NewLedger()
+	l.PlaneDown("cp", 0, []string{"process:first"})
+	// A second fault while already down must not join the blame set.
+	l.PlaneDown("cp", 0.5, []string{"process:second"})
+	l.PlaneUp("cp", 2)
+	a := l.Attribution("cp", 2)
+	if a.Intervals != 1 || !approx(a.DowntimeHours, 2) {
+		t.Fatalf("got %.3f h over %d intervals, want one 2 h interval", a.DowntimeHours, a.Intervals)
+	}
+	if a.Share("process:second") != 0 {
+		t.Error("late-arriving fault was added to a frozen blame set")
+	}
+	if !approx(a.Share("process:first"), 1) {
+		t.Errorf("opening fault share = %v, want 1", a.Share("process:first"))
+	}
+}
+
+func TestLedgerUnattributedFallback(t *testing.T) {
+	l := NewLedger()
+	l.PlaneDown("dp:h1", 0, nil)
+	l.PlaneUp("dp:h1", 0.25)
+	a := l.Attribution("dp:h1", 1)
+	if !approx(a.Share(ModeUnattributed), 1) {
+		t.Errorf("blameless interval not charged to %s: %+v", ModeUnattributed, a.Modes)
+	}
+}
+
+func TestLedgerProvisionalCloseDoesNotMutate(t *testing.T) {
+	l := NewLedger()
+	l.PlaneDown("cp", 1, []string{"process:x"})
+	a1 := l.Attribution("cp", 3)
+	if !approx(a1.DowntimeHours, 2) {
+		t.Errorf("open interval reads %.3f h at t=3, want 2", a1.DowntimeHours)
+	}
+	a2 := l.Attribution("cp", 5)
+	if !approx(a2.DowntimeHours, 4) {
+		t.Errorf("open interval reads %.3f h at t=5, want 4 (provisional close mutated state?)", a2.DowntimeHours)
+	}
+	l.PlaneUp("cp", 6)
+	if a := l.Attribution("cp", 10); !approx(a.DowntimeHours, 5) {
+		t.Errorf("closed interval = %.3f h, want 5", a.DowntimeHours)
+	}
+}
+
+func TestLedgerIgnoresRedundantTransitions(t *testing.T) {
+	l := NewLedger()
+	l.PlaneUp("cp", 1) // up while up: ignored
+	l.PlaneDown("cp", 2, []string{"process:x"})
+	l.PlaneUp("cp", 3)
+	l.PlaneUp("cp", 4) // ignored
+	if a := l.Attribution("cp", 5); !approx(a.DowntimeHours, 1) || a.Intervals != 1 {
+		t.Errorf("got %.3f h over %d intervals, want 1 h over 1", a.DowntimeHours, a.Intervals)
+	}
+}
+
+func TestLedgerCloseAllAndNegativeClamp(t *testing.T) {
+	l := NewLedger()
+	l.PlaneDown("cp", 1, []string{"process:x"})
+	l.PlaneDown("dp:h1", 2, []string{"process:y"})
+	l.CloseAll(4)
+	if a := l.Attribution("cp", 4); !approx(a.DowntimeHours, 3) {
+		t.Errorf("cp = %.3f h after CloseAll, want 3", a.DowntimeHours)
+	}
+	if a := l.Attribution("dp:h1", 4); !approx(a.DowntimeHours, 2) {
+		t.Errorf("dp:h1 = %.3f h after CloseAll, want 2", a.DowntimeHours)
+	}
+	// A close before the open clamps to zero rather than going negative.
+	l.PlaneDown("cp", 10, []string{"process:x"})
+	l.PlaneUp("cp", 9)
+	if a := l.Attribution("cp", 10); a.DowntimeHours < 3 || !approx(a.DowntimeHours, 3) {
+		t.Errorf("backwards close produced %.3f h, want clamp at 3", a.DowntimeHours)
+	}
+}
+
+func TestLedgerMergeAndPrefix(t *testing.T) {
+	l := NewLedger()
+	l.PlaneDown("dp:h1", 0, []string{"process:agent"})
+	l.PlaneUp("dp:h1", 1)
+	l.PlaneDown("dp:h2", 0, []string{"process:dpdk"})
+	l.PlaneUp("dp:h2", 3)
+	l.PlaneDown("cp", 0, []string{"process:control"})
+	l.PlaneUp("cp", 1)
+
+	m := l.MergedPrefix("dp", "dp:", 5)
+	if m.Plane != "dp" || !approx(m.DowntimeHours, 4) || m.Intervals != 2 {
+		t.Fatalf("merged = %+v, want 4 h over 2 intervals", m)
+	}
+	if m.Share("process:control") != 0 {
+		t.Error("cp downtime leaked into the dp merge")
+	}
+	if !approx(m.Share("process:dpdk"), 0.75) || !approx(m.Share("process:agent"), 0.25) {
+		t.Errorf("merged shares = %+v, want dpdk 0.75 / agent 0.25", m.Modes)
+	}
+	// Modes sort by hours descending.
+	if m.Modes[0].Mode != "process:dpdk" {
+		t.Errorf("modes not sorted by hours: %+v", m.Modes)
+	}
+}
+
+// TestLedgerConservation is the central invariant, checked over a seeded
+// random schedule: the summed per-mode hours always equal the plane's
+// total downtime, whatever the blame sets, and shares sum to one.
+func TestLedgerConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		l := NewLedger()
+		now := 0.0
+		modes := []string{"process:a", "process:b", "process:c", "host:h", ""}
+		for i := 0; i < 40; i++ {
+			now += rng.Float64()
+			blames := make([]string, rng.Intn(4))
+			for j := range blames {
+				blames[j] = modes[rng.Intn(len(modes))]
+			}
+			if rng.Intn(2) == 0 {
+				l.PlaneDown("cp", now, blames)
+			} else {
+				l.PlaneUp("cp", now)
+			}
+		}
+		now += rng.Float64()
+		l.CloseAll(now)
+		a := l.Attribution("cp", now)
+		var sum, shareSum float64
+		for _, m := range a.Modes {
+			if m.Hours < 0 || m.Share < 0 || m.Share > 1 {
+				t.Fatalf("trial %d: invalid mode slice %+v", trial, m)
+			}
+			sum += m.Hours
+			shareSum += m.Share
+		}
+		if !approx(sum, a.DowntimeHours) {
+			t.Fatalf("trial %d: attributed %.9f h != total %.9f h", trial, sum, a.DowntimeHours)
+		}
+		if a.DowntimeHours > 0 && !approx(shareSum, 1) {
+			t.Fatalf("trial %d: shares sum to %.9f, want 1", trial, shareSum)
+		}
+	}
+}
+
+func TestAttributionString(t *testing.T) {
+	l := NewLedger()
+	l.PlaneDown("cp", 0, []string{"process:x"})
+	l.PlaneUp("cp", 1)
+	s := l.Attribution("cp", 1).String()
+	for _, want := range []string{"cp:", "1 interval", "process:x", "100.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

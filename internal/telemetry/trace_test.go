@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	t0 := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	return []Event{
+		{At: t0, AtHours: 0, Kind: EventProcessDown, Subject: "Control/0/control", Detail: "process:control"},
+		{At: t0.Add(6 * time.Minute), AtHours: 0.1, Kind: EventQuorumLost, Subject: "Control/control"},
+		{At: t0.Add(6 * time.Minute), AtHours: 0.1, Kind: EventCPDown, Subject: "cp", Modes: []string{"process:control"}},
+		{At: t0.Add(12 * time.Minute), AtHours: 0.2, Kind: EventCPUp, Subject: "cp"},
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	want := sampleEvents()
+	for _, e := range want {
+		tr.Record(e)
+	}
+	if tr.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(want))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(want) {
+		t.Errorf("JSONL lines = %d, want %d", lines, len(want))
+	}
+	got, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeJSONLSkipsBlanksAndReportsLine(t *testing.T) {
+	in := "\n" + `{"kind":"cp-up","subject":"cp"}` + "\n\n" + `{"kind":"cp-down"` + "\n"
+	_, err := DecodeJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("truncated line decoded without error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q does not name line 4", err)
+	}
+
+	ok, err := DecodeJSONL(strings.NewReader("\n  \n" + `{"kind":"cp-up","subject":"cp"}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok) != 1 || ok[0].Kind != EventCPUp {
+		t.Errorf("decoded %+v, want one cp-up event", ok)
+	}
+}
+
+func TestDecodeJSONLEmpty(t *testing.T) {
+	got, err := DecodeJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d events from empty input", len(got))
+	}
+}
+
+// FuzzTraceDecode throws arbitrary bytes at the JSONL decoder and checks
+// the invariant that any successfully decoded trace re-encodes and decodes
+// to the same events (a full round trip from the parsed form).
+func FuzzTraceDecode(f *testing.F) {
+	var buf bytes.Buffer
+	tr := NewTrace()
+	for _, e := range sampleEvents() {
+		tr.Record(e)
+	}
+	if err := tr.WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{}\n{}\n")
+	f.Add(`{"kind":"cp-down","modes":["a","b"]}` + "\n")
+	f.Add("not json\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		events, err := DecodeJSONL(strings.NewReader(in))
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		tr := NewTrace()
+		for _, e := range events {
+			tr.Record(e)
+		}
+		var out bytes.Buffer
+		if err := tr.WriteJSONL(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeJSONL(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+		for i := range events {
+			if !reflect.DeepEqual(events[i], again[i]) {
+				t.Fatalf("event %d changed: %+v -> %+v", i, events[i], again[i])
+			}
+		}
+	})
+}

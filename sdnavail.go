@@ -11,6 +11,7 @@ import (
 	"sdnavail/internal/profile"
 	"sdnavail/internal/relmath"
 	"sdnavail/internal/stats"
+	"sdnavail/internal/telemetry"
 	"sdnavail/internal/topology"
 	"sdnavail/internal/vclock"
 )
@@ -419,3 +420,26 @@ type SoakResult = chaos.SoakResult
 
 // RunSoak executes a fake-clocked soak of the live cluster.
 func RunSoak(sc SoakConfig) (SoakResult, error) { return chaos.RunSoak(sc) }
+
+// ---- telemetry: metrics, trace and downtime attribution ----
+
+// Telemetry aggregates the observability layer the testbed, chaos harness
+// and Monte Carlo simulator share: a metrics registry, a structured trace
+// of state-transition events, and the downtime-attribution ledger. Attach
+// one via ClusterConfig.Telemetry or SoakConfig.Telemetry; a nil aggregate
+// disables collection at the cost of one nil check per state change.
+type Telemetry = telemetry.Telemetry
+
+// NewTelemetry returns an enabled telemetry aggregate.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// TraceEvent is one state-transition record in the telemetry trace.
+type TraceEvent = telemetry.Event
+
+// Attribution is one plane's per-failure-mode downtime table in the
+// paper's Section IV style: total downtime split across the failure modes
+// blamed for each unavailable interval.
+type Attribution = telemetry.Attribution
+
+// ModeShare is one failure mode's slice of a plane's downtime.
+type ModeShare = telemetry.ModeShare
