@@ -7,11 +7,17 @@
 //	availsim [-topology small|medium|large] [-scenario 1|2]
 //	         [-reps n] [-horizon hours] [-seed s] [-compute n]
 //	         [-av f] [-ah f] [-ar f] [-a f] [-as f] [-headless hours]
+//	         [-ci-target w] [-min-reps n] [-max-reps n]
 //	availsim -soak [-soak-hours h] [-topology t] [-compute n] [-reps n] [-seed s]
 //
 // The default parameters are degraded from the paper's (more frequent
 // failures) so a laptop-scale run converges tightly; pass the paper's
 // values explicitly for production-grade rates.
+//
+// -ci-target switches to adaptive replication: the run stops as soon as
+// the control-plane availability confidence half-width is no wider than
+// the target, bounded by [-min-reps, -max-reps]; -reps is ignored. With
+// it unset (the default), exactly -reps replications run.
 //
 // -headless gives the vRouter agents a headless hold (hours): shared-DP
 // outages shorter than the hold no longer take the host data planes down,
@@ -38,6 +44,7 @@ import (
 	"sdnavail/internal/profile"
 	"sdnavail/internal/relmath"
 	"sdnavail/internal/report"
+	"sdnavail/internal/sweep"
 	"sdnavail/internal/topology"
 )
 
@@ -64,6 +71,9 @@ func run(args []string, out io.Writer) error {
 		a        = flag.Float64("a", 0.999, "supervised process availability A")
 		as       = flag.Float64("as", 0.995, "manual process availability A_S")
 		headless = flag.Float64("headless", 0, "vRouter headless hold in hours (0 = strict flush)")
+		ciTarget = flag.Float64("ci-target", 0, "adaptive: stop once the CP CI half-width is ≤ this (0 = fixed -reps)")
+		minReps  = flag.Int("min-reps", 4, "adaptive: replication floor before the first stopping check")
+		maxReps  = flag.Int("max-reps", 128, "adaptive: replication ceiling")
 
 		soak      = flag.Bool("soak", false, "validate against a live virtual-time soak of the cluster testbed")
 		soakHours = flag.Float64("soak-hours", 1000, "soak: simulated hours for the live run")
@@ -123,11 +133,31 @@ func run(args []string, out io.Writer) error {
 	cfg.HeadlessHold = *headless
 
 	opt := analytic.Option{Kind: kind, Scenario: sc}
-	fmt.Fprintf(out, "simulating option %s: %d replications × %.0f hours (seed %d)\n",
-		opt.Label(), *reps, *horizon, *seed)
-	est, err := mc.Run(cfg, *reps, 0.99)
-	if err != nil {
-		return err
+	var est mc.Estimate
+	if *ciTarget > 0 {
+		fmt.Fprintf(out, "simulating option %s: adaptive, CP half-width target %g (%d-%d replications × %.0f hours, seed %d)\n",
+			opt.Label(), *ciTarget, *minReps, *maxReps, *horizon, *seed)
+		res, err := sweep.Run([]sweep.Point{{ID: opt.Label(), Config: cfg}}, sweep.Options{
+			CITarget: *ciTarget, MinReps: *minReps, MaxReps: *maxReps, Batch: *minReps,
+		})
+		if err != nil {
+			return err
+		}
+		est = res[0].Estimate
+		if res[0].Converged {
+			fmt.Fprintf(out, "converged after %d replications\n", res[0].Replications)
+		} else {
+			fmt.Fprintf(out, "ceiling: %d replications without meeting the target (half-width %.6f)\n",
+				res[0].Replications, est.CP.HalfWide)
+		}
+	} else {
+		fmt.Fprintf(out, "simulating option %s: %d replications × %.0f hours (seed %d)\n",
+			opt.Label(), *reps, *horizon, *seed)
+		var err error
+		est, err = mc.Run(cfg, *reps, 0.99)
+		if err != nil {
+			return err
+		}
 	}
 
 	model := analytic.NewModel(prof, opt)

@@ -8,6 +8,12 @@
 //
 //	figures [-fig 3|4|5|all] [-tables] [-ablations] [-validate]
 //	        [-format ascii|csv] [-points n] [-reps n] [-horizon h]
+//	        [-ci-target w] [-min-reps n] [-max-reps n]
+//
+// -ci-target switches the validation experiment to adaptive replication:
+// each option replicates only until its CP confidence half-width meets the
+// target, bounded by [-min-reps, -max-reps]; with it unset, -reps is the
+// fixed count.
 //
 // With no selection flags it prints everything.
 package main
@@ -21,6 +27,7 @@ import (
 	"sdnavail/internal/experiments"
 	"sdnavail/internal/profile"
 	"sdnavail/internal/report"
+	"sdnavail/internal/sweep"
 )
 
 func main() {
@@ -41,9 +48,12 @@ func run(args []string, out io.Writer) error {
 		validate   = flag.Bool("validate", false, "run the Monte Carlo validation experiment")
 		format     = flag.String("format", "ascii", "figure output: ascii or csv")
 		points     = flag.Int("points", 41, "sweep points per series")
-		reps       = flag.Int("reps", 8, "validation replications")
+		reps       = flag.Int("reps", 8, "validation replications (fixed-count mode)")
 		horizon    = flag.Float64("horizon", 3e5, "validation simulated hours per replication")
 		seed       = flag.Int64("seed", 1, "validation seed")
+		ciTarget   = flag.Float64("ci-target", 0, "adaptive validation: stop each option once the CP CI half-width is ≤ this (0 = fixed -reps)")
+		minReps    = flag.Int("min-reps", 8, "adaptive validation: replication floor before the first stopping check")
+		maxReps    = flag.Int("max-reps", 256, "adaptive validation: replication ceiling")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
@@ -104,7 +114,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *validate {
-		_, t := experiments.Validation(*reps, *horizon, *seed)
+		var t report.Table
+		if *ciTarget > 0 {
+			_, t = experiments.AdaptiveValidation(sweep.Options{
+				CITarget: *ciTarget, MinReps: *minReps, MaxReps: *maxReps,
+			}, *horizon, *seed)
+		} else {
+			_, t = experiments.Validation(*reps, *horizon, *seed)
+		}
 		fmt.Fprintln(out, t.Text())
 		fmt.Fprintln(out, experiments.DowntimeDistributionTable(*reps, *horizon, *seed).Text())
 	}

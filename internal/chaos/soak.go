@@ -175,6 +175,7 @@ func (sc SoakConfig) SimConfig() mc.Config {
 		ComputeHosts: sc.ComputeHosts,
 		Horizon:      sc.Hours,
 		Seed:         sc.Seed,
+		KeepResults:  true,
 	}
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -87,6 +88,23 @@ type Cluster struct {
 	started        bool
 	stopped        bool
 
+	// dirty is the set of processes whose liveness inputs (state,
+	// hardware, reachability) may have changed since the last recompute;
+	// every mutation path marks what it touched and recomputeLocked then
+	// re-derives only the affected stores, controls and telemetry rows.
+	// dirtyAll requests a full rescan (Start, partition changes — where
+	// reachability shifts for every controller process at once).
+	// forceFull is a test knob: it pins the full-scan path so the
+	// equivalence test can diff incremental against full after every op.
+	dirty     map[procKey]struct{}
+	dirtyAll  bool
+	forceFull bool
+
+	// order enumerates the process table sorted by (role, node, name),
+	// fixed at New — snapshots and probes walk it instead of sorting a
+	// fresh map iteration on every call.
+	order []procRef
+
 	controls []*controlNode
 	agents   []*vRouterAgent
 	telState *telState // telemetry mirror, nil when disabled; guarded by mu
@@ -147,6 +165,7 @@ func New(cfg Config) (*Cluster, error) {
 		log:            NewEventLog(n),
 		procs:          map[procKey]*Proc{},
 		loc:            map[procKey]hwLoc{},
+		dirty:          map[procKey]struct{}{},
 		rackUp:         map[string]bool{},
 		hostUp:         map[string]bool{},
 		vmUp:           map[string]bool{},
@@ -218,6 +237,22 @@ func New(cfg Config) (*Cluster, error) {
 	for node := 0; node < n; node++ {
 		c.controls = append(c.controls, newControlNode(c, node))
 	}
+	// The process table is complete and immutable from here on; freeze the
+	// snapshot enumeration order.
+	c.order = make([]procRef, 0, len(c.procs))
+	for k, p := range c.procs {
+		c.order = append(c.order, procRef{k: k, p: p, loc: c.loc[k]})
+	}
+	sort.Slice(c.order, func(i, j int) bool {
+		a, b := c.order[i].k, c.order[j].k
+		if a.role != b.role {
+			return a.role < b.role
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.name < b.name
+	})
 	if cfg.Telemetry != nil {
 		c.attachTelemetryLocked(cfg.Telemetry)
 	}
@@ -339,9 +374,21 @@ func (c *Cluster) notifyLocked() {
 
 // ---- liveness ----
 
+// procRef is one process with its key and hardware column resolved — the
+// unit of the frozen snapshot enumeration.
+type procRef struct {
+	k   procKey
+	p   *Proc
+	loc hwLoc
+}
+
 // hwUpLocked reports whether the hardware under the process is up.
 func (c *Cluster) hwUpLocked(k procKey) bool {
-	loc := c.loc[k]
+	return c.hwLocUpLocked(c.loc[k])
+}
+
+// hwLocUpLocked reports whether a resolved hardware column is up.
+func (c *Cluster) hwLocUpLocked(loc hwLoc) bool {
 	if loc.rack != "" && !c.rackUp[loc.rack] {
 		return false
 	}
@@ -384,11 +431,138 @@ func (c *Cluster) anyAliveLocked(role, name string) int {
 // storage backends (the Database role's four quorum components).
 func (c *Cluster) recompute() {
 	c.mu.Lock()
+	c.markAllDirtyLocked() // external entry point: re-derive everything
 	c.recomputeLocked()
 	c.mu.Unlock()
 }
 
+// markDirtyLocked records that one process's liveness inputs changed.
+func (c *Cluster) markDirtyLocked(k procKey) {
+	c.dirty[k] = struct{}{}
+}
+
+// markAllDirtyLocked requests a full rescan on the next recompute.
+func (c *Cluster) markAllDirtyLocked() {
+	c.dirtyAll = true
+}
+
+// recomputeLocked re-derives the state downstream of process/hardware
+// liveness — quorum-store replica membership, redis cache loss, control
+// config/route loss and resync — and refreshes the telemetry mirror. It
+// consumes the dirty set: normally only the marked processes (and the
+// quorum groups and planes they feed) are re-examined; a dirtyAll mark or
+// the forceFull test knob falls back to scanning everything, which is also
+// the invariant the equivalence test pins: both paths must leave identical
+// state behind.
 func (c *Cluster) recomputeLocked() {
+	if c.dirtyAll || c.forceFull {
+		c.recomputeFullLocked()
+		c.telemetryScanLocked()
+	} else if len(c.dirty) > 0 {
+		dirty := c.sortedDirtyLocked()
+		c.recomputeProcsLocked(dirty)
+		c.telemetryScanDirtyLocked(dirty)
+	} else {
+		// Nothing marked (a supervisor pass that restarted nothing, say):
+		// process/hardware state is unchanged, but agent flush/headless
+		// state is scanned as always.
+		c.telemetryAgentPassLocked()
+	}
+	c.dirtyAll = false
+	clear(c.dirty)
+	c.notifyLocked()
+}
+
+// sortedDirtyLocked flattens the dirty set ordered by (role, node, name) —
+// the telemetry mirror's sort order — so the incremental path replays
+// store updates, control resyncs and trace events in exactly the sequence
+// the full scan would.
+func (c *Cluster) sortedDirtyLocked() []procKey {
+	out := make([]procKey, 0, len(c.dirty))
+	for k := range c.dirty {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.role != b.role {
+			return a.role < b.role
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.name < b.name
+	})
+	return out
+}
+
+// recomputeProcLocked applies one process's liveness to whatever backend
+// state it feeds. Processes outside the switch (collectors, api-servers,
+// supervisors, vRouter processes) have no recompute-side state — they
+// matter to quorum groups and health, which read liveness directly.
+func (c *Cluster) recomputeProcLocked(k procKey) {
+	switch k.role {
+	case string(profile.Database):
+		switch k.name {
+		case "cassandra-db (Config)":
+			c.setStoreAliveLocked(c.configStore, k.node, c.usableLocked(k))
+		case "cassandra-db (Analytics)":
+			c.setStoreAliveLocked(c.analyticsStore, k.node, c.usableLocked(k))
+		case "zookeeper":
+			c.seq.SetAlive(k.node, c.usableLocked(k))
+		case "kafka":
+			c.log.SetAlive(k.node, c.usableLocked(k))
+		}
+	case string(profile.Analytics):
+		if k.name == "redis" {
+			// A crashed redis loses its in-memory cache. (Isolation does
+			// not: the process keeps running with its cache intact.)
+			redisUp := c.aliveLocked(k)
+			if !redisUp && c.redisAlive[k.node] {
+				c.redis[k.node] = map[string]string{}
+			}
+			c.redisAlive[k.node] = redisUp
+		}
+	case string(profile.Control):
+		if k.name == "control" {
+			c.recomputeControlLocked(c.controls[k.node])
+		}
+	}
+}
+
+// recomputeProcsLocked is the incremental path: only the dirty processes'
+// backend state is re-derived.
+func (c *Cluster) recomputeProcsLocked(dirty []procKey) {
+	for _, k := range dirty {
+		c.recomputeProcLocked(k)
+	}
+}
+
+// recomputeControlLocked applies one control process's liveness
+// transitions. A crashed control loses its configuration and routing
+// state; a restarting one re-syncs from an alive BGP mesh peer. A control
+// that was merely partitioned keeps its state and catches up from the
+// mesh when reachability returns.
+func (c *Cluster) recomputeControlLocked(ctl *controlNode) {
+	alive := c.aliveLocked(ctl.key())
+	switch {
+	case !alive && ctl.wasAlive:
+		ctl.cfgVersion = 0
+		ctl.routes = map[string]map[string]bool{}
+		ctl.policies = map[string]bool{}
+	case alive && !ctl.wasAlive:
+		ctl.resyncLocked()
+	}
+	ctl.wasAlive = alive
+
+	usable := alive && c.reachableLocked(ctl.node)
+	if usable && !ctl.wasUsable {
+		ctl.resyncLocked()
+	}
+	ctl.wasUsable = usable
+}
+
+// recomputeFullLocked rescans every node's stores and every control.
+func (c *Cluster) recomputeFullLocked() {
 	db := string(profile.Database)
 	an := string(profile.Analytics)
 	for node := 0; node < c.cfg.Topology.ClusterSize; node++ {
@@ -405,30 +579,9 @@ func (c *Cluster) recomputeLocked() {
 		}
 		c.redisAlive[node] = redisUp
 	}
-	// A crashed control process loses its configuration and routing state;
-	// a restarting one re-syncs from an alive BGP mesh peer. A control
-	// that was merely partitioned keeps its state and catches up from the
-	// mesh when reachability returns.
 	for _, ctl := range c.controls {
-		alive := c.aliveLocked(ctl.key())
-		switch {
-		case !alive && ctl.wasAlive:
-			ctl.cfgVersion = 0
-			ctl.routes = map[string]map[string]bool{}
-			ctl.policies = map[string]bool{}
-		case alive && !ctl.wasAlive:
-			ctl.resyncLocked()
-		}
-		ctl.wasAlive = alive
-
-		usable := alive && c.reachableLocked(ctl.node)
-		if usable && !ctl.wasUsable {
-			ctl.resyncLocked()
-		}
-		ctl.wasUsable = usable
+		c.recomputeControlLocked(ctl)
 	}
-	c.telemetryScanLocked()
-	c.notifyLocked()
 }
 
 // catchUpKey names one replica of one quorum store for deferred catch-up
@@ -494,7 +647,7 @@ func (c *Cluster) lookup(role string, node int, name string) (*Proc, procKey, er
 func (c *Cluster) KillProcess(role string, node int, name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, _, err := c.lookup(role, node, name)
+	p, k, err := c.lookup(role, node, name)
 	if err != nil {
 		return err
 	}
@@ -512,6 +665,7 @@ func (c *Cluster) KillProcess(role string, node int, name string) error {
 		}
 	}
 	c.noteCrashLocked(p, now)
+	c.markDirtyLocked(k)
 	c.recomputeLocked()
 	return nil
 }
@@ -533,6 +687,7 @@ func (c *Cluster) RestartProcess(role string, node int, name string) error {
 	p.state = Running
 	p.restarts++
 	p.resetSupervision()
+	c.markDirtyLocked(k)
 	c.recomputeLocked()
 	return nil
 }
@@ -559,11 +714,13 @@ func (c *Cluster) RestartNodeRole(role string, node int) error {
 			p.state = Failed
 			p.failedAt = c.clk.Now()
 			p.resetSupervision() // the fresh supervisor starts with clean state
+			c.markDirtyLocked(k)
 		}
 	}
 	c.procs[supKey].state = Running
 	c.procs[supKey].restarts++
 	c.procs[supKey].resetSupervision()
+	c.markDirtyLocked(supKey)
 	c.recomputeLocked()
 	return nil
 }
@@ -603,6 +760,10 @@ func (c *Cluster) setHW(kind, name string, up bool) error {
 		if !hit {
 			continue
 		}
+		// The element's whole process column is dirty: even a process whose
+		// state field does not flip changes effective liveness with the
+		// hardware under it.
+		c.markDirtyLocked(k)
 		if !up {
 			p.state = Failed
 			p.failedAt = c.clk.Now()
@@ -649,19 +810,23 @@ type ProcStatus struct {
 }
 
 // Snapshot lists every process with its effective liveness, sorted by
-// role, node, name.
+// role, node, name. The enumeration order is frozen at New, so a snapshot
+// is one linear pass — probers sampling on every tick pay no sort and no
+// map iteration.
 func (c *Cluster) Snapshot() []ProcStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]ProcStatus, 0, len(c.procs))
-	for k, p := range c.procs {
+	out := make([]ProcStatus, 0, len(c.order))
+	for i := range c.order {
+		pr := &c.order[i]
 		out = append(out, ProcStatus{
-			Role: k.role, Node: k.node, Name: k.name,
-			State: p.state, Alive: c.aliveLocked(k), Restarts: p.restarts,
-			Unsupervised: p.unsuper,
+			Role: pr.k.role, Node: pr.k.node, Name: pr.k.name,
+			State:        pr.p.state,
+			Alive:        pr.p.state == Running && c.hwLocUpLocked(pr.loc),
+			Restarts:     pr.p.restarts,
+			Unsupervised: pr.p.unsuper,
 		})
 	}
-	sortStatuses(out)
 	return out
 }
 
@@ -672,15 +837,6 @@ func (c *Cluster) BusStats() (published, dropped uint64) { return c.bus.Stats() 
 // consumers can be identified individually.
 func (c *Cluster) BusSubscriptionStats() []SubscriptionStats {
 	return c.bus.SubscriptionStats()
-}
-
-func sortStatuses(s []ProcStatus) {
-	// Insertion sort keeps this dependency-free; snapshots are small.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && statusLess(s[j], s[j-1]); j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 func statusLess(a, b ProcStatus) bool {

@@ -171,14 +171,15 @@ func (c *Cluster) health(withTelemetry bool) HealthReport {
 	// Supervision coverage: node-roles whose supervisor is alive.
 	total, dead := 0, 0
 	var deadRoles []string
-	for k, p := range c.procs {
-		if !p.IsSup {
+	for i := range c.order {
+		pr := &c.order[i]
+		if !pr.p.IsSup {
 			continue
 		}
 		total++
-		if !c.aliveLocked(k) {
+		if !(pr.p.state == Running && c.hwLocUpLocked(pr.loc)) {
 			dead++
-			deadRoles = append(deadRoles, fmt.Sprintf("%s/%d", k.role, k.node))
+			deadRoles = append(deadRoles, fmt.Sprintf("%s/%d", pr.k.role, pr.k.node))
 		}
 	}
 	sort.Strings(deadRoles)
@@ -193,11 +194,12 @@ func (c *Cluster) health(withTelemetry bool) HealthReport {
 
 	// Fatal processes: supervisors that gave up.
 	failed := 0
-	for k, p := range c.procs {
+	for i := range c.order {
+		pr := &c.order[i]
 		switch {
-		case p.state == Fatal:
-			rep.FatalProcs = append(rep.FatalProcs, fmt.Sprintf("%s/%d/%s", k.role, k.node, k.name))
-		case !c.aliveLocked(k):
+		case pr.p.state == Fatal:
+			rep.FatalProcs = append(rep.FatalProcs, fmt.Sprintf("%s/%d/%s", pr.k.role, pr.k.node, pr.k.name))
+		case !(pr.p.state == Running && c.hwLocUpLocked(pr.loc)):
 			failed++
 		}
 	}

@@ -46,6 +46,9 @@ func (c *Cluster) IsolateNodes(nodes ...int) error {
 	for _, n := range nodes {
 		c.isolated[n] = true
 	}
+	// Reachability shifted for every controller process at once; only a
+	// full rescan sees all the consequences.
+	c.markAllDirtyLocked()
 	c.recomputeLocked()
 	return nil
 }
@@ -55,6 +58,7 @@ func (c *Cluster) HealPartition() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.isolated = nil
+	c.markAllDirtyLocked()
 	c.recomputeLocked()
 }
 
@@ -97,6 +101,7 @@ func (c *Cluster) CutLink(a, b int) error {
 		c.telemetryLinkEventLocked(telemetry.EventLinkCut, a, b)
 	}
 	c.cutLinks[normLink(a, b)] = true
+	c.markAllDirtyLocked()
 	c.recomputeLocked()
 	return nil
 }
@@ -119,6 +124,7 @@ func (c *Cluster) RestoreLink(a, b int) error {
 		c.cutLinks = nil
 	}
 	c.meshRefreshLocked()
+	c.markAllDirtyLocked()
 	c.recomputeLocked()
 	return nil
 }
@@ -144,6 +150,7 @@ func (c *Cluster) HealLinks() {
 	}
 	c.cutLinks = nil
 	c.meshRefreshLocked()
+	c.markAllDirtyLocked()
 	c.recomputeLocked()
 }
 

@@ -279,6 +279,7 @@ func (s *supervisor) scan() {
 			p.state = Running
 			p.restarts++
 			p.lastSupRestart = c.clk.Now()
+			c.markDirtyLocked(k)
 		}
 	}
 	c.recomputeLocked()

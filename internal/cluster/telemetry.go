@@ -54,13 +54,18 @@ type telState struct {
 	start time.Time // origin of the ledger/trace hour timeline
 
 	procs    []*telProc
+	byKey    map[procKey]*telProc
 	cpGroups []*telGroup
 	dpGroups []*telGroup
 
-	cpUp     bool
-	cpDownAt float64
-	dpUp     []bool // per compute host
-	headless []bool // per compute host
+	// procsDown is maintained incrementally across scans (every liveness
+	// transition adjusts it), so the dirty-set scan can publish the gauge
+	// without recounting the whole mirror.
+	procsDown int
+	cpUp      bool
+	cpDownAt  float64
+	dpUp      []bool // per compute host
+	headless  []bool // per compute host
 
 	cFailures      *telemetry.Counter
 	cRestarts      *telemetry.Counter
@@ -78,13 +83,15 @@ type telState struct {
 // attachTelemetryLocked builds the mirror. Called once from New; the
 // cluster is fully assembled and everything is up.
 func (c *Cluster) attachTelemetryLocked(t *telemetry.Telemetry) {
-	ts := &telState{t: t, start: c.clk.Now()}
+	ts := &telState{t: t, start: c.clk.Now(), byKey: map[procKey]*telProc{}}
 	for k, p := range c.procs {
-		ts.procs = append(ts.procs, &telProc{
+		tp := &telProc{
 			k: k, p: p,
 			subject: fmt.Sprintf("%s/%d/%s", k.role, k.node, k.name),
 			alive:   true,
-		})
+		}
+		ts.procs = append(ts.procs, tp)
+		ts.byKey[k] = tp
 	}
 	sort.Slice(ts.procs, func(i, j int) bool {
 		a, b := ts.procs[i].k, ts.procs[j].k
@@ -232,9 +239,101 @@ func (c *Cluster) telGroupBlamesLocked(g *telGroup, set map[string]bool) {
 	}
 }
 
-// telemetryScanLocked diffs the structural mirror: processes, quorum
-// groups, the CP plane and the per-host DP planes. Called at the end of
-// recomputeLocked. Callers hold c.mu.
+// telProcDiffLocked diffs one mirror row against the process's effective
+// liveness and fatal state, emitting trace events and counter bumps and
+// adjusting the maintained procsDown count on transitions. Callers hold
+// c.mu.
+func (c *Cluster) telProcDiffLocked(tp *telProc, now time.Time, h float64) {
+	ts := c.telState
+	if alive := c.aliveLocked(tp.k); alive != tp.alive {
+		tp.alive = alive
+		if alive {
+			ts.procsDown--
+			ts.cRestarts.Inc()
+			ts.t.Trace.Record(telemetry.Event{
+				At: now, AtHours: h, Kind: telemetry.EventProcessUp, Subject: tp.subject,
+			})
+		} else {
+			ts.procsDown++
+			ts.cFailures.Inc()
+			ts.t.Trace.Record(telemetry.Event{
+				At: now, AtHours: h, Kind: telemetry.EventProcessDown, Subject: tp.subject,
+				Detail: c.modeKeyLocked(tp.k),
+			})
+		}
+	}
+	if fatal := tp.p.state == Fatal; fatal != tp.fatal {
+		tp.fatal = fatal
+		if fatal {
+			ts.cFatal.Inc()
+			ts.t.Trace.Record(telemetry.Event{
+				At: now, AtHours: h, Kind: telemetry.EventProcessFatal, Subject: tp.subject,
+			})
+		}
+	}
+}
+
+// telGroupDiffLocked re-evaluates one quorum group and records a
+// transition if its satisfaction flipped. Callers hold c.mu.
+func (c *Cluster) telGroupDiffLocked(g *telGroup, now time.Time, h float64) {
+	ts := c.telState
+	sat := c.telGroupSatisfiedLocked(g)
+	if sat == g.satisfied {
+		return
+	}
+	g.satisfied = sat
+	ts.cQuorum.Inc()
+	kind := telemetry.EventQuorumLost
+	if sat {
+		kind = telemetry.EventQuorumRegained
+	}
+	ts.t.Trace.Record(telemetry.Event{
+		At: now, AtHours: h, Kind: kind, Subject: g.role + "/" + g.name,
+	})
+}
+
+// telCPPlaneLocked folds the CP-group satisfaction flags into the
+// control-plane indicator and records outage open/close transitions.
+// Callers hold c.mu.
+func (c *Cluster) telCPPlaneLocked(now time.Time, h float64) {
+	ts := c.telState
+	cpUp := true
+	for _, g := range ts.cpGroups {
+		if !g.satisfied {
+			cpUp = false
+			break
+		}
+	}
+	if cpUp == ts.cpUp {
+		return
+	}
+	ts.cpUp = cpUp
+	if !cpUp {
+		set := map[string]bool{}
+		for _, g := range ts.cpGroups {
+			if !g.satisfied {
+				c.telGroupBlamesLocked(g, set)
+			}
+		}
+		blames := sortedModeSet(set)
+		ts.cpDownAt = h
+		ts.cCPOutages.Inc()
+		ts.t.Ledger.PlaneDown("cp", h, blames)
+		ts.t.Trace.Record(telemetry.Event{
+			At: now, AtHours: h, Kind: telemetry.EventCPDown, Subject: "cp", Modes: blames,
+		})
+	} else {
+		ts.t.Ledger.PlaneUp("cp", h)
+		ts.hCPOutage.Observe(h - ts.cpDownAt)
+		ts.t.Trace.Record(telemetry.Event{
+			At: now, AtHours: h, Kind: telemetry.EventCPUp, Subject: "cp",
+		})
+	}
+}
+
+// telemetryScanLocked diffs the full structural mirror: every process,
+// every quorum group, the CP plane and the per-host DP planes. Called from
+// the full-rescan recompute path. Callers hold c.mu.
 func (c *Cluster) telemetryScanLocked() {
 	ts := c.telState
 	if ts == nil {
@@ -243,90 +342,68 @@ func (c *Cluster) telemetryScanLocked() {
 	now := c.clk.Now()
 	h := ts.hours(now)
 
-	down := 0
 	for _, tp := range ts.procs {
-		alive := c.aliveLocked(tp.k)
-		if !alive {
-			down++
-		}
-		if alive != tp.alive {
-			tp.alive = alive
-			if alive {
-				ts.cRestarts.Inc()
-				ts.t.Trace.Record(telemetry.Event{
-					At: now, AtHours: h, Kind: telemetry.EventProcessUp, Subject: tp.subject,
-				})
-			} else {
-				ts.cFailures.Inc()
-				ts.t.Trace.Record(telemetry.Event{
-					At: now, AtHours: h, Kind: telemetry.EventProcessDown, Subject: tp.subject,
-					Detail: c.modeKeyLocked(tp.k),
-				})
-			}
-		}
-		if fatal := tp.p.state == Fatal; fatal != tp.fatal {
-			tp.fatal = fatal
-			if fatal {
-				ts.cFatal.Inc()
-				ts.t.Trace.Record(telemetry.Event{
-					At: now, AtHours: h, Kind: telemetry.EventProcessFatal, Subject: tp.subject,
-				})
-			}
-		}
+		c.telProcDiffLocked(tp, now, h)
 	}
-	ts.gProcsDown.Set(float64(down))
+	ts.gProcsDown.Set(float64(ts.procsDown))
 
 	for _, groups := range [][]*telGroup{ts.cpGroups, ts.dpGroups} {
 		for _, g := range groups {
-			sat := c.telGroupSatisfiedLocked(g)
-			if sat == g.satisfied {
+			c.telGroupDiffLocked(g, now, h)
+		}
+	}
+	c.telCPPlaneLocked(now, h)
+	c.telemetryScanAgentsLocked(now, h)
+}
+
+// telemetryScanDirtyLocked is the incremental twin of telemetryScanLocked:
+// it diffs only the dirty processes (already sorted in the mirror's order,
+// so trace events come out in the same sequence a full scan would emit)
+// and re-evaluates only the quorum groups a dirty process feeds. Group
+// satisfaction depends solely on member usability, and every usability
+// change marks the member dirty — so untouched groups cannot have flipped.
+// The plane fold and the agent scan run as in the full path (both are
+// O(groups + hosts), not O(processes)). Callers hold c.mu.
+func (c *Cluster) telemetryScanDirtyLocked(dirty []procKey) {
+	ts := c.telState
+	if ts == nil {
+		return
+	}
+	now := c.clk.Now()
+	h := ts.hours(now)
+
+	for _, k := range dirty {
+		if tp := ts.byKey[k]; tp != nil {
+			c.telProcDiffLocked(tp, now, h)
+		}
+	}
+	ts.gProcsDown.Set(float64(ts.procsDown))
+
+	for _, groups := range [][]*telGroup{ts.cpGroups, ts.dpGroups} {
+		for _, g := range groups {
+			if !groupTouched(g, dirty) {
 				continue
 			}
-			g.satisfied = sat
-			ts.cQuorum.Inc()
-			kind := telemetry.EventQuorumLost
-			if sat {
-				kind = telemetry.EventQuorumRegained
-			}
-			ts.t.Trace.Record(telemetry.Event{
-				At: now, AtHours: h, Kind: kind, Subject: g.role + "/" + g.name,
-			})
+			c.telGroupDiffLocked(g, now, h)
 		}
 	}
-
-	cpUp := true
-	for _, g := range ts.cpGroups {
-		if !g.satisfied {
-			cpUp = false
-			break
-		}
-	}
-	if cpUp != ts.cpUp {
-		ts.cpUp = cpUp
-		if !cpUp {
-			set := map[string]bool{}
-			for _, g := range ts.cpGroups {
-				if !g.satisfied {
-					c.telGroupBlamesLocked(g, set)
-				}
-			}
-			blames := sortedModeSet(set)
-			ts.cpDownAt = h
-			ts.cCPOutages.Inc()
-			ts.t.Ledger.PlaneDown("cp", h, blames)
-			ts.t.Trace.Record(telemetry.Event{
-				At: now, AtHours: h, Kind: telemetry.EventCPDown, Subject: "cp", Modes: blames,
-			})
-		} else {
-			ts.t.Ledger.PlaneUp("cp", h)
-			ts.hCPOutage.Observe(h - ts.cpDownAt)
-			ts.t.Trace.Record(telemetry.Event{
-				At: now, AtHours: h, Kind: telemetry.EventCPUp, Subject: "cp",
-			})
-		}
-	}
-
+	c.telCPPlaneLocked(now, h)
 	c.telemetryScanAgentsLocked(now, h)
+}
+
+// groupTouched reports whether any dirty process is a member of the group.
+func groupTouched(g *telGroup, dirty []procKey) bool {
+	for _, k := range dirty {
+		if k.role != g.role {
+			continue
+		}
+		for _, m := range g.members {
+			if k.name == m {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // telemetryScanAgentsLocked diffs the per-host DP and headless state —

@@ -12,6 +12,7 @@ import (
 	"sdnavail/internal/profile"
 	"sdnavail/internal/relmath"
 	"sdnavail/internal/report"
+	"sdnavail/internal/sweep"
 	"sdnavail/internal/topology"
 )
 
@@ -173,6 +174,9 @@ type ValidationRow struct {
 	SimHours    float64
 	AgreementCP bool
 	AgreementDP bool
+	// Converged is false when an adaptive run hit its replication ceiling
+	// before meeting the CI target (always true for fixed-count runs).
+	Converged bool
 }
 
 // Validation runs the paper's future-work experiment: Monte Carlo
@@ -206,7 +210,7 @@ func Validation(replications int, horizon float64, seed int64) ([]ValidationRow,
 			Option:     opt,
 			AnalyticCP: cp, SimCP: est.CP.Mean, SimCPHalf: est.CP.HalfWide,
 			AnalyticDP: dp, SimDP: est.HostDP.Mean, SimDPHalf: est.HostDP.HalfWide,
-			Replicates: replications, SimHours: horizon,
+			Replicates: replications, SimHours: horizon, Converged: true,
 		}
 		row.AgreementCP = abs(cp-est.CP.Mean) <= est.CP.HalfWide+4e-4
 		row.AgreementDP = abs(dp-est.HostDP.Mean) <= est.HostDP.HalfWide+6e-4
@@ -215,6 +219,63 @@ func Validation(replications int, horizon float64, seed int64) ([]ValidationRow,
 			fmt.Sprintf("%.6f", cp), fmt.Sprintf("%.6f", est.CP.Mean), fmt.Sprintf("%.6f", est.CP.HalfWide),
 			fmt.Sprintf("%.6f", dp), fmt.Sprintf("%.6f", est.HostDP.Mean), fmt.Sprintf("%.6f", est.HostDP.HalfWide),
 			fmt.Sprintf("%v/%v", row.AgreementCP, row.AgreementDP))
+	}
+	return rows, t
+}
+
+// AdaptiveValidation is Validation on the sequential-stopping sweep
+// engine: the four options fan out across the shared worker pool and each
+// stops replicating as soon as its CP confidence half-width meets
+// opt.CITarget (bounded by opt.MinReps/opt.MaxReps), instead of every
+// option paying a fixed replication count. The "reps" column reports what
+// each option actually cost; a trailing "!" marks an option that hit the
+// ceiling without converging.
+func AdaptiveValidation(opt sweep.Options, horizon float64, seed int64) ([]ValidationRow, report.Table) {
+	p := analytic.Params{AC: 0.995, AV: 0.9995, AH: 0.999, AR: 0.998, A: 0.999, AS: 0.995}
+	prof := profile.OpenContrail3x()
+	t := report.Table{
+		Title:   "Validation — Monte Carlo simulation vs closed-form models (adaptive replication)",
+		Columns: []string{"Option", "analytic A_CP", "simulated A_CP", "±", "analytic A_DP", "simulated A_DP", "±", "agree", "reps"},
+	}
+	var points []sweep.Point
+	for _, o := range analytic.Options() {
+		topo, err := topology.ByKind(o.Kind, prof.ClusterRoles, 3)
+		if err != nil {
+			panic(err)
+		}
+		cfg := mc.NewConfig(prof, topo, o.Scenario, p)
+		cfg.Horizon = horizon
+		cfg.Seed = seed
+		cfg.KeepResults = false // memory-flat: the table needs intervals only
+		points = append(points, sweep.Point{ID: o.Label(), Config: cfg})
+	}
+	res, err := sweep.Run(points, opt)
+	if err != nil {
+		panic(err) // reference configurations always validate
+	}
+	var rows []ValidationRow
+	for i, o := range analytic.Options() {
+		est := res[i].Estimate
+		model := analytic.NewModel(prof, o)
+		model.Params = points[i].Config.Params()
+		cp, dp := model.Evaluate()
+		row := ValidationRow{
+			Option:     o,
+			AnalyticCP: cp, SimCP: est.CP.Mean, SimCPHalf: est.CP.HalfWide,
+			AnalyticDP: dp, SimDP: est.HostDP.Mean, SimDPHalf: est.HostDP.HalfWide,
+			Replicates: res[i].Replications, SimHours: horizon, Converged: res[i].Converged,
+		}
+		row.AgreementCP = abs(cp-est.CP.Mean) <= est.CP.HalfWide+4e-4
+		row.AgreementDP = abs(dp-est.HostDP.Mean) <= est.HostDP.HalfWide+6e-4
+		rows = append(rows, row)
+		reps := fmt.Sprintf("%d", row.Replicates)
+		if !row.Converged {
+			reps += "!"
+		}
+		t.AddRow(o.Label(),
+			fmt.Sprintf("%.6f", cp), fmt.Sprintf("%.6f", est.CP.Mean), fmt.Sprintf("%.6f", est.CP.HalfWide),
+			fmt.Sprintf("%.6f", dp), fmt.Sprintf("%.6f", est.HostDP.Mean), fmt.Sprintf("%.6f", est.HostDP.HalfWide),
+			fmt.Sprintf("%v/%v", row.AgreementCP, row.AgreementDP), reps)
 	}
 	return rows, t
 }

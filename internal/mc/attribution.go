@@ -7,7 +7,6 @@ import (
 
 	"sdnavail/internal/analytic"
 	"sdnavail/internal/telemetry"
-	"sdnavail/internal/topology"
 )
 
 // Downtime attribution inside the simulator. The Sim drives the same
@@ -39,28 +38,28 @@ func (s *Sim) modeName(ent int) string {
 	return "process:" + name
 }
 
-// instBlames adds the failure modes keeping the instance from serving the
-// given members: its down hardware (rack > host > vm precedence), or its
-// down processes (including the supervisor when scenario 2 requires it).
-func (s *Sim) instBlames(inst *roleInstance, members []string, set map[string]bool) {
+// nodeBlames adds the failure modes keeping the group's placement on one
+// node from serving: its down hardware (rack > host > vm precedence), or
+// its down processes (including the supervisor when scenario 2 requires it).
+func (s *Sim) nodeBlames(gn *groupNode, set map[string]bool) {
 	hwDown := -1
 	switch {
-	case !s.entities[inst.rackEnt].up:
-		hwDown = inst.rackEnt
-	case !s.entities[inst.hostEnt].up:
-		hwDown = inst.hostEnt
-	case !s.entities[inst.vmEnt].up:
-		hwDown = inst.vmEnt
+	case !s.entities[gn.rackEnt].up:
+		hwDown = gn.rackEnt
+	case !s.entities[gn.hostEnt].up:
+		hwDown = gn.hostEnt
+	case !s.entities[gn.vmEnt].up:
+		hwDown = gn.vmEnt
 	}
 	if hwDown >= 0 {
 		set[s.modeName(hwDown)] = true
 		return
 	}
-	if s.cfg.Scenario == analytic.SupervisorRequired && inst.supEnt >= 0 && !s.entities[inst.supEnt].up {
-		set[s.modeName(inst.supEnt)] = true
+	if s.cfg.Scenario == analytic.SupervisorRequired && gn.supEnt >= 0 && !s.entities[gn.supEnt].up {
+		set[s.modeName(gn.supEnt)] = true
 	}
-	for _, m := range members {
-		if pe := inst.procs[m]; !s.entities[pe].up {
+	for _, pe := range gn.memberEnts {
+		if !s.entities[pe].up {
 			set[s.modeName(pe)] = true
 		}
 	}
@@ -69,22 +68,20 @@ func (s *Sim) instBlames(inst *roleInstance, members []string, set map[string]bo
 // groupBlames adds the failure modes of every unsatisfied group's broken
 // instances. Called only on plane down-transitions.
 func (s *Sim) groupBlames(groups []simGroup, set map[string]bool) {
-	n := s.cfg.Topology.ClusterSize
-	for _, g := range groups {
+	for gi := range groups {
+		g := &groups[gi]
 		count := 0
-		for node := 0; node < n; node++ {
-			inst := &s.instances[s.byPlace[topology.Placement{Role: g.role, Node: node}]]
-			if s.instanceUp(inst, g.members) {
+		for ni := range g.nodes {
+			if s.nodeUp(&g.nodes[ni]) {
 				count++
 			}
 		}
 		if count >= g.need {
 			continue
 		}
-		for node := 0; node < n; node++ {
-			inst := &s.instances[s.byPlace[topology.Placement{Role: g.role, Node: node}]]
-			if !s.instanceUp(inst, g.members) {
-				s.instBlames(inst, g.members, set)
+		for ni := range g.nodes {
+			if !s.nodeUp(&g.nodes[ni]) {
+				s.nodeBlames(&g.nodes[ni], set)
 			}
 		}
 	}

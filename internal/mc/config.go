@@ -86,6 +86,12 @@ type Config struct {
 	// Seed seeds the deterministic random source; replication r uses
 	// Seed+r.
 	Seed int64
+	// KeepResults retains every per-replication Result on the Estimate
+	// (required by SLAMissProbability / OutageDurationSummary consumers).
+	// NewConfig sets it; sweeps that only need the interval estimates
+	// clear it so 10^5-replication points stay memory-flat — Run then
+	// streams each Result into the accumulators and drops it.
+	KeepResults bool
 }
 
 // DefaultRepairTimes returns the repair-time assumptions used to translate
@@ -117,6 +123,7 @@ func NewConfig(prof *profile.Profile, topo *topology.Topology, sc analytic.Scena
 		ComputeHosts:      4,
 		Horizon:           2e6,
 		Seed:              1,
+		KeepResults:       true,
 	}
 }
 

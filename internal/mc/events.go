@@ -1,7 +1,5 @@
 package mc
 
-import "container/heap"
-
 // event is a scheduled state transition for one entity. seq breaks time
 // ties deterministically so identical seeds replay identically.
 type event struct {
@@ -16,32 +14,72 @@ type event struct {
 // headless-hold expiry so the host-DP accumulator sees the boundary.
 const timerEntity = -1
 
-// eventHeap is a min-heap of events ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq).
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// eventHeap is a flat, type-specialized binary min-heap of events ordered
+// by (at, seq). Unlike container/heap it moves events by value through
+// monomorphic code: no interface boxing on Push/Pop (which allocated one
+// 32-byte event per schedule call — the dominant allocation of a
+// replication) and no dynamic dispatch per sift comparison. The backing
+// slice is retained across replications via reset, so a warmed-up
+// simulator schedules with zero allocations.
+type eventHeap struct {
+	ev []event
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h *eventHeap) len() int { return len(h.ev) }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// reset empties the heap, keeping the backing array for reuse.
+func (h *eventHeap) reset() { h.ev = h.ev[:0] }
+
+// push adds an event and sifts it up to its heap position.
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.ev[i].before(h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The heap must be non-empty.
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev = h.ev[:n]
+	// Sift the displaced tail element down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.ev[right].before(h.ev[left]) {
+			least = right
+		}
+		if !h.ev[least].before(h.ev[i]) {
+			break
+		}
+		h.ev[i], h.ev[least] = h.ev[least], h.ev[i]
+		i = least
+	}
+	return top
 }
 
 // schedule pushes an event onto the heap.
 func (s *Sim) schedule(at float64, entity int, up bool) {
 	s.seq++
-	heap.Push(&s.events, event{at: at, seq: s.seq, entity: entity, up: up})
+	s.events.push(event{at: at, seq: s.seq, entity: entity, up: up})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sdnavail/internal/stats"
 )
@@ -31,7 +32,11 @@ func SLAMissProbability(results []Result, thresholdMinutes float64) (float64, er
 // OutageDurationSummary aggregates every completed CP outage across the
 // replications into order statistics (hours).
 func OutageDurationSummary(results []Result) stats.Summary {
-	var all []float64
+	n := 0
+	for _, r := range results {
+		n += len(r.CPOutageDurations)
+	}
+	all := make([]float64, 0, n)
 	for _, r := range results {
 		all = append(all, r.CPOutageDurations...)
 	}
@@ -49,55 +54,105 @@ type Estimate struct {
 	// downtime hours attributed to each failure mode.
 	CPDowntimeByMode map[string]float64
 	DPDowntimeByMode map[string]float64
-	// Results holds the per-replication measurements.
+	// Results holds the per-replication measurements. Nil when the run's
+	// Config.KeepResults was false.
 	Results []Result
 }
 
-// Run executes the given number of independent replications (in parallel,
-// each with its own deterministic seed derived from cfg.Seed) and returns
-// confidence-interval estimates at the given level.
+// repResult carries one replication's result to the reducer.
+type repResult struct {
+	rep int
+	res Result
+}
+
+// Run executes the given number of independent replications and returns
+// confidence-interval estimates at the given level. A fixed pool of
+// workers (one per CPU, never more than the replication count) pulls
+// replication indices from a shared counter and streams results into the
+// accumulators, so 10^5 replications cost 10^5 goroutine *tasks*, not
+// 10^5 goroutines parked on a semaphore. Each replication keeps its own
+// deterministic seed derived from cfg.Seed, and the reducer folds results
+// in replication order, so the estimate is bit-identical whatever the
+// worker count.
 func Run(cfg Config, replications int, level float64) (Estimate, error) {
+	return runWorkers(cfg, replications, level, runtime.GOMAXPROCS(0))
+}
+
+// runWorkers is Run with an explicit worker count, split out so the
+// determinism test can pin different pool sizes against one another.
+func runWorkers(cfg Config, replications int, level float64, workers int) (Estimate, error) {
+	// Validation happens once here; pooled replications cannot fail
+	// individually, so there is no per-replication error slice to collect —
+	// the first (and only) error site is this one.
 	if err := cfg.Validate(); err != nil {
 		return Estimate{}, err
 	}
 	if replications < 1 {
 		return Estimate{}, fmt.Errorf("mc: replications = %d", replications)
 	}
-	results := make([]Result, replications)
+	if workers > replications {
+		workers = replications
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ss := newSessionValidated(cfg)
+	out := make(chan repResult, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	errs := make([]error, replications)
-	for r := 0; r < replications; r++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(r int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s, err := New(cfg, r)
-			if err != nil {
-				errs[r] = err
-				return
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= replications {
+					return
+				}
+				out <- repResult{rep: r, res: ss.Replicate(r)}
 			}
-			results[r] = s.Run()
-		}(r)
+		}()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Estimate{}, err
-		}
-	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Fold strictly in replication order: workers finish out of order, so
+	// early arrivals wait in pending until their turn. Welford updates and
+	// the per-mode sums are floating-point, hence order-sensitive — the
+	// ordered fold is what makes the estimate independent of the worker
+	// count. pending holds at most ~workers entries.
 	var cp, sdp, dp stats.Accumulator
 	cpModes, dpModes := map[string]float64{}, map[string]float64{}
-	for _, res := range results {
-		cp.Add(res.CPAvailability)
-		sdp.Add(res.SharedDPAvailability)
-		dp.Add(res.HostDPAvailability)
-		for m, h := range res.CPDowntimeByMode {
-			cpModes[m] += h / float64(replications)
+	var results []Result
+	if cfg.KeepResults {
+		results = make([]Result, replications)
+	}
+	pending := make(map[int]Result, workers)
+	nextFold := 0
+	for rr := range out {
+		if results != nil {
+			results[rr.rep] = rr.res
 		}
-		for m, h := range res.DPDowntimeByMode {
-			dpModes[m] += h / float64(replications)
+		pending[rr.rep] = rr.res
+		for {
+			res, ok := pending[nextFold]
+			if !ok {
+				break
+			}
+			delete(pending, nextFold)
+			nextFold++
+			cp.Add(res.CPAvailability)
+			sdp.Add(res.SharedDPAvailability)
+			dp.Add(res.HostDPAvailability)
+			for m, h := range res.CPDowntimeByMode {
+				cpModes[m] += h / float64(replications)
+			}
+			for m, h := range res.DPDowntimeByMode {
+				dpModes[m] += h / float64(replications)
+			}
 		}
 	}
 	return Estimate{

@@ -1,0 +1,56 @@
+package mc
+
+import "sync"
+
+// Session amortizes simulator construction across many replications of one
+// configuration. Each Replicate call checks a warmed-up Sim out of a pool,
+// rewinds it with reset (same seed derivation as New), runs it, and puts
+// it back — so a 10^5-replication sweep builds the entity tables and
+// quorum-group indices once per worker instead of once per replication.
+//
+// Replicate is safe for concurrent use: concurrent callers get distinct
+// pooled simulators. Results are identical to New(cfg, rep).Run() for
+// every rep, whatever the concurrency.
+type Session struct {
+	cfg  Config
+	pool sync.Pool
+}
+
+// NewSession validates the configuration once and returns a replication
+// session for it.
+func NewSession(cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return newSessionValidated(cfg), nil
+}
+
+// newSessionValidated builds a session for an already-validated config.
+func newSessionValidated(cfg Config) *Session {
+	ss := &Session{cfg: cfg}
+	ss.pool.New = func() any { return newSim(cfg) }
+	return ss
+}
+
+// Replicate runs one replication and returns its result. When
+// Config.KeepResults is false the per-outage and per-window slices are
+// dropped (sweeps that only fold means never pay for them); when true they
+// are copied out of the pooled simulator's scratch buffers so the Result
+// stays valid after the Sim is reused.
+func (ss *Session) Replicate(replication int) Result {
+	s := ss.pool.Get().(*Sim)
+	s.reset(replication)
+	res := s.Run()
+	if ss.cfg.KeepResults {
+		res.CPOutageDurations = append([]float64(nil), res.CPOutageDurations...)
+		res.CPWindowDowntimes = append([]float64(nil), res.CPWindowDowntimes...)
+	} else {
+		res.CPOutageDurations = nil
+		res.CPWindowDowntimes = nil
+	}
+	ss.pool.Put(s)
+	return res
+}
+
+// Config returns the session's configuration.
+func (ss *Session) Config() Config { return ss.cfg }

@@ -1,9 +1,7 @@
 package mc
 
 import (
-	"container/heap"
 	"fmt"
-	"math/rand"
 
 	"sdnavail/internal/analytic"
 	"sdnavail/internal/profile"
@@ -42,24 +40,24 @@ type entity struct {
 	supEnt int
 }
 
-// roleInstance is one (role, node) placement resolved to entity indices.
-type roleInstance struct {
-	role    profile.Role
-	node    int
-	rackEnt int
-	hostEnt int
-	vmEnt   int
-	supEnt  int // supervisor process entity, or -1
-	procs   map[string]int
+// groupNode is one (role, node) placement of a quorum group resolved to
+// flat entity indices: its hardware chain, its supervisor (or -1), and the
+// member processes the group requires on that node. Resolving names to
+// indices at build time keeps the per-event satisfaction check free of the
+// placement-map and process-name-map lookups the simulator used to pay on
+// every event.
+type groupNode struct {
+	rackEnt, hostEnt, vmEnt, supEnt int
+	memberEnts                      []int
 }
 
 // simGroup is a quorum group resolved for simulation: the group is
 // satisfied when at least need nodes have every member process (and their
 // hardware, and in scenario 2 their supervisor) up.
 type simGroup struct {
-	role    profile.Role
-	need    int
-	members []string
+	role  profile.Role
+	need  int
+	nodes []groupNode
 }
 
 // computeHost is one vRouter host for the local DP contribution.
@@ -69,19 +67,22 @@ type computeHost struct {
 }
 
 // Sim is a single-replication simulator. Create with New, run with Run.
+// A Sim may be reused for further replications via reset; Session wraps
+// that reuse behind a pool so multi-replication runs build the entity
+// tables once instead of once per replication.
 type Sim struct {
 	cfg    Config
-	rng    *rand.Rand
+	rng    rng
 	events eventHeap
 	seq    uint64
 	now    float64
 
-	entities  []entity
-	instances []roleInstance
-	byPlace   map[topology.Placement]int // placement -> instance index
-	cpGroups  []simGroup
-	dpGroups  []simGroup
-	hosts     []computeHost
+	entities []entity
+	cpGroups []simGroup
+	dpGroups []simGroup
+	hosts    []computeHost
+	// supRequired caches Scenario == SupervisorRequired for the hot path.
+	supRequired bool
 
 	// running indicators
 	cpUp      bool
@@ -147,14 +148,49 @@ func New(cfg Config, replication int) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Sim{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed + int64(replication)*1_000_003)),
-		byPlace: map[topology.Placement]int{},
-		ledger:  telemetry.NewLedger(),
-	}
-	s.build()
+	s := newSim(cfg)
+	s.reset(replication)
 	return s, nil
+}
+
+// newSim constructs the entity tables for a validated configuration. The
+// returned Sim must be reset before each Run.
+func newSim(cfg Config) *Sim {
+	s := &Sim{cfg: cfg, supRequired: cfg.Scenario == analytic.SupervisorRequired}
+	s.build()
+	return s
+}
+
+// reset rewinds the simulator to the start of the given replication:
+// every entity up, the event queue empty, the stream re-seeded with the
+// same derivation New always used, and all accumulators zeroed. Scratch
+// slices keep their backing arrays, so a warmed-up Sim replays a fresh
+// replication without rebuilding or reallocating anything but the ledger.
+func (s *Sim) reset(replication int) {
+	s.rng.seed(s.cfg.Seed + int64(replication)*1_000_003)
+	s.events.reset()
+	s.seq = 0
+	s.now = 0
+	for i := range s.entities {
+		s.entities[i].up = true
+	}
+	s.cpUp, s.sdpUp = true, true
+	for i := range s.hostUp {
+		s.hostUp[i] = true
+	}
+	s.cpStart, s.sdpDownAt = 0, 0
+	s.ledger = telemetry.NewLedger()
+	s.cpTime, s.sdpTime = 0, 0
+	for i := range s.hostTime {
+		s.hostTime[i] = 0
+	}
+	s.cpOutages = 0
+	s.cpDowntime = 0
+	s.durations = s.durations[:0]
+	s.windows = s.windows[:0]
+	s.crewsBusy = 0
+	s.crewQueue = s.crewQueue[:0]
+	s.nEvents = 0
 }
 
 // addEntity appends an entity and returns its index.
@@ -162,6 +198,13 @@ func (s *Sim) addEntity(e entity) int {
 	e.up = true
 	s.entities = append(s.entities, e)
 	return len(s.entities) - 1
+}
+
+// instanceLoc is one (role, node) placement resolved to entity indices
+// during build; the quorum groups flatten it into groupNodes.
+type instanceLoc struct {
+	rackEnt, hostEnt, vmEnt, supEnt int
+	procs                           map[string]int
 }
 
 // build constructs the entity table from the topology and profile.
@@ -185,6 +228,7 @@ func (s *Sim) build() {
 	// Role instances and their processes. The nodemgr processes are
 	// "0 of n" for both planes and are omitted (they cannot affect any
 	// availability result).
+	byPlace := map[topology.Placement]instanceLoc{}
 	for _, role := range cfg.Profile.ClusterRoles {
 		for node := 0; node < cfg.Topology.ClusterSize; node++ {
 			pl := topology.Placement{Role: role, Node: node}
@@ -192,8 +236,7 @@ func (s *Sim) build() {
 			if !ok {
 				panic(fmt.Sprintf("mc: topology lacks placement %v", pl))
 			}
-			inst := roleInstance{
-				role: role, node: node,
+			inst := instanceLoc{
 				rackEnt: loc.rackEnt, hostEnt: loc.hostEnt, vmEnt: loc.vmEnt,
 				supEnt: -1,
 				procs:  map[string]int{},
@@ -221,13 +264,12 @@ func (s *Sim) build() {
 				})
 				inst.procs[proc.Name] = idx
 			}
-			s.byPlace[pl] = len(s.instances)
-			s.instances = append(s.instances, inst)
+			byPlace[pl] = inst
 		}
 	}
 	// Quorum groups for both planes.
-	s.cpGroups = s.resolveGroups(profile.ControlPlane)
-	s.dpGroups = s.resolveGroups(profile.DataPlane)
+	s.cpGroups = s.resolveGroups(profile.ControlPlane, byPlace)
+	s.dpGroups = s.resolveGroups(profile.DataPlane, byPlace)
 
 	// Compute hosts carrying the local vRouter processes.
 	for h := 0; h < cfg.ComputeHosts; h++ {
@@ -260,9 +302,9 @@ func (s *Sim) build() {
 	s.hostTime = make([]float64, len(s.hosts))
 }
 
-// resolveGroups expands the profile's quorum groups into member process
-// name lists for the plane.
-func (s *Sim) resolveGroups(pl profile.Plane) []simGroup {
+// resolveGroups expands the profile's quorum groups for the plane into
+// per-node flat entity-index lists.
+func (s *Sim) resolveGroups(pl profile.Plane, byPlace map[topology.Placement]instanceLoc) []simGroup {
 	var out []simGroup
 	for _, role := range s.cfg.Profile.ClusterRoles {
 		for _, g := range profile.QuorumGroups(s.cfg.Profile, role, pl) {
@@ -286,7 +328,19 @@ func (s *Sim) resolveGroups(pl profile.Plane) []simGroup {
 			if len(members) == 0 {
 				panic(fmt.Sprintf("mc: group %s of role %s has no members", g.Name, role))
 			}
-			out = append(out, simGroup{role: role, need: need, members: members})
+			sg := simGroup{role: role, need: need}
+			for node := 0; node < s.cfg.Topology.ClusterSize; node++ {
+				inst := byPlace[topology.Placement{Role: role, Node: node}]
+				gn := groupNode{
+					rackEnt: inst.rackEnt, hostEnt: inst.hostEnt,
+					vmEnt: inst.vmEnt, supEnt: inst.supEnt,
+				}
+				for _, m := range members {
+					gn.memberEnts = append(gn.memberEnts, inst.procs[m])
+				}
+				sg.nodes = append(sg.nodes, gn)
+			}
+			out = append(out, sg)
 		}
 	}
 	return out
@@ -327,17 +381,19 @@ func (s *Sim) repairTime(e *entity) float64 {
 	}
 }
 
-// instanceUp reports whether the instance's hardware (and supervisor, in
-// scenario 2) is up and all the named member processes are running.
-func (s *Sim) instanceUp(inst *roleInstance, members []string) bool {
-	if !s.entities[inst.rackEnt].up || !s.entities[inst.hostEnt].up || !s.entities[inst.vmEnt].up {
+// nodeUp reports whether the group's placement on one node serves: its
+// hardware chain (and supervisor, in scenario 2) is up and every member
+// process is running.
+func (s *Sim) nodeUp(gn *groupNode) bool {
+	ents := s.entities
+	if !ents[gn.rackEnt].up || !ents[gn.hostEnt].up || !ents[gn.vmEnt].up {
 		return false
 	}
-	if s.cfg.Scenario == analytic.SupervisorRequired && inst.supEnt >= 0 && !s.entities[inst.supEnt].up {
+	if s.supRequired && gn.supEnt >= 0 && !ents[gn.supEnt].up {
 		return false
 	}
-	for _, m := range members {
-		if !s.entities[inst.procs[m]].up {
+	for _, pe := range gn.memberEnts {
+		if !ents[pe].up {
 			return false
 		}
 	}
@@ -347,12 +403,11 @@ func (s *Sim) instanceUp(inst *roleInstance, members []string) bool {
 // groupsSatisfied reports whether every group has at least need nodes with
 // a fully working instance.
 func (s *Sim) groupsSatisfied(groups []simGroup) bool {
-	n := s.cfg.Topology.ClusterSize
-	for _, g := range groups {
+	for gi := range groups {
+		g := &groups[gi]
 		count := 0
-		for node := 0; node < n; node++ {
-			inst := &s.instances[s.byPlace[topology.Placement{Role: g.role, Node: node}]]
-			if s.instanceUp(inst, g.members) {
+		for ni := range g.nodes {
+			if s.nodeUp(&g.nodes[ni]) {
 				count++
 				if count >= g.need {
 					break
@@ -369,7 +424,7 @@ func (s *Sim) groupsSatisfied(groups []simGroup) bool {
 // localUp reports whether a compute host's vRouter processes (and
 // supervisor, in scenario 2) are up.
 func (s *Sim) localUp(ch *computeHost) bool {
-	if s.cfg.Scenario == analytic.SupervisorRequired && ch.supEnt >= 0 && !s.entities[ch.supEnt].up {
+	if s.supRequired && ch.supEnt >= 0 && !s.entities[ch.supEnt].up {
 		return false
 	}
 	for _, pe := range ch.procEnts {
@@ -445,7 +500,9 @@ func (s *Sim) accumulate(dt float64) {
 }
 
 // Run executes the replication to the configured horizon and returns the
-// measured result.
+// measured result. The CPOutageDurations and CPWindowDowntimes slices
+// alias the simulator's scratch buffers; they stay valid until the Sim is
+// reset (Session.Replicate copies them when Config.KeepResults is set).
 func (s *Sim) Run() Result {
 	// Initial failure schedule: everything starts up.
 	for i := range s.entities {
@@ -458,8 +515,8 @@ func (s *Sim) Run() Result {
 	}
 
 	horizon := s.cfg.Horizon
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(event)
+	for s.events.len() > 0 {
+		ev := s.events.pop()
 		if ev.at >= horizon {
 			break
 		}

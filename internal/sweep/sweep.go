@@ -1,0 +1,239 @@
+// Package sweep runs parameter sweeps of the Monte Carlo simulator with
+// adaptive precision. Sweep points fan out across a shared worker pool,
+// and within each point a sequential-stopping rule replicates only until
+// the control-plane availability confidence interval is tight enough —
+// cheap points (tight variance) stop at the floor, hard points (wide
+// variance) run on to the ceiling, so a whole figure costs what its
+// hardest series demands instead of every point paying the worst case.
+//
+// Determinism: replications within a point always run in index order
+// through one pooled mc.Session, the stopping rule is checked only at
+// fixed replication counts (MinReps, then every Batch), and each point's
+// fold is self-contained — so the output is bit-identical whatever the
+// worker count or scheduling, and re-running a sweep reproduces it
+// exactly.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sdnavail/internal/mc"
+	"sdnavail/internal/stats"
+)
+
+// Options tunes the adaptive engine. The zero value of any field selects
+// the default noted on it.
+type Options struct {
+	// Confidence is the CI level for both the stopping rule and the
+	// reported intervals (default 0.99).
+	Confidence float64
+	// CITarget is the sequential-stopping threshold: a point stops
+	// replicating once the CP availability half-width is ≤ CITarget
+	// (checked at MinReps and then every Batch replications). Zero
+	// disables adaptation — every point runs exactly MaxReps.
+	CITarget float64
+	// MinReps is the floor before the first stopping check (default 64).
+	// The Welford variance needs a real sample before the half-width
+	// means anything.
+	MinReps int
+	// MaxReps is the ceiling (default 4096). A point that has not met
+	// CITarget by then reports Converged=false.
+	MaxReps int
+	// Batch is the replication count between stopping checks after the
+	// floor (default 32).
+	Batch int
+	// Workers sizes the shared pool that sweep points fan out across
+	// (default GOMAXPROCS, never more than the point count).
+	Workers int
+}
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.Confidence == 0 {
+		o.Confidence = 0.99
+	}
+	if o.MinReps == 0 {
+		o.MinReps = 64
+		// A caller-set ceiling below the default floor wins: the floor
+		// only exists to give the variance a real sample.
+		if o.MaxReps != 0 && o.MaxReps < o.MinReps {
+			o.MinReps = o.MaxReps
+		}
+	}
+	if o.MaxReps == 0 {
+		o.MaxReps = 4096
+	}
+	if o.Batch == 0 {
+		o.Batch = 32
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Validate reports the first problem with the options.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		return fmt.Errorf("sweep: confidence %g outside (0, 1)", o.Confidence)
+	}
+	if o.CITarget < 0 {
+		return fmt.Errorf("sweep: CI target %g is negative", o.CITarget)
+	}
+	if o.MinReps < 2 {
+		return fmt.Errorf("sweep: MinReps %d < 2 (variance needs two samples)", o.MinReps)
+	}
+	if o.MaxReps < o.MinReps {
+		return fmt.Errorf("sweep: MaxReps %d < MinReps %d", o.MaxReps, o.MinReps)
+	}
+	if o.Batch < 1 {
+		return fmt.Errorf("sweep: Batch %d < 1", o.Batch)
+	}
+	return nil
+}
+
+// Point is one sweep point: a simulator configuration with its axis
+// coordinate and label.
+type Point struct {
+	// ID labels the point in results (series name, option label, …).
+	ID string
+	// X is the point's coordinate on the sweep axis.
+	X float64
+	// Config is the full simulator configuration for this point. Leave
+	// KeepResults false for memory-flat sweeps; set it when the caller
+	// needs the per-replication Results on the estimate.
+	Config mc.Config
+}
+
+// Result is one point's outcome.
+type Result struct {
+	Point Point
+	// Estimate aggregates the replications actually run, at
+	// Options.Confidence.
+	Estimate mc.Estimate
+	// Replications is how many the stopping rule spent on this point.
+	Replications int
+	// Converged reports whether the point met CITarget (always true when
+	// adaptation is disabled — the fixed count is the contract).
+	Converged bool
+}
+
+// Run sweeps the points. The slice order of the results matches the
+// input; every point is validated before any replication runs.
+func Run(points []Point, opt Options) ([]Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: no points")
+	}
+	sessions := make([]*mc.Session, len(points))
+	for i, p := range points {
+		ss, err := mc.NewSession(p.Config)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d (%s): %w", i, p.ID, err)
+		}
+		sessions[i] = ss
+	}
+
+	workers := opt.Workers
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]Result, len(points))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				results[i] = runPoint(points[i], sessions[i], opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// runPoint replicates one point until the stopping rule fires. The fold
+// mirrors mc.Run's: Welford accumulators for the three planes, summed
+// per-mode downtime; replication r uses the same derived seed it would
+// under mc.Run, so a converged sweep point is a prefix of the fixed-count
+// run at the same configuration.
+func runPoint(p Point, ss *mc.Session, o Options) Result {
+	var cp, sdp, dp stats.Accumulator
+	cpModes, dpModes := map[string]float64{}, map[string]float64{}
+	var results []mc.Result
+	if p.Config.KeepResults {
+		results = make([]mc.Result, 0, o.MinReps)
+	}
+	n, converged := 0, false
+	for {
+		target := o.MaxReps
+		if o.CITarget > 0 {
+			if n == 0 {
+				target = o.MinReps
+			} else if target = n + o.Batch; target > o.MaxReps {
+				target = o.MaxReps
+			}
+		}
+		for ; n < target; n++ {
+			res := ss.Replicate(n)
+			cp.Add(res.CPAvailability)
+			sdp.Add(res.SharedDPAvailability)
+			dp.Add(res.HostDPAvailability)
+			for m, h := range res.CPDowntimeByMode {
+				cpModes[m] += h
+			}
+			for m, h := range res.DPDowntimeByMode {
+				dpModes[m] += h
+			}
+			if results != nil {
+				results = append(results, res)
+			}
+		}
+		if o.CITarget <= 0 {
+			converged = true // fixed-count run: the contract is the count
+			break
+		}
+		if cp.ConfidenceInterval(o.Confidence).HalfWide <= o.CITarget {
+			converged = true
+			break
+		}
+		if n >= o.MaxReps {
+			break
+		}
+	}
+	for m := range cpModes {
+		cpModes[m] /= float64(n)
+	}
+	for m := range dpModes {
+		dpModes[m] /= float64(n)
+	}
+	return Result{
+		Point: p,
+		Estimate: mc.Estimate{
+			CP:               cp.ConfidenceInterval(o.Confidence),
+			SharedDP:         sdp.ConfidenceInterval(o.Confidence),
+			HostDP:           dp.ConfidenceInterval(o.Confidence),
+			CPDowntimeByMode: cpModes,
+			DPDowntimeByMode: dpModes,
+			Results:          results,
+		},
+		Replications: n,
+		Converged:    converged,
+	}
+}

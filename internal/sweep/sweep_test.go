@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/mc"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+// testConfig is the short-horizon configuration the mc golden tests also
+// build: degraded parameters so variance is visible at a few dozen
+// replications.
+func testConfig(t testing.TB, seed int64) mc.Config {
+	t.Helper()
+	prof := profile.OpenContrail3x()
+	topo, err := topology.ByKind(topology.Small, prof.ClusterRoles, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := analytic.Params{AC: 0.995, AV: 0.9995, AH: 0.999, AR: 0.998, A: 0.999, AS: 0.995}
+	cfg := mc.NewConfig(prof, topo, analytic.SupervisorRequired, p)
+	cfg.Horizon = 2e4
+	cfg.ComputeHosts = 2
+	cfg.Seed = seed
+	cfg.KeepResults = false
+	return cfg
+}
+
+// TestFixedCountMatchesMCRun pins the sweep fold to the engine's: with
+// adaptation disabled, a point's intervals must be bit-identical to
+// mc.Run at the same replication count (same session, same seeds, same
+// Welford order). The mode means divide once at the end instead of per
+// replication, so they carry FP slack.
+func TestFixedCountMatchesMCRun(t *testing.T) {
+	cfg := testConfig(t, 1)
+	const reps = 50
+	res, err := Run([]Point{{ID: "fixed", Config: cfg}}, Options{MaxReps: reps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mc.Run(cfg, reps, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res[0]
+	if got.Replications != reps || !got.Converged {
+		t.Fatalf("fixed-count point ran %d reps, converged %v; want %d, true", got.Replications, got.Converged, reps)
+	}
+	if got.Estimate.CP != want.CP || got.Estimate.SharedDP != want.SharedDP || got.Estimate.HostDP != want.HostDP {
+		t.Errorf("sweep intervals diverge from mc.Run:\nsweep: %+v\nmc:    %+v", got.Estimate.CP, want.CP)
+	}
+	for m, h := range want.CPDowntimeByMode {
+		if g := got.Estimate.CPDowntimeByMode[m]; math.Abs(g-h) > 1e-9*(1+math.Abs(h)) {
+			t.Errorf("mode %s: sweep %g, mc.Run %g", m, g, h)
+		}
+	}
+}
+
+// TestWorkerCountIndependence requires the full result slice to be
+// identical whatever the pool size: each point folds sequentially and the
+// results land at the point's own index.
+func TestWorkerCountIndependence(t *testing.T) {
+	var points []Point
+	for seed := int64(1); seed <= 6; seed++ {
+		points = append(points, Point{ID: "p", X: float64(seed), Config: testConfig(t, seed)})
+	}
+	opt := Options{CITarget: 2e-3, MinReps: 16, MaxReps: 80, Batch: 16}
+	opt.Workers = 1
+	base, err := Run(points, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 32} {
+		opt.Workers = workers
+		got, err := Run(points, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: sweep results differ from workers=1", workers)
+		}
+	}
+}
+
+// TestAdaptiveStopping exercises both edges of the sequential-stopping
+// rule: a loose target stops at the floor, an unreachable one runs to the
+// ceiling and reports non-convergence.
+func TestAdaptiveStopping(t *testing.T) {
+	cfg := testConfig(t, 1)
+	loose, err := Run([]Point{{ID: "loose", Config: cfg}},
+		Options{CITarget: 0.5, MinReps: 8, MaxReps: 200, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose[0].Converged || loose[0].Replications != 8 {
+		t.Errorf("loose target: %d reps, converged %v; want floor 8, true",
+			loose[0].Replications, loose[0].Converged)
+	}
+	tight, err := Run([]Point{{ID: "tight", Config: cfg}},
+		Options{CITarget: 1e-12, MinReps: 8, MaxReps: 40, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight[0].Converged || tight[0].Replications != 40 {
+		t.Errorf("unreachable target: %d reps, converged %v; want ceiling 40, false",
+			tight[0].Replications, tight[0].Converged)
+	}
+	// A reachable target must actually deliver the promised precision.
+	met, err := Run([]Point{{ID: "met", Config: cfg}},
+		Options{CITarget: 1e-3, MinReps: 8, MaxReps: 500, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met[0].Converged {
+		t.Fatalf("reachable target did not converge in %d reps", met[0].Replications)
+	}
+	if hw := met[0].Estimate.CP.HalfWide; hw > 1e-3 {
+		t.Errorf("converged point has CP half-width %g > target 1e-3", hw)
+	}
+	if met[0].Replications >= 500 {
+		t.Errorf("reachable target used all %d reps", met[0].Replications)
+	}
+}
+
+// TestKeepResults checks that a point asking for per-replication results
+// gets exactly as many as the stopping rule ran.
+func TestKeepResults(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.KeepResults = true
+	res, err := Run([]Point{{ID: "keep", Config: cfg}},
+		Options{CITarget: 0.5, MinReps: 8, MaxReps: 40, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Estimate.Results) != res[0].Replications {
+		t.Errorf("kept %d results for %d replications", len(res[0].Estimate.Results), res[0].Replications)
+	}
+	cfg.KeepResults = false
+	res, err = Run([]Point{{ID: "drop", Config: cfg}}, Options{MaxReps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Estimate.Results != nil {
+		t.Errorf("KeepResults=false point retained %d results", len(res[0].Estimate.Results))
+	}
+}
+
+// TestValidation rejects broken options and configurations before any
+// replication runs.
+func TestValidation(t *testing.T) {
+	cfg := testConfig(t, 1)
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Error("empty point list accepted")
+	}
+	if _, err := Run([]Point{{Config: cfg}}, Options{MinReps: 100, MaxReps: 10}); err == nil {
+		t.Error("MaxReps < MinReps accepted")
+	}
+	if _, err := Run([]Point{{Config: cfg}}, Options{CITarget: -1}); err == nil {
+		t.Error("negative CI target accepted")
+	}
+	bad := cfg
+	bad.Horizon = -1
+	if _, err := Run([]Point{{ID: "bad", Config: bad}}, Options{}); err == nil {
+		t.Error("invalid point config accepted")
+	}
+}
+
+// BenchmarkSweep measures a small adaptive sweep end to end: three points
+// under one CI target, pooled sessions, shared worker pool. Tracked in
+// BENCH_mc.json and smoke-run in CI.
+func BenchmarkSweep(b *testing.B) {
+	var points []Point
+	for seed := int64(1); seed <= 3; seed++ {
+		points = append(points, Point{ID: "bench", X: float64(seed), Config: testConfig(b, seed)})
+	}
+	opt := Options{CITarget: 1.5e-3, MinReps: 16, MaxReps: 128, Batch: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(points, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(points) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}
