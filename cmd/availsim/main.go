@@ -75,6 +75,11 @@ func run(args []string, out io.Writer) error {
 		minReps  = flag.Int("min-reps", 4, "adaptive: replication floor before the first stopping check")
 		maxReps  = flag.Int("max-reps", 128, "adaptive: replication ceiling")
 
+		raftMin  = flag.Float64("raft-election-min", 0, "RAFT mirror: election timeout lower bound in hours")
+		raftMax  = flag.Float64("raft-election-max", 0, "RAFT mirror: election timeout upper bound in hours (enables the mirror)")
+		grayMTBF = flag.Float64("gray-mtbf", 0, "RAFT mirror: mean time between gray-leader onsets in hours (0 = never)")
+		grayDet  = flag.Float64("gray-detect", 0, "RAFT mirror: gray-leader detection budget in hours")
+
 		soak      = flag.Bool("soak", false, "validate against a live virtual-time soak of the cluster testbed")
 		soakHours = flag.Float64("soak-hours", 1000, "soak: simulated hours for the live run")
 	)
@@ -131,6 +136,10 @@ func run(args []string, out io.Writer) error {
 	cfg.Seed = *seed
 	cfg.ComputeHosts = *compute
 	cfg.HeadlessHold = *headless
+	cfg.RaftElectionMin = *raftMin
+	cfg.RaftElectionMax = *raftMax
+	cfg.GrayLeaderMTBF = *grayMTBF
+	cfg.GrayDetect = *grayDet
 
 	opt := analytic.Option{Kind: kind, Scenario: sc}
 	var est mc.Estimate
@@ -198,6 +207,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "simulated CP downtime: %.1f min/year equivalent\n",
 		relmath.DowntimeMinutesPerYear(est.CP.Mean))
 
+	// With the RAFT mirror enabled, report the leadership dynamics next to
+	// the availability rows: leaderless windows and wrong-read exposure are
+	// downtime the binary rows above cannot attribute.
+	if cfg.RaftElectionMax > 0 {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, report.ElectionTable(est.Elections, grayCyclesOf(est),
+			est.MeanElectionHours, est.CPElectionUnavailability, est.CPWrongReadUnavailability).Text())
+	}
+
 	// Per-failure-mode attribution from the simulator's ledger mirror. The
 	// analytic column covers the process modes only (it treats hardware as
 	// exogenous), so hardware modes compare against an empty share.
@@ -219,6 +237,16 @@ func run(args []string, out io.Writer) error {
 		})
 	fmt.Fprint(out, dpCmp.Text())
 	return nil
+}
+
+// grayCyclesOf totals the gray-leader cycles across the kept replication
+// results.
+func grayCyclesOf(est mc.Estimate) int {
+	total := 0
+	for _, r := range est.Results {
+		total += r.GrayCycles
+	}
+	return total
 }
 
 // contributionShares flattens analytic contributions into mode → share.

@@ -5,32 +5,48 @@
 // Usage:
 //
 //	chaosctl [-topology small|large] [-hosts n]
-//	         [-scenario section3|dbquorum|rack|partition|asymlink|crashloop|flapping|headless|staleread|campaign]
+//	         [-scenario section3|dbquorum|rack|partition|asymlink|crashloop|flapping|headless|staleread|leadercrash|grayleader|staleleader|ackdrop|campaign]
+//	         [-scenario-file spec.json]
 //	         [-step d] [-duration d] [-mbf d] [-repair d] [-seed s]
 //	         [-headless-hold d] [-route-max-age d] [-catchup d]
+//	         [-raft-election-min d] [-raft-election-max d] [-raft-heartbeat d] [-gray-detect d]
 //	         [-snapshot] [-trace file.jsonl] [-metrics file.json]
 //	chaosctl -soak [-soak-hours h] [-soak-mtbf h] [-topology t] [-hosts n] [-seed s]
 //	         [-trace file.jsonl] [-metrics file.json]
 //
 // Scenarios:
 //
-//	section3  — the paper's §III control failure narrative
-//	partition — majority network partition and heal
-//	asymlink  — asymmetric mesh link cuts (degraded, not down) and heal
-//	crashloop — crash-loop config-api until its supervisor gives up (FATAL)
-//	flapping  — flap a control process into FATAL via flap detection
-//	dbquorum  — Cassandra quorum loss and repair
-//	rack      — full rack outage and operator recovery sweep
-//	headless  — total control outages around a headless vRouter hold: the
-//	            first is ridden out on stale routes, the second outlives
-//	            the hold and flushes (defaults -headless-hold to 2*step)
-//	staleread — Cassandra replica revival with a deferred catch-up window
-//	            (defaults -catchup to step)
-//	campaign  — randomized Poisson fault injection over all processes
+//	section3    — the paper's §III control failure narrative
+//	partition   — majority network partition and heal
+//	asymlink    — asymmetric mesh link cuts (degraded, not down) and heal
+//	crashloop   — crash-loop config-api until its supervisor gives up (FATAL)
+//	flapping    — flap a control process into FATAL via flap detection
+//	dbquorum    — Cassandra quorum loss and repair
+//	rack        — full rack outage and operator recovery sweep
+//	headless    — total control outages around a headless vRouter hold: the
+//	              first is ridden out on stale routes, the second outlives
+//	              the hold and flushes (defaults -headless-hold to 2*step)
+//	staleread   — Cassandra replica revival with a deferred catch-up window
+//	              (defaults -catchup to step)
+//	leadercrash — crash the config-store RAFT leader and let it rejoin
+//	grayleader  — gray failure: the leader keeps its lease but serves
+//	              corrupted reads until cleared (or deposed, with
+//	              -gray-detect in timed mode)
+//	staleleader — partition the leader away from the majority (stale lease)
+//	ackdrop     — Byzantine followers acknowledge writes without persisting
+//	              them; killing the honest leader silently loses data the
+//	              binary up/down model never sees
+//	campaign    — randomized Poisson fault injection over all processes
+//
+// -scenario-file runs a declarative JSON scenario instead (see DESIGN.md
+// for the DSL grammar); it overrides -scenario.
 //
 // The -headless-hold, -route-max-age and -catchup flags configure the
 // cluster's graceful-degradation knobs for any scenario; zero keeps the
-// strict flush-immediately / reconcile-instantly behaviour.
+// strict flush-immediately / reconcile-instantly behaviour. The
+// -raft-election-* flags switch the quorum stores from instant leadership
+// to timed RAFT elections with randomized timeouts in [min, max];
+// -gray-detect arms the gray-leader detector (timed mode only).
 //
 // -soak switches to the long-horizon soak mode: the testbed runs under a
 // deterministic virtual clock through -soak-hours simulated hours of
@@ -78,7 +94,8 @@ func run(args []string, out io.Writer) error {
 	var (
 		topoName = flag.String("topology", "small", "deployment topology: small or large")
 		hosts    = flag.Int("hosts", 3, "vRouter compute hosts")
-		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition, asymlink, crashloop, flapping, headless, staleread or campaign")
+		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition, asymlink, crashloop, flapping, headless, staleread, leadercrash, grayleader, staleleader, ackdrop or campaign")
+		specFile = flag.String("scenario-file", "", "run a declarative JSON scenario from this file instead of -scenario")
 		step     = flag.Duration("step", 250*time.Millisecond, "delay between scripted injections")
 		duration = flag.Duration("duration", 2*time.Second, "campaign duration")
 		mbf      = flag.Duration("mbf", 100*time.Millisecond, "campaign mean time between faults")
@@ -87,6 +104,10 @@ func run(args []string, out io.Writer) error {
 		hold     = flag.Duration("headless-hold", 0, "vRouter headless hold (0 = flush immediately)")
 		maxAge   = flag.Duration("route-max-age", 0, "per-route staleness bound while headless (0 = keep all)")
 		catchup  = flag.Duration("catchup", 0, "revived store replica catch-up latency (0 = instant resync)")
+		raftMin  = flag.Duration("raft-election-min", 0, "RAFT election timeout lower bound (0 with max unset = instant leadership)")
+		raftMax  = flag.Duration("raft-election-max", 0, "RAFT election timeout upper bound (enables timed elections)")
+		raftHB   = flag.Duration("raft-heartbeat", 0, "RAFT heartbeat period (0 = election-min/4)")
+		grayDet  = flag.Duration("gray-detect", 0, "gray-leader detection budget (0 = detector off; needs timed mode)")
 		snapshot = flag.Bool("snapshot", false, "print the process snapshot after the run")
 
 		soak      = flag.Bool("soak", false, "run the long-horizon virtual-time soak instead of a scenario")
@@ -97,6 +118,39 @@ func run(args []string, out io.Writer) error {
 		metricsPath = flag.String("metrics", "", "write the telemetry metrics snapshot as JSON to this file")
 	)
 	if err := flag.Parse(args); err != nil {
+		return err
+	}
+	// Reject nonsense before booting anything: every timing knob with a
+	// positive default must stay positive, the degradation and raft knobs
+	// must not go negative, and the testbed needs at least one compute
+	// host to probe.
+	if *hosts < 1 {
+		return fmt.Errorf("-hosts must be >= 1, got %d", *hosts)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{{"-step", *step}, {"-duration", *duration}, {"-mbf", *mbf}, {"-repair", *repair}} {
+		if d.v <= 0 {
+			return fmt.Errorf("%s must be > 0, got %v", d.name, d.v)
+		}
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{{"-headless-hold", *hold}, {"-route-max-age", *maxAge}, {"-catchup", *catchup}} {
+		if d.v < 0 {
+			return fmt.Errorf("%s must be >= 0, got %v", d.name, d.v)
+		}
+	}
+	if *soakHours <= 0 || *soakMTBF <= 0 {
+		return fmt.Errorf("-soak-hours and -soak-mtbf must be > 0")
+	}
+	raft := cluster.RaftConfig{
+		ElectionMin: *raftMin, ElectionMax: *raftMax,
+		Heartbeat: *raftHB, GrayDetect: *grayDet, Seed: *seed,
+	}
+	if err := raft.Validate(); err != nil {
 		return err
 	}
 	// The degradation scenarios are no-ops without their knob; default it
@@ -149,6 +203,7 @@ func run(args []string, out io.Writer) error {
 	c, err := cluster.New(cluster.Config{
 		Profile: prof, Topology: topo, ComputeHosts: *hosts,
 		Degradation: cluster.Degradation{HeadlessHold: *hold, RouteMaxAge: *maxAge, ReplicaCatchUp: *catchup},
+		Raft:        raft,
 		Telemetry:   tel,
 	})
 	if err != nil {
@@ -163,6 +218,22 @@ func run(args []string, out io.Writer) error {
 		topo.Name, *hosts, len(c.Snapshot()))
 
 	var rep chaos.Report
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		spec, err := chaos.ParseScenarioSpec(data)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "running scenario %q from %s (%d steps)\n", spec.Name, *specFile, len(spec.Steps))
+		rep, err = chaos.RunSpec(c, spec, 0, 0)
+		if err != nil {
+			return err
+		}
+		return finishReport(out, c, tel, rep, *snapshot, *tracePath, *metricsPath)
+	}
 	switch *scenario {
 	case "section3":
 		rep, err = chaos.RunScenario(c, chaos.SectionIII(*step), *step, 0, 0)
@@ -183,6 +254,14 @@ func run(args []string, out io.Writer) error {
 		rep, err = chaos.RunScenario(c, chaos.Headless(*step), 2**step, 0, 0)
 	case "staleread":
 		rep, err = chaos.RunScenario(c, chaos.StaleRead(*step), 3**step, 0, 0)
+	case "leadercrash":
+		rep, err = chaos.RunScenario(c, chaos.LeaderCrash(*step), 2**step, 0, 0)
+	case "grayleader":
+		rep, err = chaos.RunScenario(c, chaos.GrayLeader(*step), 2**step, 0, 0)
+	case "staleleader":
+		rep, err = chaos.RunScenario(c, chaos.StaleLeaderLease(*step), 2**step, 0, 0)
+	case "ackdrop":
+		rep, err = chaos.RunScenario(c, chaos.AckDropWrites(*step), 2**step, 0, 0)
 	case "campaign":
 		var hostNames []string
 		for _, r := range topo.Racks {
@@ -205,6 +284,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return finishReport(out, c, tel, rep, *snapshot, *tracePath, *metricsPath)
+}
+
+// finishReport prints the chaos report, health, telemetry tables and the
+// optional process snapshot, and exports the telemetry files.
+func finishReport(out io.Writer, c *cluster.Cluster, tel *telemetry.Telemetry, rep chaos.Report, snapshot bool, tracePath, metricsPath string) error {
 	fmt.Fprint(out, rep.String())
 	fmt.Fprint(out, c.Health().String())
 
@@ -218,12 +303,16 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, report.AttributionTable(tel.Ledger.Attribution("cp", hours)).Text())
 		fmt.Fprintln(out)
 		fmt.Fprint(out, report.AttributionTable(tel.Ledger.MergedPrefix("dp", "dp:", hours)).Text())
-		if err := exportTelemetry(tel, *tracePath, *metricsPath); err != nil {
+		if len(tel.Recovery.Kinds()) > 0 {
+			fmt.Fprintln(out)
+			fmt.Fprint(out, report.RecoveryTable(tel.Recovery).Text())
+		}
+		if err := exportTelemetry(tel, tracePath, metricsPath); err != nil {
 			return err
 		}
 	}
 
-	if *snapshot {
+	if snapshot {
 		fmt.Fprintln(out, "\nfinal process snapshot:")
 		for _, st := range c.Snapshot() {
 			mark := "up"

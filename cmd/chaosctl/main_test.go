@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,127 @@ func TestSoakMode(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero step", []string{"-step", "0s"}},
+		{"negative step", []string{"-step", "-10ms"}},
+		{"zero duration", []string{"-scenario", "campaign", "-duration", "0s"}},
+		{"negative mbf", []string{"-scenario", "campaign", "-mbf", "-1ms"}},
+		{"zero repair", []string{"-scenario", "campaign", "-repair", "0s"}},
+		{"negative hosts", []string{"-hosts", "-2"}},
+		{"negative catchup", []string{"-catchup", "-5ms"}},
+		{"negative headless hold", []string{"-headless-hold", "-5ms"}},
+		{"negative route max age", []string{"-route-max-age", "-5ms"}},
+		{"zero soak hours", []string{"-soak", "-soak-hours", "0"}},
+		{"negative soak mtbf", []string{"-soak", "-soak-mtbf", "-1"}},
+		{"raft min without max", []string{"-raft-election-min", "40ms"}},
+		{"raft max below min", []string{"-raft-election-min", "80ms", "-raft-election-max", "40ms"}},
+		{"gray detect without timed mode", []string{"-gray-detect", "100ms"}},
+		{"negative raft heartbeat", []string{"-raft-election-min", "40ms", "-raft-election-max", "80ms", "-raft-heartbeat", "-1ms"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(c.args, &sb); err == nil {
+				t.Fatalf("run(%v) accepted invalid flags", c.args)
+			}
+		})
+	}
+}
+
+func TestByzantineScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live scenarios skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			"leadercrash",
+			[]string{"-scenario", "leadercrash", "-step", "80ms", "-hosts", "2"},
+			[]string{"kill config-store leader replica", "restart crashed leader replica"},
+		},
+		{
+			"ackdrop",
+			[]string{"-scenario", "ackdrop", "-step", "80ms", "-hosts", "2"},
+			[]string{"arm ack-drop", "integrity="},
+		},
+		{
+			"grayleader timed",
+			[]string{"-scenario", "grayleader", "-step", "120ms", "-hosts", "2",
+				"-raft-election-min", "20ms", "-raft-election-max", "40ms", "-gray-detect", "50ms"},
+			[]string{"inject gray leader", "clear byzantine flags"},
+		},
+		{
+			"staleleader",
+			[]string{"-scenario", "staleleader", "-step", "100ms", "-hosts", "2"},
+			[]string{"isolate config-store leader node", "heal partition"},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(c.args, &sb); err != nil {
+				t.Fatalf("run(%v): %v", c.args, err)
+			}
+			out := sb.String()
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q in:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestScenarioFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live scenarios skipped in -short mode")
+	}
+	spec := `{
+  "name": "quorum-dip",
+  "description": "kill two config replicas, restore one",
+  "settle": "80ms",
+  "steps": [
+    {"op": "kill-process", "role": "Database", "node": 1, "name": "cassandra-db (Config)"},
+    {"after": "80ms", "op": "kill-process", "role": "Database", "node": 2, "name": "cassandra-db (Config)"},
+    {"after": "80ms", "op": "restart-process", "role": "Database", "node": 1, "name": "cassandra-db (Config)"}
+  ]
+}`
+	path := t.TempDir() + "/spec.json"
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-scenario-file", path, "-hosts", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`running scenario "quorum-dip"`, "3 steps", "observed CP availability"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+
+	// A spec that fails validation is rejected with the step's diagnosis.
+	bad := path + ".bad"
+	if err := os.WriteFile(bad, []byte(`{"name":"x","steps":[{"op":"kill-process"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario-file", bad}, &sb); err == nil {
+		t.Fatal("invalid scenario file accepted")
+	}
+	if err := run([]string{"-scenario-file", path + ".missing"}, &sb); err == nil {
+		t.Fatal("missing scenario file accepted")
 	}
 }

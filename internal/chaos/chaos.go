@@ -57,9 +57,13 @@ type Sample struct {
 
 // ClassifyProbeError buckets a control-plane probe failure so reports can
 // distinguish failure modes: "timeout" (probe gave up waiting — the slow
-// path of an overloaded or converging plane), "quorum-loss" (a backing
-// store lost majority), "service-down" (a required process is dead),
-// "cache-loss" (analytics cache unavailable), or "error".
+// path of an overloaded or converging plane), "election" (the store's
+// RAFT quorum is leaderless mid-election), "integrity" (the probe's write
+// read back missing or wrong — Byzantine replicas), "quorum-loss" (a
+// backing store lost majority), "service-down" (a required process is
+// dead), "cache-loss" (analytics cache unavailable), or "error". The
+// election and integrity checks precede the quorum check: their errors
+// wrap ErrNoQuorum or mention the quorum store, and the finer class wins.
 func ClassifyProbeError(err error) string {
 	if err == nil {
 		return ""
@@ -68,6 +72,10 @@ func ClassifyProbeError(err error) string {
 	switch {
 	case strings.Contains(msg, "within"):
 		return "timeout"
+	case strings.Contains(msg, "no leader"), strings.Contains(msg, "election pending"):
+		return "election"
+	case strings.Contains(msg, "integrity"):
+		return "integrity"
 	case strings.Contains(msg, "quorum"):
 		return "quorum-loss"
 	case strings.Contains(msg, "alive"):
@@ -132,7 +140,7 @@ func (r Report) String() string {
 	}
 	if len(r.CPErrorClasses) > 0 {
 		sb.WriteString("  CP failure classes:")
-		for _, class := range []string{"timeout", "quorum-loss", "service-down", "cache-loss", "error"} {
+		for _, class := range []string{"timeout", "election", "integrity", "quorum-loss", "service-down", "cache-loss", "error"} {
 			if n := r.CPErrorClasses[class]; n > 0 {
 				fmt.Fprintf(&sb, " %s=%d", class, n)
 			}

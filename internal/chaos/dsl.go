@@ -1,0 +1,446 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"sdnavail/internal/cluster"
+)
+
+// The declarative scenario DSL: a JSON document describing a timed
+// sequence of chaos operations, schema-validated and compiled into the
+// same []Action the hand-written scenario builders produce. Every fault
+// the harness can inject — process/hardware kills, partitions, link cuts,
+// and the gray-failure/Byzantine family (wrong reads, ack-drop writes,
+// gray leaders, leader kills) — is expressible, so scenarios compose and
+// fuzz without new Go code.
+//
+// Grammar (see DESIGN.md for the full op table):
+//
+//	{
+//	  "name": "leader-crash",
+//	  "settle": "100ms",
+//	  "steps": [
+//	    {"op": "kill-leader", "store": "cassandra-config"},
+//	    {"after": "50ms", "op": "heal-partition"}
+//	  ]
+//	}
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("150ms"). Strict: JSON numbers are rejected so documents stay
+// unit-explicit.
+type Duration time.Duration
+
+// UnmarshalJSON parses a duration string.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"150ms\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON renders the duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// ScenarioSpec is one declarative scenario document.
+type ScenarioSpec struct {
+	// Name identifies the scenario in reports.
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Settle keeps the prober running after the last step (optional; the
+	// runner's default applies when zero).
+	Settle Duration `json:"settle,omitempty"`
+	// Steps is the timed op sequence.
+	Steps []StepSpec `json:"steps"`
+}
+
+// StepSpec is one timed operation. Op selects the operation; the other
+// fields are operands, validated per op.
+type StepSpec struct {
+	// After is the delay since the previous step.
+	After Duration `json:"after,omitempty"`
+	// Op is the operation name (see opSpecs).
+	Op string `json:"op"`
+	// Role, Node, Name address a process (kill-process etc.).
+	Role string `json:"role,omitempty"`
+	Node *int   `json:"node,omitempty"`
+	Name string `json:"name,omitempty"`
+	// Target names a hardware element (kill-host etc.).
+	Target string `json:"target,omitempty"`
+	// Nodes lists controller nodes to isolate.
+	Nodes []int `json:"nodes,omitempty"`
+	// A and B address a mesh link (cut-link, restore-link).
+	A *int `json:"a,omitempty"`
+	B *int `json:"b,omitempty"`
+	// Store names a quorum store for the Byzantine ops; defaults to
+	// "cassandra-config".
+	Store string `json:"store,omitempty"`
+	// Enable arms or disarms a Byzantine flag (wrong-reads, ack-drop).
+	Enable *bool `json:"enable,omitempty"`
+	// Key and Value feed write-marker.
+	Key   string `json:"key,omitempty"`
+	Value string `json:"value,omitempty"`
+}
+
+// ValidationError is a typed schema violation: which step (0-based; -1
+// for document-level problems), which field, and why.
+type ValidationError struct {
+	Step   int
+	Field  string
+	Reason string
+}
+
+// Error renders the violation.
+func (e *ValidationError) Error() string {
+	if e.Step < 0 {
+		return fmt.Sprintf("chaos: scenario %s: %s", e.Field, e.Reason)
+	}
+	return fmt.Sprintf("chaos: scenario step %d: %s: %s", e.Step, e.Field, e.Reason)
+}
+
+// operand requirements per op.
+type opSpec struct {
+	needsProc   bool // role, node, name
+	needsRole   bool // role, node
+	needsTarget bool
+	needsNodes  bool
+	needsLink   bool // a, b
+	needsEnable bool // node, enable (store optional)
+	takesStore  bool
+	needsKV     bool // key, value
+}
+
+var opSpecs = map[string]opSpec{
+	"kill-process":      {needsProc: true},
+	"restart-process":   {needsProc: true},
+	"restart-node-role": {needsRole: true},
+	"kill-host":         {needsTarget: true},
+	"restore-host":      {needsTarget: true},
+	"kill-vm":           {needsTarget: true},
+	"restore-vm":        {needsTarget: true},
+	"kill-rack":         {needsTarget: true},
+	"restore-rack":      {needsTarget: true},
+	"isolate":           {needsNodes: true},
+	"heal-partition":    {},
+	"cut-link":          {needsLink: true},
+	"restore-link":      {needsLink: true},
+	"heal-links":        {},
+	"wrong-reads":       {needsEnable: true, takesStore: true},
+	"ack-drop":          {needsEnable: true, takesStore: true},
+	"gray-leader":       {takesStore: true},
+	"clear-byzantine":   {takesStore: true},
+	"kill-leader":       {takesStore: true},
+	"restart-replica":   {needsEnable: false, takesStore: true}, // node required, see Validate
+	"isolate-leader":    {takesStore: true},
+	"write-marker":      {needsKV: true},
+}
+
+// storeProcess maps a store name to its backing Database process.
+func storeProcess(store string) (string, bool) {
+	switch store {
+	case "", "config", "cassandra-config":
+		return "cassandra-db (Config)", true
+	case "analytics", "cassandra-analytics":
+		return "cassandra-db (Analytics)", true
+	}
+	return "", false
+}
+
+// canonicalStore normalizes a store name for the cluster API.
+func canonicalStore(store string) string {
+	switch store {
+	case "", "config", "cassandra-config":
+		return "cassandra-config"
+	default:
+		return "cassandra-analytics"
+	}
+}
+
+// ParseScenarioSpec decodes and validates a DSL document. Unknown fields
+// and unknown ops are rejected; schema violations come back as
+// *ValidationError.
+func ParseScenarioSpec(data []byte) (*ScenarioSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec ScenarioSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("chaos: scenario JSON: %w", err)
+	}
+	// A second document in the stream means trailing garbage.
+	if dec.More() {
+		return nil, &ValidationError{Step: -1, Field: "document", Reason: "trailing data after scenario object"}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// Validate checks the document against the op schemas.
+func (s *ScenarioSpec) Validate() error {
+	if s.Name == "" {
+		return &ValidationError{Step: -1, Field: "name", Reason: "required"}
+	}
+	if s.Settle < 0 {
+		return &ValidationError{Step: -1, Field: "settle", Reason: "must be >= 0"}
+	}
+	if len(s.Steps) == 0 {
+		return &ValidationError{Step: -1, Field: "steps", Reason: "at least one step required"}
+	}
+	for i := range s.Steps {
+		if err := s.Steps[i].validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *StepSpec) validate(i int) error {
+	spec, ok := opSpecs[st.Op]
+	if !ok {
+		if st.Op == "" {
+			return &ValidationError{Step: i, Field: "op", Reason: "required"}
+		}
+		return &ValidationError{Step: i, Field: "op", Reason: fmt.Sprintf("unknown op %q", st.Op)}
+	}
+	if st.After < 0 {
+		return &ValidationError{Step: i, Field: "after", Reason: "must be >= 0"}
+	}
+	if spec.needsProc || spec.needsRole {
+		if st.Role == "" {
+			return &ValidationError{Step: i, Field: "role", Reason: "required for " + st.Op}
+		}
+		if st.Node == nil {
+			return &ValidationError{Step: i, Field: "node", Reason: "required for " + st.Op}
+		}
+		if *st.Node < 0 {
+			return &ValidationError{Step: i, Field: "node", Reason: "must be >= 0"}
+		}
+	}
+	if spec.needsProc && st.Name == "" {
+		return &ValidationError{Step: i, Field: "name", Reason: "required for " + st.Op}
+	}
+	if spec.needsTarget && st.Target == "" {
+		return &ValidationError{Step: i, Field: "target", Reason: "required for " + st.Op}
+	}
+	if spec.needsNodes {
+		if len(st.Nodes) == 0 {
+			return &ValidationError{Step: i, Field: "nodes", Reason: "required for " + st.Op}
+		}
+		for _, n := range st.Nodes {
+			if n < 0 {
+				return &ValidationError{Step: i, Field: "nodes", Reason: "nodes must be >= 0"}
+			}
+		}
+	}
+	if spec.needsLink {
+		if st.A == nil || st.B == nil {
+			return &ValidationError{Step: i, Field: "a/b", Reason: "both link endpoints required for " + st.Op}
+		}
+		if *st.A < 0 || *st.B < 0 {
+			return &ValidationError{Step: i, Field: "a/b", Reason: "endpoints must be >= 0"}
+		}
+		if *st.A == *st.B {
+			return &ValidationError{Step: i, Field: "a/b", Reason: "endpoints must differ"}
+		}
+	}
+	if spec.needsEnable {
+		if st.Node == nil {
+			return &ValidationError{Step: i, Field: "node", Reason: "required for " + st.Op}
+		}
+		if *st.Node < 0 {
+			return &ValidationError{Step: i, Field: "node", Reason: "must be >= 0"}
+		}
+		if st.Enable == nil {
+			return &ValidationError{Step: i, Field: "enable", Reason: "required for " + st.Op}
+		}
+	}
+	if st.Op == "restart-replica" {
+		if st.Node == nil {
+			return &ValidationError{Step: i, Field: "node", Reason: "required for " + st.Op}
+		}
+		if *st.Node < 0 {
+			return &ValidationError{Step: i, Field: "node", Reason: "must be >= 0"}
+		}
+	}
+	if spec.takesStore || st.Store != "" {
+		if _, ok := storeProcess(st.Store); !ok {
+			return &ValidationError{Step: i, Field: "store", Reason: fmt.Sprintf("unknown store %q", st.Store)}
+		}
+		if !spec.takesStore {
+			return &ValidationError{Step: i, Field: "store", Reason: "not accepted by " + st.Op}
+		}
+	}
+	if spec.needsKV {
+		if st.Key == "" {
+			return &ValidationError{Step: i, Field: "key", Reason: "required for " + st.Op}
+		}
+		if st.Value == "" {
+			return &ValidationError{Step: i, Field: "value", Reason: "required for " + st.Op}
+		}
+	}
+	return nil
+}
+
+// Compile validates the document and lowers every step to an Action.
+func (s *ScenarioSpec) Compile() ([]Action, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	actions := make([]Action, 0, len(s.Steps))
+	for i := range s.Steps {
+		actions = append(actions, s.Steps[i].compile())
+	}
+	return actions, nil
+}
+
+// compile lowers one validated step.
+func (st *StepSpec) compile() Action {
+	after := time.Duration(st.After)
+	name := st.describe()
+	switch st.Op {
+	case "kill-process":
+		role, node, pn := st.Role, *st.Node, st.Name
+		return Step(after, name, func(c *cluster.Cluster) error { return c.KillProcess(role, node, pn) })
+	case "restart-process":
+		role, node, pn := st.Role, *st.Node, st.Name
+		return Step(after, name, func(c *cluster.Cluster) error { return c.RestartProcess(role, node, pn) })
+	case "restart-node-role":
+		role, node := st.Role, *st.Node
+		return Step(after, name, func(c *cluster.Cluster) error { return c.RestartNodeRole(role, node) })
+	case "kill-host":
+		t := st.Target
+		return Step(after, name, func(c *cluster.Cluster) error { return c.KillHost(t) })
+	case "restore-host":
+		t := st.Target
+		return Step(after, name, func(c *cluster.Cluster) error { return c.RestoreHost(t) })
+	case "kill-vm":
+		t := st.Target
+		return Step(after, name, func(c *cluster.Cluster) error { return c.KillVM(t) })
+	case "restore-vm":
+		t := st.Target
+		return Step(after, name, func(c *cluster.Cluster) error { return c.RestoreVM(t) })
+	case "kill-rack":
+		t := st.Target
+		return Step(after, name, func(c *cluster.Cluster) error { return c.KillRack(t) })
+	case "restore-rack":
+		t := st.Target
+		return Step(after, name, func(c *cluster.Cluster) error { return c.RestoreRack(t) })
+	case "isolate":
+		nodes := append([]int(nil), st.Nodes...)
+		return Step(after, name, func(c *cluster.Cluster) error { return c.IsolateNodes(nodes...) })
+	case "heal-partition":
+		return Step(after, name, func(c *cluster.Cluster) error { c.HealPartition(); return nil })
+	case "cut-link":
+		a, b := *st.A, *st.B
+		return Step(after, name, func(c *cluster.Cluster) error { return c.CutLink(a, b) })
+	case "restore-link":
+		a, b := *st.A, *st.B
+		return Step(after, name, func(c *cluster.Cluster) error { return c.RestoreLink(a, b) })
+	case "heal-links":
+		return Step(after, name, func(c *cluster.Cluster) error { c.HealLinks(); return nil })
+	case "wrong-reads":
+		store, node, on := canonicalStore(st.Store), *st.Node, *st.Enable
+		return Step(after, name, func(c *cluster.Cluster) error { return c.SetWrongReads(store, node, on) })
+	case "ack-drop":
+		store, node, on := canonicalStore(st.Store), *st.Node, *st.Enable
+		return Step(after, name, func(c *cluster.Cluster) error { return c.SetAckDrop(store, node, on) })
+	case "gray-leader":
+		store := canonicalStore(st.Store)
+		return Step(after, name, func(c *cluster.Cluster) error {
+			_, err := c.InjectGrayLeader(store)
+			return err
+		})
+	case "clear-byzantine":
+		store := canonicalStore(st.Store)
+		return Step(after, name, func(c *cluster.Cluster) error { return c.ClearByzantine(store) })
+	case "kill-leader":
+		store := canonicalStore(st.Store)
+		proc, _ := storeProcess(st.Store)
+		return Step(after, name, func(c *cluster.Cluster) error {
+			node, _, err := c.StoreLeader(store)
+			if err != nil {
+				return err
+			}
+			if node < 0 {
+				return fmt.Errorf("chaos: %s has no leader to kill", store)
+			}
+			return c.KillProcess("Database", node, proc)
+		})
+	case "restart-replica":
+		node := *st.Node
+		proc, _ := storeProcess(st.Store)
+		return Step(after, name, func(c *cluster.Cluster) error {
+			return c.RestartProcess("Database", node, proc)
+		})
+	case "isolate-leader":
+		store := canonicalStore(st.Store)
+		return Step(after, name, func(c *cluster.Cluster) error {
+			node, _, err := c.StoreLeader(store)
+			if err != nil {
+				return err
+			}
+			if node < 0 {
+				return fmt.Errorf("chaos: %s has no leader to isolate", store)
+			}
+			return c.IsolateNodes(node)
+		})
+	case "write-marker":
+		key, value := st.Key, st.Value
+		return Step(after, name, func(c *cluster.Cluster) error {
+			_, err := c.CreateNetwork(key, value)
+			return err
+		})
+	}
+	// Unreachable after Validate; compile is only called on validated steps.
+	return Step(after, name, func(*cluster.Cluster) error {
+		return fmt.Errorf("chaos: unknown op %q", st.Op)
+	})
+}
+
+// describe renders the step for the injection log.
+func (st *StepSpec) describe() string {
+	switch {
+	case st.Op == "kill-process" || st.Op == "restart-process":
+		return fmt.Sprintf("%s %s/%d/%s", st.Op, st.Role, *st.Node, st.Name)
+	case st.Op == "restart-node-role":
+		return fmt.Sprintf("%s %s/%d", st.Op, st.Role, *st.Node)
+	case st.Target != "":
+		return st.Op + " " + st.Target
+	case st.Op == "isolate":
+		return fmt.Sprintf("%s %v", st.Op, st.Nodes)
+	case st.Op == "cut-link" || st.Op == "restore-link":
+		return fmt.Sprintf("%s %d-%d", st.Op, *st.A, *st.B)
+	case st.Op == "wrong-reads" || st.Op == "ack-drop":
+		return fmt.Sprintf("%s %s/%d enable=%v", st.Op, canonicalStore(st.Store), *st.Node, *st.Enable)
+	case st.Op == "restart-replica":
+		return fmt.Sprintf("%s %s/%d", st.Op, canonicalStore(st.Store), *st.Node)
+	case st.Op == "gray-leader" || st.Op == "clear-byzantine" || st.Op == "kill-leader" || st.Op == "isolate-leader":
+		return st.Op + " " + canonicalStore(st.Store)
+	case st.Op == "write-marker":
+		return fmt.Sprintf("%s %s=%s", st.Op, st.Key, st.Value)
+	}
+	return st.Op
+}
+
+// RunSpec compiles and executes a DSL scenario: settle comes from the
+// document (falling back to the runner default), probe tuning from the
+// caller.
+func RunSpec(c *cluster.Cluster, spec *ScenarioSpec, probeEvery, probeTimeout time.Duration) (Report, error) {
+	actions, err := spec.Compile()
+	if err != nil {
+		return Report{}, err
+	}
+	return RunScenario(c, actions, time.Duration(spec.Settle), probeEvery, probeTimeout)
+}

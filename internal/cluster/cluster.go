@@ -33,6 +33,11 @@ type Config struct {
 	// strict historical behaviour: flush on disconnect, instant replica
 	// reconciliation.
 	Degradation Degradation
+	// Raft holds the quorum stores' election tuning. The zero value is
+	// instant mode: leadership hands over synchronously and writes never
+	// wait on an election. Setting ElectionMax enables timed randomized
+	// elections driven by the injected clock.
+	Raft RaftConfig
 	// Clock drives every timed operation in the testbed — supervisor
 	// scans, restart delays, agent rediscovery, catch-up deadlines, wait
 	// helpers. Nil defaults to the wall clock (vclock.Real); inject a
@@ -148,6 +153,9 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Degradation.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Raft.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = vclock.Real{}
 	}
@@ -174,6 +182,8 @@ func New(cfg Config) (*Cluster, error) {
 		stopAll:        make(chan struct{}),
 	}
 	c.bus.SetClock(c.clk)
+	c.configStore.InitRaft(c.clk, cfg.Raft.tuning(0))
+	c.analyticsStore.InitRaft(c.clk, cfg.Raft.tuning(1))
 	if cfg.Degradation.ReplicaCatchUp > 0 {
 		c.configStore.SetDeferredCatchUp(true)
 		c.analyticsStore.SetDeferredCatchUp(true)
@@ -325,6 +335,22 @@ func (c *Cluster) Start() error {
 			}
 		}()
 	}
+	// Timed elections need a heartbeat/timeout driver: the raft ticker
+	// heartbeats follower deadlines while a leader serves and runs
+	// election rounds while none does.
+	if c.cfg.Raft.timed() {
+		c.loops.Add(1)
+		c.clk.Register()
+		go func() {
+			defer c.loops.Done()
+			defer c.clk.Unregister()
+			ticker := c.clk.NewTicker(c.cfg.Raft.heartbeat())
+			defer ticker.Stop()
+			for ticker.Wait(c.stopAll) {
+				c.raftTick()
+			}
+		}()
+	}
 	// Initial route convergence: the first agents to connect could not
 	// yet see the prefixes of agents that connected after them, so run
 	// one more synchronous maintenance pass over all agents.
@@ -470,6 +496,7 @@ func (c *Cluster) recomputeLocked() {
 	}
 	c.dirtyAll = false
 	clear(c.dirty)
+	c.drainRaftEventsLocked()
 	c.notifyLocked()
 }
 
@@ -610,20 +637,33 @@ func (c *Cluster) setStoreAliveLocked(s *QuorumStore, node int, usable bool) {
 }
 
 // runCatchUps completes replica catch-ups whose latency has elapsed. It is
-// called from the degradation maintenance loop.
+// called from the degradation maintenance loop. A replica whose node sits
+// behind an active partition cannot reach the fresh majority to reconcile,
+// so its promotion is held and the window restarted from the present — it
+// rejoins read quorums only after the partition heals AND a full catch-up
+// window elapses.
 func (c *Cluster) runCatchUps() {
 	now := c.clk.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	caught := false
 	for k, due := range c.catchUpAt {
-		if !now.Before(due) {
-			k.store.CatchUp(k.node)
-			delete(c.catchUpAt, k)
-			caught = true
+		if now.Before(due) {
+			continue
 		}
+		if !c.reachableLocked(k.node) {
+			c.catchUpAt[k] = now.Add(c.cfg.Degradation.ReplicaCatchUp)
+			continue
+		}
+		k.store.CatchUp(k.node)
+		delete(c.catchUpAt, k)
+		if ts := c.telState; ts != nil {
+			ts.t.Recovery.Observe("catchup/"+k.store.name, now.Sub(due.Add(-c.cfg.Degradation.ReplicaCatchUp)))
+		}
+		caught = true
 	}
 	if caught {
+		c.drainRaftEventsLocked()
 		c.notifyLocked()
 	}
 }

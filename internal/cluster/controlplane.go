@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -402,6 +403,18 @@ func (c *Cluster) ProbeCP(timeout time.Duration) error {
 	}
 	if !c.WaitUntil(timeout, func() bool { return c.ConfigVersionReached(id) }) {
 		return fmt.Errorf("cluster: no control node applied config %d within %v", id, timeout)
+	}
+	// Read-back integrity: the network just written must read back with
+	// the value written. A quorum that answers — but answers wrongly
+	// (Byzantine replicas) or has silently lost the write (ack-drop) — is
+	// downtime a binary up/down check would never see.
+	switch got, err := c.GetNetwork(probe); {
+	case err != nil && errors.Is(err, ErrNoQuorum):
+		return err
+	case err != nil:
+		return fmt.Errorf("cluster: probe read-back integrity: %w", err)
+	case got != "10.255.0.0/24":
+		return fmt.Errorf("cluster: probe read-back integrity: network %q = %q, want %q", probe, got, "10.255.0.0/24")
 	}
 	if err := c.SendUVE(probe, "ok"); err != nil {
 		return err

@@ -7,8 +7,8 @@ import (
 )
 
 // This file implements the clustered storage substrates of the Database
-// role: a replicated quorum key/value store (the Cassandra stand-in), a
-// quorum sequencer for unique system-generated IDs (the Zookeeper
+// role: a RAFT-style replicated key/value store (the Cassandra stand-in),
+// a quorum sequencer for unique system-generated IDs (the Zookeeper
 // stand-in), and a replicated append-only event log (the Kafka stand-in).
 // Each is clustered 2N+1 and requires a majority of live replicas, exactly
 // matching the paper's "2 of 3" Database quorum processes.
@@ -16,54 +16,98 @@ import (
 // ErrNoQuorum is returned when fewer than a majority of replicas are alive.
 var ErrNoQuorum = fmt.Errorf("cluster: quorum lost")
 
-// versioned is a KV entry with a write version for last-writer-wins repair.
+// ErrNoLeader is returned by the write path in timed-election mode while
+// no leader holds the current term (an election is pending). It wraps
+// ErrNoQuorum so existing errors.Is(err, ErrNoQuorum) checks keep
+// treating election windows as unavailability.
+var ErrNoLeader = fmt.Errorf("%w: no leader", ErrNoQuorum)
+
+// versioned is a KV entry with a write version for last-writer-wins
+// reconciliation. Versions are 1-based indexes into the replicated log.
 type versioned struct {
 	value   string
 	version uint64
 }
 
-// QuorumStore is a replicated key/value store. Writes and reads require a
-// majority of replicas to be alive; read repair reconciles divergent
-// replicas by highest version.
+// logEntry is one committed operation in the replicated log.
+type logEntry struct {
+	term uint64
+	del  bool
+	key  string
+	value string
+}
+
+// QuorumStore is a replicated key/value store built as a RAFT-style
+// replicated state machine. A single authoritative log records every
+// committed write; each replica holds a materialized KV view plus an
+// applied index recording how much of the log it has acknowledged.
+// Writes require a majority of replicas to be alive (the commit
+// condition) and, in timed-election mode, a current leader; reads merge a
+// majority of fresh replicas by version.
 //
 // A replica that returns from the dead holds stale data. By default the
-// store reconciles it synchronously on revival (instant anti-entropy, the
-// pre-existing behaviour as observed by callers). With deferred catch-up
-// enabled the revived replica instead enters a catching-up state: it keeps
-// accepting writes but is excluded from read quorums until an explicit
-// CatchUp pass — driven by the cluster maintenance loop after the
-// configured catch-up latency — reconciles it. Writes record hinted
-// handoffs for down replicas so the reconciliation is incremental.
+// store reconciles it synchronously on revival by replaying the log
+// entries it missed. With deferred catch-up enabled the revived replica
+// instead enters a catching-up state: it keeps accepting new writes but
+// is excluded from read quorums until an explicit CatchUp pass — driven
+// by the cluster maintenance loop after the configured catch-up latency —
+// replays the gap.
+//
+// Leadership runs in one of two modes. Instant mode (the default, and the
+// pre-existing behaviour as observed by callers) re-elects synchronously
+// inside SetAlive: the lowest-indexed electable replica leads whenever a
+// majority is alive, and writes never wait on an election. Timed mode
+// (RaftTuning.ElectionMax > 0) runs real randomized election timeouts:
+// followers hold per-replica deadlines refreshed by leader heartbeats on
+// every Tick, leader loss leaves the store leaderless until a timeout
+// expires and a candidate collects a majority of votes, and the write
+// path fails with ErrNoLeader in between.
+//
+// Byzantine fault injection is built in: a replica flagged with wrong
+// reads answers reads with a corrupted value carrying a winning version;
+// a replica flagged with ack-drop acknowledges writes (advancing its
+// applied index, so it stays "fresh") without applying them. A gray
+// leader — a leader serving wrong reads — is deposed by the detector
+// after RaftTuning.GrayDetect and marked suspect until cleared.
 type QuorumStore struct {
 	name string
 
 	mu       sync.Mutex
 	replicas []map[string]versioned
 	alive    []bool
-	catching []bool            // revived but not yet reconciled; excluded from reads
-	hints    []map[string]bool // keys written or deleted while replica i was down
-	deferred bool              // revival waits for an explicit CatchUp
-	version  uint64
+	catching []bool // revived but not yet reconciled; excluded from reads
+	deferred bool   // revival waits for an explicit CatchUp
+
+	log     []logEntry
+	commit  int   // committed log length; every accepted write commits
+	applied []int // log prefix replica i has acknowledged
+
+	raft raftState
 }
 
-// NewQuorumStore creates a store with n replicas, all alive.
+// NewQuorumStore creates a store with n replicas, all alive, with replica
+// 0 leading term 1 in instant-election mode.
 func NewQuorumStore(name string, n int) *QuorumStore {
 	s := &QuorumStore{name: name}
 	for i := 0; i < n; i++ {
 		s.replicas = append(s.replicas, map[string]versioned{})
 		s.alive = append(s.alive, true)
 		s.catching = append(s.catching, false)
-		s.hints = append(s.hints, map[string]bool{})
+		s.applied = append(s.applied, 0)
 	}
+	s.raft.init(n)
 	return s
 }
+
+// Name returns the store name.
+func (s *QuorumStore) Name() string { return s.name }
 
 // Replicas returns the replica count.
 func (s *QuorumStore) Replicas() int { return len(s.replicas) }
 
 // SetDeferredCatchUp selects the revival policy: when on, a replica that
 // comes back is excluded from read quorums until CatchUp runs; when off
-// (the default), revival reconciles synchronously.
+// (the default), revival replays the missed log synchronously.
 func (s *QuorumStore) SetDeferredCatchUp(on bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -71,15 +115,22 @@ func (s *QuorumStore) SetDeferredCatchUp(on bool) {
 }
 
 // SetAlive marks replica i up or down. A replica that returns keeps its
-// (possibly stale) data; it is reconciled immediately, or — with deferred
-// catch-up — parked in the catching-up state until CatchUp.
+// (possibly stale) data; it is reconciled immediately by log replay, or —
+// with deferred catch-up — parked in the catching-up state until CatchUp.
+// Killing the leader triggers re-election: synchronous in instant mode,
+// timeout-driven in timed mode.
 func (s *QuorumStore) SetAlive(i int, alive bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.raft.now()
 	revived := alive && !s.alive[i]
+	died := !alive && s.alive[i]
 	s.alive[i] = alive
 	if !alive {
 		s.catching[i] = false
+		if died {
+			s.raftMembershipChangedLocked(now)
+		}
 		return
 	}
 	if !revived {
@@ -88,19 +139,25 @@ func (s *QuorumStore) SetAlive(i int, alive bool) {
 	if s.deferred {
 		s.catching[i] = true
 	} else {
-		s.resyncLocked(i)
+		s.replayLocked(i)
 	}
+	if s.raft.timed() {
+		s.raft.deadline[i] = now.Add(s.raft.randTimeout())
+	}
+	s.raftMembershipChangedLocked(now)
 }
 
-// CatchUp runs the anti-entropy pass for replica i, promoting it back into
-// read quorums. It is a no-op for replicas that are down or already fresh.
+// CatchUp replays the log entries replica i missed, promoting it back
+// into read quorums. It is a no-op for replicas that are down or already
+// fresh.
 func (s *QuorumStore) CatchUp(i int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if i < 0 || i >= len(s.replicas) || !s.alive[i] {
 		return
 	}
-	s.resyncLocked(i)
+	s.replayLocked(i)
+	s.raftMembershipChangedLocked(s.raft.now())
 }
 
 // CatchingUp reports whether replica i is alive but still reconciling.
@@ -123,42 +180,26 @@ func (s *QuorumStore) CatchingCount() int {
 	return n
 }
 
-// resyncLocked reconciles replica i against the fresh replicas and clears
-// its catch-up state. Hinted handoff makes the pass incremental: only keys
-// touched while the replica was down are examined. A hinted key absent
-// from every fresh replica was deleted during the outage and is purged.
-// With no fresh peer available the replica's own data is already the best
-// copy, so it is promoted as-is; versioned read repair mops up any
-// residual divergence. Callers hold mu.
-func (s *QuorumStore) resyncLocked(i int) {
-	hasFresh := false
-	for j := range s.replicas {
-		if j != i && s.alive[j] && !s.catching[j] {
-			hasFresh = true
-			break
+// replayLocked replays log[applied[i]:commit] onto replica i and clears
+// its catch-up state. Replay is idempotent and ordered, so it composes
+// with the direct writes a catching replica keeps receiving: a put
+// applies only when the replica's copy is older than the entry, a delete
+// only when the copy is not newer. An ack-drop replica has already
+// "acknowledged" the whole log, so replay rehydrates nothing — the lie
+// persists, which is the point of the fault. Callers hold mu.
+func (s *QuorumStore) replayLocked(i int) {
+	for idx := s.applied[i]; idx < s.commit; idx++ {
+		e := s.log[idx]
+		ver := uint64(idx + 1)
+		if e.del {
+			if v, ok := s.replicas[i][e.key]; ok && v.version <= ver {
+				delete(s.replicas[i], e.key)
+			}
+		} else if v, ok := s.replicas[i][e.key]; !ok || v.version < ver {
+			s.replicas[i][e.key] = versioned{value: e.value, version: ver}
 		}
 	}
-	if hasFresh {
-		for key := range s.hints[i] {
-			best, found := versioned{}, false
-			for j := range s.replicas {
-				if j == i || !s.alive[j] || s.catching[j] {
-					continue
-				}
-				if v, ok := s.replicas[j][key]; ok && (!found || v.version > best.version) {
-					best, found = v, true
-				}
-			}
-			if !found {
-				delete(s.replicas[i], key)
-				continue
-			}
-			if v, ok := s.replicas[i][key]; !ok || v.version < best.version {
-				s.replicas[i][key] = best
-			}
-		}
-	}
-	s.hints[i] = map[string]bool{}
+	s.applied[i] = s.commit
 	s.catching[i] = false
 }
 
@@ -209,30 +250,70 @@ func (s *QuorumStore) HasQuorum() bool {
 	return s.aliveCountLocked() >= len(s.replicas)/2+1
 }
 
-// Put writes key=value to all live replicas — including ones still
-// catching up, which keeps the reconciliation window from growing — and
-// records a hint for every down replica. It fails without a majority.
-func (s *QuorumStore) Put(key, value string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// writeQuorumErrLocked reports why a write cannot commit: no alive
+// majority, or — in timed mode — no elected leader. Callers hold mu.
+func (s *QuorumStore) writeQuorumErrLocked() error {
 	if s.aliveCountLocked() < len(s.replicas)/2+1 {
 		return fmt.Errorf("%w: %s has %d/%d replicas", ErrNoQuorum, s.name, s.aliveCountLocked(), len(s.replicas))
 	}
-	s.version++
-	v := versioned{value: value, version: s.version}
-	for i, alive := range s.alive {
-		if alive {
-			s.replicas[i][key] = v
-		} else {
-			s.hints[i][key] = true
-		}
+	if s.raft.timed() && s.raft.leader < 0 {
+		return fmt.Errorf("%w: %s election pending at term %d", ErrNoLeader, s.name, s.raft.term)
 	}
 	return nil
 }
 
-// Get reads the freshest value among a majority of fresh replicas and
-// repairs stale fresh replicas. Replicas still catching up are excluded:
-// they may serve arbitrarily old versions. The boolean reports presence.
+// appendLocked commits one log entry and fans it out to the live
+// replicas. Fresh and catching replicas apply it directly (catching
+// replicas do not advance their applied index — CatchUp's ordered replay
+// owns that); ack-drop replicas acknowledge without applying; down
+// replicas receive nothing and recover by replay. Callers hold mu.
+func (s *QuorumStore) appendLocked(e logEntry) {
+	e.term = s.raft.term
+	s.log = append(s.log, e)
+	s.commit = len(s.log)
+	ver := uint64(s.commit)
+	for i, alive := range s.alive {
+		if !alive {
+			continue
+		}
+		if s.raft.ackDrop[i] {
+			// Byzantine acknowledge-but-drop: the replica claims the
+			// whole log without holding the data.
+			s.applied[i] = s.commit
+			continue
+		}
+		if e.del {
+			delete(s.replicas[i], e.key)
+		} else {
+			s.replicas[i][e.key] = versioned{value: e.value, version: ver}
+		}
+		if !s.catching[i] {
+			s.applied[i] = s.commit
+		}
+	}
+}
+
+// Put commits key=value through the replicated log. It fails without an
+// alive majority, and in timed-election mode additionally fails with
+// ErrNoLeader while no leader holds the term.
+func (s *QuorumStore) Put(key, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeQuorumErrLocked(); err != nil {
+		return err
+	}
+	s.appendLocked(logEntry{key: key, value: value})
+	return nil
+}
+
+// Get reads the freshest value among a majority of fresh replicas.
+// Replicas still catching up are excluded: they may serve arbitrarily old
+// versions. A replica flagged with wrong reads contributes a corrupted
+// value carrying a version high enough to win the merge — the Byzantine
+// failure the binary up/down model cannot see. A replica the gray
+// detector has deposed (suspect) is quarantined from read quorums until
+// its flags clear, so detection restores honest reads. The boolean
+// reports presence.
 func (s *QuorumStore) Get(key string) (string, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -242,42 +323,34 @@ func (s *QuorumStore) Get(key string) (string, bool, error) {
 	best := versioned{}
 	found := false
 	for i, alive := range s.alive {
-		if !alive || s.catching[i] {
+		if !alive || s.catching[i] || s.raft.suspect[i] {
 			continue
 		}
-		if v, ok := s.replicas[i][key]; ok && (!found || v.version > best.version) {
-			best = v
-			found = true
+		if v, ok := s.replicas[i][key]; ok {
+			if s.raft.wrongReads[i] {
+				v = versioned{value: v.value + "\x00corrupt", version: v.version + uint64(s.commit) + 1}
+			}
+			if !found || v.version > best.version {
+				best = v
+				found = true
+			}
 		}
 	}
 	if !found {
 		return "", false, nil
 	}
-	for i, alive := range s.alive { // read repair
-		if alive && !s.catching[i] {
-			if v, ok := s.replicas[i][key]; !ok || v.version < best.version {
-				s.replicas[i][key] = best
-			}
-		}
-	}
 	return best.value, true, nil
 }
 
-// Delete removes a key from all live replicas and hints down ones; it
-// fails without a majority.
+// Delete removes a key through the replicated log; it fails without an
+// alive majority (and without a leader in timed mode).
 func (s *QuorumStore) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.aliveCountLocked() < len(s.replicas)/2+1 {
-		return fmt.Errorf("%w: %s has %d/%d replicas", ErrNoQuorum, s.name, s.aliveCountLocked(), len(s.replicas))
+	if err := s.writeQuorumErrLocked(); err != nil {
+		return err
 	}
-	for i, alive := range s.alive {
-		if alive {
-			delete(s.replicas[i], key)
-		} else {
-			s.hints[i][key] = true
-		}
-	}
+	s.appendLocked(logEntry{del: true, key: key})
 	return nil
 }
 
@@ -291,7 +364,7 @@ func (s *QuorumStore) Keys() ([]string, error) {
 	}
 	set := map[string]bool{}
 	for i, alive := range s.alive {
-		if alive && !s.catching[i] {
+		if alive && !s.catching[i] && !s.raft.suspect[i] {
 			for k := range s.replicas[i] {
 				set[k] = true
 			}
@@ -303,6 +376,23 @@ func (s *QuorumStore) Keys() ([]string, error) {
 	}
 	sort.Strings(keys)
 	return keys, nil
+}
+
+// CommitIndex returns the committed log length.
+func (s *QuorumStore) CommitIndex() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commit
+}
+
+// AppliedIndex returns the log prefix replica i has acknowledged.
+func (s *QuorumStore) AppliedIndex(i int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.applied) {
+		return 0
+	}
+	return s.applied[i]
 }
 
 // Sequencer allocates unique, monotonically increasing IDs with a majority

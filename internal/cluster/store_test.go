@@ -488,3 +488,85 @@ func TestClusterReplicaCatchUpWindow(t *testing.T) {
 		t.Errorf("caught-up replica holds %+v, want the outage-era write", v)
 	}
 }
+
+// TestRevivedReplicaHeldDuringPartition is the regression test for the
+// partition/catch-up interaction: a replica revived while its node sits
+// behind an active partition cannot reach the fresh majority to resync,
+// so it must stay out of read quorums until the partition heals AND a
+// full catch-up window elapses afterwards.
+func TestRevivedReplicaHeldDuringPartition(t *testing.T) {
+	prof := profile.OpenContrail3x()
+	topo, err := topology.ByKind(topology.Small, prof.ClusterRoles, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 100 * time.Millisecond
+	c, err := New(Config{
+		Profile: prof, Topology: topo, ComputeHosts: 3,
+		Degradation: Degradation{ReplicaCatchUp: window},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	if err := c.KillProcess("Database", 2, "cassandra-db (Config)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateNetwork("partition-net", "10.43.0.0/16"); err != nil {
+		t.Fatalf("create during replica outage: %v", err)
+	}
+	// Cut node 2 off, then revive its replica behind the partition.
+	if err := c.IsolateNodes(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartProcess("Database", 2, "cassandra-db (Config)"); err != nil {
+		t.Fatal(err)
+	}
+	catching := func() bool {
+		for _, r := range c.Health().CatchingUpReplicas {
+			if r == "cassandra-config/2" {
+				return true
+			}
+		}
+		return false
+	}
+	trusted := func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.configStore.Alive(2) && !c.configStore.CatchingUp(2)
+	}
+	// Behind the partition the revived process cannot reach the fresh
+	// majority: the replica stays out of read quorums (marked down, not
+	// merely catching) no matter how much time passes.
+	if trusted() {
+		t.Fatal("revived replica trusted while partitioned")
+	}
+	time.Sleep(4 * window)
+	if trusted() {
+		t.Fatal("replica promoted into read quorums while partitioned")
+	}
+	// Healing alone is not enough — the catch-up window starts at the
+	// heal, so the replica resurfaces as catching-up, still untrusted.
+	c.HealPartition()
+	if !catching() {
+		t.Fatal("healed replica not catching up")
+	}
+	if trusted() {
+		t.Fatal("replica promoted immediately at heal, before the catch-up window")
+	}
+	if !c.WaitUntil(waitLong, func() bool { return !catching() }) {
+		t.Fatal("replica never finished catching up after the heal")
+	}
+	// The promotion is trustworthy: the replica resynced the write it
+	// missed while dead.
+	c.mu.Lock()
+	v, ok := c.configStore.replicas[2]["net/partition-net"]
+	c.mu.Unlock()
+	if !ok || v.value != "10.43.0.0/16" {
+		t.Errorf("caught-up replica holds %+v, want the outage-era write", v)
+	}
+}

@@ -76,8 +76,13 @@ type telState struct {
 	cHeadlessEnter *telemetry.Counter
 	cHeadlessExit  *telemetry.Counter
 	cLinkCuts      *telemetry.Counter
+	cLeaderLost    *telemetry.Counter
+	cElections     *telemetry.Counter
+	cSplitVotes    *telemetry.Counter
+	cGrayDetected  *telemetry.Counter
 	gProcsDown     *telemetry.Gauge
 	hCPOutage      *telemetry.Histogram
+	hElection      *telemetry.Histogram
 }
 
 // attachTelemetryLocked builds the mirror. Called once from New; the
@@ -122,9 +127,15 @@ func (c *Cluster) attachTelemetryLocked(t *telemetry.Telemetry) {
 	ts.cHeadlessEnter = m.Counter("agent_headless_entries_total")
 	ts.cHeadlessExit = m.Counter("agent_headless_exits_total")
 	ts.cLinkCuts = m.Counter("link_cuts_total")
+	ts.cLeaderLost = m.Counter("raft_leader_lost_total")
+	ts.cElections = m.Counter("raft_elections_total")
+	ts.cSplitVotes = m.Counter("raft_split_votes_total")
+	ts.cGrayDetected = m.Counter("raft_gray_detected_total")
 	ts.gProcsDown = m.Gauge("processes_down")
 	ts.hCPOutage = m.Histogram("cp_outage_hours",
 		[]float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10})
+	ts.hElection = m.Histogram("raft_election_seconds",
+		[]float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30})
 	c.telState = ts
 }
 
@@ -481,6 +492,42 @@ func (c *Cluster) telDPBlamesLocked(a *vRouterAgent) []string {
 		}
 	}
 	return sortedModeSet(set)
+}
+
+// telRaftEventLocked publishes one store leadership transition: a trace
+// event, the raft counters, and — for elections and gray detections — a
+// recovery-time sample. Callers hold c.mu.
+func (c *Cluster) telRaftEventLocked(ev RaftEvent) {
+	ts := c.telState
+	if ts == nil {
+		return
+	}
+	h := ts.hours(ev.At)
+	e := telemetry.Event{
+		At: ev.At, AtHours: h, Subject: ev.Store,
+		Detail: fmt.Sprintf("node%d term%d", ev.Node, ev.Term),
+	}
+	switch ev.Kind {
+	case RaftLeaderLost:
+		ts.cLeaderLost.Inc()
+		e.Kind = telemetry.EventLeaderLost
+	case RaftElected:
+		ts.cElections.Inc()
+		ts.hElection.Observe(ev.Duration.Seconds())
+		ts.t.Recovery.Observe("election/"+ev.Store, ev.Duration)
+		e.Kind = telemetry.EventLeaderElected
+	case RaftSplitVote:
+		ts.cSplitVotes.Inc()
+		e.Kind = telemetry.EventSplitVote
+		e.Detail = fmt.Sprintf("term%d", ev.Term)
+	case RaftGrayDetected:
+		ts.cGrayDetected.Inc()
+		ts.t.Recovery.Observe("graydetect/"+ev.Store, ev.Duration)
+		e.Kind = telemetry.EventGrayDetected
+	default:
+		return
+	}
+	ts.t.Trace.Record(e)
 }
 
 // telemetryLinkEventLocked records a mesh link cut/heal. Callers hold

@@ -71,6 +71,22 @@ type Config struct {
 	// testbed; analytic.Model.HeadlessDataPlane is the closed form.
 	HeadlessHold float64
 
+	// RaftElectionMin and RaftElectionMax bound the uniform leader-election
+	// duration (hours) of the config-store RAFT mirror. RaftElectionMax > 0
+	// enables the mirror: the control plane then also requires an elected,
+	// non-gray config-store leader, mirroring cluster.RaftConfig in the
+	// live testbed. Zero (the default) disables the mirror entirely and
+	// reproduces the pure up/down model bit-for-bit.
+	RaftElectionMin float64
+	RaftElectionMax float64
+	// GrayLeaderMTBF, when positive (requires the mirror), is the mean
+	// time between gray failures striking the current leader: it keeps
+	// "up" status while serving wrong reads until the detector deposes it
+	// GrayDetect hours later.
+	GrayLeaderMTBF float64
+	// GrayDetect is the gray-failure detection latency in hours.
+	GrayDetect float64
+
 	// Horizon is the simulated time per replication (default 2e6).
 	Horizon float64
 	// WindowHours, when positive, splits the horizon into fixed windows
@@ -186,6 +202,21 @@ func (c Config) Validate() error {
 	}
 	if c.RepairCrews < 0 {
 		return fmt.Errorf("mc: RepairCrews = %d", c.RepairCrews)
+	}
+	if c.RaftElectionMax > 0 {
+		if c.RaftElectionMin <= 0 || c.RaftElectionMin > c.RaftElectionMax {
+			return fmt.Errorf("mc: need 0 < RaftElectionMin <= RaftElectionMax, got [%g, %g]",
+				c.RaftElectionMin, c.RaftElectionMax)
+		}
+		if c.GrayLeaderMTBF < 0 || c.GrayDetect < 0 {
+			return fmt.Errorf("mc: GrayLeaderMTBF = %g, GrayDetect = %g must be >= 0",
+				c.GrayLeaderMTBF, c.GrayDetect)
+		}
+		if c.GrayLeaderMTBF > 0 && c.GrayDetect <= 0 {
+			return fmt.Errorf("mc: GrayLeaderMTBF = %g requires GrayDetect > 0", c.GrayLeaderMTBF)
+		}
+	} else if c.RaftElectionMax < 0 || c.RaftElectionMin != 0 || c.GrayLeaderMTBF != 0 || c.GrayDetect != 0 {
+		return fmt.Errorf("mc: raft mirror parameters require RaftElectionMax > 0")
 	}
 	return nil
 }

@@ -54,6 +54,16 @@ type Estimate struct {
 	// downtime hours attributed to each failure mode.
 	CPDowntimeByMode map[string]float64
 	DPDowntimeByMode map[string]float64
+	// CPElectionUnavailability and CPWrongReadUnavailability estimate the
+	// fraction of time the control plane was lost to leader elections and
+	// to undetected gray leaders. Zero intervals unless the run's
+	// Config.RaftElectionMax was positive.
+	CPElectionUnavailability  stats.Interval
+	CPWrongReadUnavailability stats.Interval
+	// Elections is the total completed leader elections across the
+	// replications; MeanElectionHours their mean duration (0 if none).
+	Elections         int
+	MeanElectionHours float64
 	// Results holds the per-replication measurements. Nil when the run's
 	// Config.KeepResults was false.
 	Results []Result
@@ -124,8 +134,9 @@ func runWorkers(cfg Config, replications int, level float64, workers int) (Estim
 	// the per-mode sums are floating-point, hence order-sensitive — the
 	// ordered fold is what makes the estimate independent of the worker
 	// count. pending holds at most ~workers entries.
-	var cp, sdp, dp stats.Accumulator
+	var cp, sdp, dp, elec, wrongRead stats.Accumulator
 	cpModes, dpModes := map[string]float64{}, map[string]float64{}
+	elections, electionHours := 0, 0.0
 	var results []Result
 	if cfg.KeepResults {
 		results = make([]Result, replications)
@@ -147,6 +158,10 @@ func runWorkers(cfg Config, replications int, level float64, workers int) (Estim
 			cp.Add(res.CPAvailability)
 			sdp.Add(res.SharedDPAvailability)
 			dp.Add(res.HostDPAvailability)
+			elec.Add(res.CPElectionDowntime / res.Hours)
+			wrongRead.Add(res.CPWrongReadDowntime / res.Hours)
+			elections += res.LeaderElections
+			electionHours += res.ElectionHoursTotal
 			for m, h := range res.CPDowntimeByMode {
 				cpModes[m] += h / float64(replications)
 			}
@@ -155,12 +170,19 @@ func runWorkers(cfg Config, replications int, level float64, workers int) (Estim
 			}
 		}
 	}
-	return Estimate{
-		CP:               cp.ConfidenceInterval(level),
-		SharedDP:         sdp.ConfidenceInterval(level),
-		HostDP:           dp.ConfidenceInterval(level),
-		CPDowntimeByMode: cpModes,
-		DPDowntimeByMode: dpModes,
-		Results:          results,
-	}, nil
+	est := Estimate{
+		CP:                        cp.ConfidenceInterval(level),
+		SharedDP:                  sdp.ConfidenceInterval(level),
+		HostDP:                    dp.ConfidenceInterval(level),
+		CPDowntimeByMode:          cpModes,
+		DPDowntimeByMode:          dpModes,
+		CPElectionUnavailability:  elec.ConfidenceInterval(level),
+		CPWrongReadUnavailability: wrongRead.ConfidenceInterval(level),
+		Elections:                 elections,
+		Results:                   results,
+	}
+	if elections > 0 {
+		est.MeanElectionHours = electionHours / float64(elections)
+	}
+	return est, nil
 }

@@ -44,9 +44,11 @@ func (ss *Session) Replicate(replication int) Result {
 	if ss.cfg.KeepResults {
 		res.CPOutageDurations = append([]float64(nil), res.CPOutageDurations...)
 		res.CPWindowDowntimes = append([]float64(nil), res.CPWindowDowntimes...)
+		res.ElectionDurations = append([]float64(nil), res.ElectionDurations...)
 	} else {
 		res.CPOutageDurations = nil
 		res.CPWindowDowntimes = nil
+		res.ElectionDurations = nil
 	}
 	ss.pool.Put(s)
 	return res

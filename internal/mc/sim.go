@@ -56,6 +56,7 @@ type groupNode struct {
 // hardware, and in scenario 2 their supervisor) up.
 type simGroup struct {
 	role  profile.Role
+	name  string
 	need  int
 	nodes []groupNode
 }
@@ -83,6 +84,8 @@ type Sim struct {
 	hosts    []computeHost
 	// supRequired caches Scenario == SupervisorRequired for the hot path.
 	supRequired bool
+	// raft is the leadership mirror, nil unless Config.RaftElectionMax > 0.
+	raft *simRaft
 
 	// running indicators
 	cpUp      bool
@@ -140,6 +143,25 @@ type Result struct {
 	// DPDowntimeByMode attributes the per-host data-plane downtime
 	// (hours, summed across compute hosts) the same way.
 	DPDowntimeByMode map[string]float64
+
+	// RAFT mirror measurements, zero unless Config.RaftElectionMax > 0.
+	//
+	// LeaderElections counts completed config-store leader elections.
+	LeaderElections int
+	// ElectionHoursTotal sums the completed elections' durations.
+	ElectionHoursTotal float64
+	// CPElectionDowntime is the control-plane downtime (hours) incurred
+	// while the quorum held but no leader was elected.
+	CPElectionDowntime float64
+	// CPWrongReadDowntime is the control-plane downtime (hours) incurred
+	// while an undetected gray leader served corrupted reads — downtime a
+	// binary up/down model reports as availability.
+	CPWrongReadDowntime float64
+	// GrayCycles counts gray-leader episodes that ran to detection.
+	GrayCycles int
+	// ElectionDurations lists every completed election's duration in
+	// hours, for distributional comparison with the live testbed.
+	ElectionDurations []float64
 }
 
 // New builds a simulator for one replication. The replication index is
@@ -158,6 +180,9 @@ func New(cfg Config, replication int) (*Sim, error) {
 func newSim(cfg Config) *Sim {
 	s := &Sim{cfg: cfg, supRequired: cfg.Scenario == analytic.SupervisorRequired}
 	s.build()
+	if cfg.RaftElectionMax > 0 {
+		s.raft = newSimRaft(s)
+	}
 	return s
 }
 
@@ -191,6 +216,9 @@ func (s *Sim) reset(replication int) {
 	s.crewsBusy = 0
 	s.crewQueue = s.crewQueue[:0]
 	s.nEvents = 0
+	if s.raft != nil {
+		s.raft.reset()
+	}
 }
 
 // addEntity appends an entity and returns its index.
@@ -328,7 +356,7 @@ func (s *Sim) resolveGroups(pl profile.Plane, byPlace map[topology.Placement]ins
 			if len(members) == 0 {
 				panic(fmt.Sprintf("mc: group %s of role %s has no members", g.Name, role))
 			}
-			sg := simGroup{role: role, need: need}
+			sg := simGroup{role: role, name: g.Name, need: need}
 			for node := 0; node < s.cfg.Topology.ClusterSize; node++ {
 				inst := byPlace[topology.Placement{Role: role, Node: node}]
 				gn := groupNode{
@@ -437,11 +465,22 @@ func (s *Sim) localUp(ch *computeHost) bool {
 
 // refresh recomputes the plane indicators, tracking CP outage statistics.
 func (s *Sim) refresh() {
-	cp := s.groupsSatisfied(s.cpGroups)
+	sat := s.groupsSatisfied(s.cpGroups)
+	cp := sat
+	if s.raft != nil {
+		s.raft.satUp = sat
+		s.raft.noteMembership(s)
+		cp = sat && s.raft.cpUp()
+	}
 	if cp != s.cpUp {
 		if !cp {
 			s.cpStart = s.now
-			s.ledger.PlaneDown("cp", s.now, s.cpBlames())
+			blames := s.cpBlames()
+			if s.raft != nil && sat {
+				// Quorum holds: only the raft layer explains the outage.
+				blames = s.raft.blames()
+			}
+			s.ledger.PlaneDown("cp", s.now, blames)
 		} else {
 			s.cpOutages++
 			s.cpDowntime += s.now - s.cpStart
@@ -486,8 +525,13 @@ func (s *Sim) accumulate(dt float64) {
 	}
 	if s.cpUp {
 		s.cpTime += dt
-	} else if s.cfg.WindowHours > 0 {
-		s.addWindowDowntime(s.now, dt)
+	} else {
+		if s.cfg.WindowHours > 0 {
+			s.addWindowDowntime(s.now, dt)
+		}
+		if s.raft != nil {
+			s.raft.accrue(dt)
+		}
 	}
 	if s.sdpUp {
 		s.sdpTime += dt
@@ -508,6 +552,9 @@ func (s *Sim) Run() Result {
 	for i := range s.entities {
 		s.schedule(s.exp(s.entities[i].mtbf), i, false)
 	}
+	if s.raft != nil {
+		s.raft.start(s)
+	}
 	s.cpUp = true
 	s.sdpUp = true
 	for i := range s.hostUp {
@@ -522,7 +569,9 @@ func (s *Sim) Run() Result {
 		}
 		s.accumulate(ev.at - s.now)
 		s.now = ev.at
-		if ev.entity >= 0 {
+		if s.raft != nil && ev.entity <= raftElectionEntity {
+			s.raft.handle(s, ev)
+		} else if ev.entity >= 0 {
 			e := &s.entities[ev.entity]
 			e.up = ev.up
 			if ev.up {
@@ -585,6 +634,14 @@ func (s *Sim) Run() Result {
 	}
 	res.CPOutageDurations = s.durations
 	res.CPWindowDowntimes = s.windows
+	if s.raft != nil {
+		res.LeaderElections = s.raft.elections
+		res.ElectionHoursTotal = s.raft.electionHours
+		res.CPElectionDowntime = s.raft.electionDownHours
+		res.CPWrongReadDowntime = s.raft.wrongReadHours
+		res.GrayCycles = s.raft.grayCycles
+		res.ElectionDurations = s.raft.electionDurs
+	}
 	res.CPDowntimeByMode = modeMap(s.ledger.Attribution("cp", horizon))
 	dpParts := make([]telemetry.Attribution, len(s.hosts))
 	for i := range s.hosts {

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+
+	"sdnavail/internal/relmath"
+	"sdnavail/internal/stats"
+	"sdnavail/internal/telemetry"
+)
+
+// RecoveryTable renders the recovery-time distributions collected by the
+// telemetry tracker — election latencies, replica catch-up windows and
+// gray-leader detection delays — next to availability, giving reports the
+// response-time dimension a pure up/down model misses. One row per kind,
+// order statistics in seconds.
+func RecoveryTable(r *telemetry.Recovery) Table {
+	t := Table{
+		Title:   "Recovery times (s)",
+		Columns: []string{"Kind", "N", "Mean", "P50", "P90", "Max"},
+	}
+	for _, kind := range r.Kinds() {
+		s := r.Summary(kind)
+		t.AddRow(kind, s.N,
+			fmt.Sprintf("%.4f", s.Mean), fmt.Sprintf("%.4f", s.P50),
+			fmt.Sprintf("%.4f", s.P90), fmt.Sprintf("%.4f", s.Max))
+	}
+	return t
+}
+
+// ElectionTable renders the RAFT leadership dynamics of a Monte Carlo
+// estimate next to its availability figures: how often leadership
+// changed, how long elections took, and the unavailability contributed by
+// leaderless windows and by undetected gray leaders serving wrong reads —
+// the modes invisible to the binary up/down availability rows.
+func ElectionTable(elections, grayCycles int, meanElectionHours float64,
+	electionUnavail, wrongReadUnavail stats.Interval) Table {
+	t := Table{
+		Title:   "RAFT leadership dynamics",
+		Columns: []string{"Metric", "Value", "min/year equiv"},
+	}
+	t.AddRow("leader elections", elections, "")
+	t.AddRow("mean election (h)", fmt.Sprintf("%.5f", meanElectionHours), "")
+	t.AddRow("gray-leader cycles", grayCycles, "")
+	t.AddRow("election unavailability",
+		fmt.Sprintf("%.8f ± %.8f", electionUnavail.Mean, electionUnavail.HalfWide),
+		fmt.Sprintf("%.2f", relmath.DowntimeMinutesPerYear(1-electionUnavail.Mean)))
+	t.AddRow("wrong-read unavailability",
+		fmt.Sprintf("%.8f ± %.8f", wrongReadUnavail.Mean, wrongReadUnavail.HalfWide),
+		fmt.Sprintf("%.2f", relmath.DowntimeMinutesPerYear(1-wrongReadUnavail.Mean)))
+	return t
+}

@@ -23,11 +23,14 @@ type Telemetry struct {
 	Trace *Trace
 	// Ledger attributes plane downtime to failure modes.
 	Ledger *Ledger
+	// Recovery collects recovery-time samples (elections, replica
+	// catch-ups, gray-leader detection) by kind.
+	Recovery *Recovery
 }
 
 // New returns an enabled telemetry aggregate.
 func New() *Telemetry {
-	return &Telemetry{Metrics: NewRegistry(), Trace: NewTrace(), Ledger: NewLedger()}
+	return &Telemetry{Metrics: NewRegistry(), Trace: NewTrace(), Ledger: NewLedger(), Recovery: NewRecovery()}
 }
 
 // Enabled reports whether the aggregate collects anything.

@@ -32,6 +32,10 @@ const (
 	EventDPUp           = "dp-up"
 	EventAgentHeadless  = "agent-headless"
 	EventAgentConnected = "agent-connected"
+	EventLeaderLost     = "leader-lost"
+	EventLeaderElected  = "leader-elected"
+	EventSplitVote      = "split-vote"
+	EventGrayDetected   = "gray-detected"
 )
 
 // Event is one state transition.

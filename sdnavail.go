@@ -282,6 +282,59 @@ func HeadlessScenario(step time.Duration) []ChaosAction { return chaos.Headless(
 // ClusterDegradation.ReplicaCatchUp > 0.
 func StaleReadScenario(step time.Duration) []ChaosAction { return chaos.StaleRead(step) }
 
+// ---- RAFT leadership, gray failures and the scenario DSL ----
+
+// ClusterRaft tunes the quorum stores' RAFT leadership behaviour via
+// ClusterConfig.Raft: randomized election timeouts, the heartbeat period
+// and the gray-leader detection budget. The zero value keeps instant
+// (synchronous) leadership.
+type ClusterRaft = cluster.RaftConfig
+
+// RaftEvent is one leadership transition recorded by a quorum store
+// (leader lost, split vote, elected, gray leader detected).
+type RaftEvent = cluster.RaftEvent
+
+// LeaderCrashScenario crashes the config-store RAFT leader replica and
+// lets it rejoin through the catch-up window.
+func LeaderCrashScenario(step time.Duration) []ChaosAction { return chaos.LeaderCrash(step) }
+
+// GrayLeaderScenario injects a gray failure: the config-store leader
+// keeps its lease but serves corrupted reads until the detector deposes
+// it (timed mode with ClusterRaft.GrayDetect) or the flags are cleared.
+func GrayLeaderScenario(step time.Duration) []ChaosAction { return chaos.GrayLeader(step) }
+
+// StaleLeaderLeaseScenario partitions the config-store leader away from
+// the majority so it holds a lease it can no longer honor, then heals.
+func StaleLeaderLeaseScenario(step time.Duration) []ChaosAction {
+	return chaos.StaleLeaderLease(step)
+}
+
+// AckDropWritesScenario arms Byzantine followers that acknowledge writes
+// without persisting them, then kills the honest leader: acknowledged
+// data is silently lost — downtime the binary up/down model cannot see.
+func AckDropWritesScenario(step time.Duration) []ChaosAction { return chaos.AckDropWrites(step) }
+
+// ScenarioSpec is a declarative chaos scenario parsed from JSON: named,
+// schema-validated steps compiled into executable actions. (The name
+// avoids colliding with Scenario, the analytic supervisor mode.)
+type ScenarioSpec = chaos.ScenarioSpec
+
+// ScenarioStepSpec is one declarative step of a ScenarioSpec.
+type ScenarioStepSpec = chaos.StepSpec
+
+// ScenarioValidationError pinpoints the step and field of an invalid
+// scenario document.
+type ScenarioValidationError = chaos.ValidationError
+
+// ParseScenarioSpec parses and validates a declarative JSON scenario.
+func ParseScenarioSpec(data []byte) (*ScenarioSpec, error) { return chaos.ParseScenarioSpec(data) }
+
+// RunScenarioSpec compiles a declarative scenario and executes it against
+// the cluster while probing.
+func RunScenarioSpec(c *Cluster, spec *ScenarioSpec, probeEvery, probeTimeout time.Duration) (ChaosReport, error) {
+	return chaos.RunSpec(c, spec, probeEvery, probeTimeout)
+}
+
 // ---- frequency-duration and weak-link analysis (extensions) ----
 
 // RepairTimes carries mean-time-to-restore assumptions for turning
@@ -443,3 +496,8 @@ type Attribution = telemetry.Attribution
 
 // ModeShare is one failure mode's slice of a plane's downtime.
 type ModeShare = telemetry.ModeShare
+
+// RecoveryTracker collects recovery-time samples by kind (elections,
+// replica catch-ups, gray-leader detections); reports render the
+// distributions next to availability via Telemetry.Recovery.
+type RecoveryTracker = telemetry.Recovery
