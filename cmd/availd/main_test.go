@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe io.Writer the test can poll while run()
+// owns it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitForAddr polls the output for the listen line and extracts the
+// bound address.
+func waitForAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if i := strings.Index(s, "listening on "); i >= 0 {
+			rest := s[i+len("listening on "):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				return rest[:j]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never reported its address; output: %q", out.String())
+	return ""
+}
+
+// TestRunServesAndDrains: the daemon comes up on an ephemeral port,
+// answers queries, drains cleanly when its context is cancelled (the
+// SIGTERM path), exits nil, and flushes the metrics snapshot.
+func TestRunServesAndDrains(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-drain", "500ms",
+			"-metrics", metricsPath,
+		}, &out)
+	}()
+	addr := waitForAddr(t, &out)
+
+	resp, err := http.Get("http://" + addr + "/api/v1/analytic?topology=large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analytic = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d, want 200", resp.StatusCode)
+	}
+
+	cancel() // the signal path: NotifyContext cancels this same way
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain, want nil (exit 0)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("missing drain confirmation; output: %q", out.String())
+	}
+
+	// The telemetry snapshot was flushed and is valid JSON with the
+	// serving-layer counters in it.
+	b, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics snapshot not flushed: %v", err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("metrics snapshot not JSON: %v", err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "http_requests_total" && c.Value >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("flushed snapshot missing http_requests_total >= 2: %s", b)
+	}
+}
+
+// TestRunRejectsBadFlags: flag errors surface instead of serving.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "999.999.999.999:0"}, &out); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+	if err := run(context.Background(), []string{"-cache", "-1"}, &out); err == nil {
+		t.Error("negative cache size accepted")
+	}
+}

@@ -32,10 +32,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"sdnavail/internal/analytic"
 	"sdnavail/internal/chaos"
@@ -49,7 +52,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C or SIGTERM cancels the run's context: the soak and the
+	// simulation stop at their next cancellation check and report the
+	// partial horizon instead of dying mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runContext(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "availsim:", err)
 		os.Exit(1)
 	}
@@ -57,6 +65,11 @@ func main() {
 
 // run parses args, simulates, and writes the comparison to out.
 func run(args []string, out io.Writer) error {
+	return runContext(context.Background(), args, out)
+}
+
+// runContext is run under a cancellable context (the signal path).
+func runContext(ctx context.Context, args []string, out io.Writer) error {
 	flag := flag.NewFlagSet("availsim", flag.ContinueOnError)
 	var (
 		topoName = flag.String("topology", "large", "deployment topology: small, medium or large")
@@ -118,9 +131,13 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "soaking the live testbed: %s topology, %.0f simulated hours (seed %d), %d MC replications\n",
 			topo.Name, *soakHours, *seed, *reps)
-		oc, err := experiments.SoakWithAttribution(sc, *reps)
+		oc, err := experiments.SoakWithAttributionContext(ctx, sc, *reps)
 		if err != nil {
 			return err
+		}
+		if oc.Soak.Truncated {
+			fmt.Fprintf(out, "interrupted: soak truncated at %.0f of %.0f simulated hours; the tables below cover the partial horizon\n",
+				oc.Soak.Hours, *soakHours)
 		}
 		fmt.Fprintf(out, "%d failures injected, %d operator restarts\n\n", oc.Row.Failures, oc.Row.OperatorRestarts)
 		fmt.Fprint(out, oc.AvailabilityTable.Text())
@@ -146,14 +163,17 @@ func run(args []string, out io.Writer) error {
 	if *ciTarget > 0 {
 		fmt.Fprintf(out, "simulating option %s: adaptive, CP half-width target %g (%d-%d replications × %.0f hours, seed %d)\n",
 			opt.Label(), *ciTarget, *minReps, *maxReps, *horizon, *seed)
-		res, err := sweep.Run([]sweep.Point{{ID: opt.Label(), Config: cfg}}, sweep.Options{
+		res, err := sweep.RunContext(ctx, []sweep.Point{{ID: opt.Label(), Config: cfg}}, sweep.Options{
 			CITarget: *ciTarget, MinReps: *minReps, MaxReps: *maxReps, Batch: *minReps,
 		})
 		if err != nil {
 			return err
 		}
 		est = res[0].Estimate
-		if res[0].Converged {
+		if res[0].Truncated {
+			fmt.Fprintf(out, "interrupted after %d replications; the comparison below uses the partial estimate\n",
+				res[0].Replications)
+		} else if res[0].Converged {
 			fmt.Fprintf(out, "converged after %d replications\n", res[0].Replications)
 		} else {
 			fmt.Fprintf(out, "ceiling: %d replications without meeting the target (half-width %.6f)\n",
@@ -163,9 +183,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "simulating option %s: %d replications × %.0f hours (seed %d)\n",
 			opt.Label(), *reps, *horizon, *seed)
 		var err error
-		est, err = mc.Run(cfg, *reps, 0.99)
+		est, err = mc.RunContext(ctx, cfg, *reps, 0.99)
 		if err != nil {
 			return err
+		}
+		if est.Truncated {
+			fmt.Fprintf(out, "interrupted after %d of %d replications; the comparison below uses the partial estimate\n",
+				est.Replications, *reps)
 		}
 	}
 
@@ -202,7 +226,9 @@ func run(args []string, out io.Writer) error {
 		outages += r.CPOutages
 		meanOutage += r.CPMeanOutageHours
 	}
-	meanOutage /= float64(len(est.Results))
+	if len(est.Results) > 0 {
+		meanOutage /= float64(len(est.Results))
+	}
 	fmt.Fprintf(out, "\n%d events total; %d CP outages, mean duration %.2f h\n", events, outages, meanOutage)
 	fmt.Fprintf(out, "simulated CP downtime: %.1f min/year equivalent\n",
 		relmath.DowntimeMinutesPerYear(est.CP.Mean))

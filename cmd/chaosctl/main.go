@@ -64,11 +64,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sdnavail/internal/chaos"
@@ -81,7 +84,12 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C or SIGTERM cancels the run's context: a long soak stops at
+	// its next virtual-clock wait, finalizes every aggregate at the
+	// partial horizon, and still flushes the trace and metrics exports.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runContext(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "chaosctl:", err)
 		os.Exit(1)
 	}
@@ -90,6 +98,11 @@ func main() {
 // run parses args, boots the testbed, executes the scenario, and writes
 // the report to out.
 func run(args []string, out io.Writer) error {
+	return runContext(context.Background(), args, out)
+}
+
+// runContext is run under a cancellable context (the signal path).
+func runContext(ctx context.Context, args []string, out io.Writer) error {
 	flag := flag.NewFlagSet("chaosctl", flag.ContinueOnError)
 	var (
 		topoName = flag.String("topology", "small", "deployment topology: small or large")
@@ -179,11 +192,15 @@ func run(args []string, out io.Writer) error {
 			Hours: *soakHours, Seed: *seed, ProcessMTBF: *soakMTBF,
 		}
 		start := time.Now()
-		oc, err := experiments.SoakWithAttribution(sc, 16)
+		oc, err := experiments.SoakWithAttributionContext(ctx, sc, 16)
 		if err != nil {
 			return err
 		}
 		row := oc.Row
+		if oc.Soak.Truncated {
+			fmt.Fprintf(out, "interrupted: soak truncated at %.0f of %.0f simulated hours; tables and exports cover the partial horizon\n",
+				oc.Soak.Hours, *soakHours)
+		}
 		fmt.Fprintf(out, "soak: %.0f simulated hours on %s topology in %v wall (%d failures injected, %d operator restarts)\n\n",
 			row.Hours, topo.Name, time.Since(start).Round(time.Millisecond), row.Failures, row.OperatorRestarts)
 		fmt.Fprint(out, oc.AvailabilityTable.Text())

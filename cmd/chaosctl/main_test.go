@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestScenarios(t *testing.T) {
@@ -222,5 +225,48 @@ func TestScenarioFile(t *testing.T) {
 	}
 	if err := run([]string{"-scenario-file", path + ".missing"}, &sb); err == nil {
 		t.Fatal("missing scenario file accepted")
+	}
+}
+
+// TestSoakInterruptedFlushesExports: a cancelled context (the SIGINT
+// path) truncates the soak at a partial horizon, says so in the report,
+// and still writes the trace and metrics exports for the covered hours.
+func TestSoakInterruptedFlushesExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live soak skipped in -short mode")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	var sb strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- runContext(ctx, []string{"-soak", "-soak-hours", "1000000", "-hosts", "2",
+			"-trace", trace, "-metrics", metrics}, &sb)
+	}()
+	time.Sleep(300 * time.Millisecond) // soak well under way
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted soak returned %v, want partial report", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("interrupted soak did not stop")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "interrupted: soak truncated at ") {
+		t.Errorf("missing truncation note in:\n%s", out)
+	}
+	for _, f := range []string{trace, metrics} {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Errorf("export %s not flushed: %v", f, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("export %s is empty", f)
+		}
 	}
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"sdnavail/internal/server"
+)
+
+// TestClientAgainstLiveServer runs the full client sequence against a
+// real in-process availd server sized so the burst must shed: the client
+// retries through 429s on the analytic path, counts sheds without
+// failing, and reports zero server errors.
+func TestClientAgainstLiveServer(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		MaxConcurrent: 2,
+		MaxQueue:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx) }()
+	defer func() {
+		cancel()
+		<-served
+	}()
+
+	var sb strings.Builder
+	runErr := run([]string{
+		"-base", "http://" + srv.Addr(),
+		"-burst", "8", // 2 slots + 2 queue -> must shed
+		"-timeout", "30s",
+		"-expect-shed",
+	}, &sb)
+	out := sb.String()
+	if runErr != nil {
+		t.Fatalf("client failed: %v\noutput:\n%s", runErr, out)
+	}
+	for _, want := range []string{
+		"cached=false", "cached=true", // memoization visible to clients
+		"burst done:", "0 server errors",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestClientRejectsBadFlags: flag validation fails fast.
+func TestClientRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-burst", "0"}, &sb); err == nil {
+		t.Error("zero burst accepted")
+	}
+	if err := run([]string{"-retries", "-1"}, &sb); err == nil {
+		t.Error("negative retries accepted")
+	}
+}
+
+// TestClientReportsDownServer: a dead endpoint is an error, not a hang.
+func TestClientReportsDownServer(t *testing.T) {
+	var sb strings.Builder
+	start := time.Now()
+	err := run([]string{"-base", "http://127.0.0.1:1", "-burst", "1", "-timeout", "2s"}, &sb)
+	if err == nil {
+		t.Error("unreachable server reported success")
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("client hung on unreachable server")
+	}
+}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -112,6 +113,9 @@ func (sc SoakConfig) Validate() error {
 	if sc.Hours < 0 || sc.ProcessMTBF < 0 || sc.AutoRestart < 0 || sc.OperatorResponse < 0 {
 		return fmt.Errorf("chaos: soak times must be positive: %+v", sc)
 	}
+	if sc.Hours > maxSoakHours {
+		return fmt.Errorf("chaos: soak horizon %g h exceeds the %g h a virtual clock can represent", sc.Hours, float64(maxSoakHours))
+	}
 	if sc.ProcessMTBF < 10*sc.OperatorResponse || sc.ProcessMTBF < 10*sc.AutoRestart {
 		return fmt.Errorf("chaos: soak MTBF %g must dominate repair times %g/%g", sc.ProcessMTBF, sc.AutoRestart, sc.OperatorResponse)
 	}
@@ -121,8 +125,14 @@ func (sc SoakConfig) Validate() error {
 	return nil
 }
 
-// hoursToDuration converts simulated hours to virtual time. A
-// time.Duration holds ~292 years, far beyond any soak horizon.
+// maxSoakHours caps the horizon at what hoursToDuration can represent: a
+// time.Duration holds ~292 years ≈ 2.56e6 hours, and past that the
+// conversion overflows and the virtual clock wedges instead of sleeping.
+// Validate enforces the cap so CLI and library callers get an error.
+const maxSoakHours = 2.5e6
+
+// hoursToDuration converts simulated hours to virtual time; callers keep
+// h within maxSoakHours (see Validate).
 func hoursToDuration(h float64) time.Duration {
 	return time.Duration(h * float64(time.Hour))
 }
@@ -202,6 +212,11 @@ type SoakResult struct {
 	// "dp:*" planes merged.
 	CPAttribution telemetry.Attribution
 	DPAttribution telemetry.Attribution
+	// Truncated reports that the soak's context was cancelled before the
+	// configured horizon: Hours records the virtual time actually covered,
+	// and every aggregate (report, telemetry, attribution) is finalized at
+	// that shorter horizon — a clean partial result, not a torn one.
+	Truncated bool
 }
 
 // RunSoak boots a fake-clocked cluster and lives through the configured
@@ -209,6 +224,15 @@ type SoakResult struct {
 // entire run executes in virtual time; wall cost is proportional to the
 // number of timer fires, not the horizon.
 func RunSoak(sc SoakConfig) (SoakResult, error) {
+	return RunSoakContext(context.Background(), sc)
+}
+
+// RunSoakContext is RunSoak with cancellation: SIGINT-style aborts (a
+// cancelled context) stop injecting faults, halt the prober, close the
+// attribution ledger at the hours actually soaked, and return the partial
+// result flagged Truncated — so a long soak dies cleanly mid-horizon with
+// its telemetry intact instead of being lost mid-write.
+func RunSoakContext(ctx context.Context, sc SoakConfig) (SoakResult, error) {
 	sc = sc.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return SoakResult{}, err
@@ -281,7 +305,7 @@ func RunSoak(sc SoakConfig) (SoakResult, error) {
 		}()
 	}
 
-	clk.Sleep(hoursToDuration(sc.Hours))
+	completed := clk.SleepOr(hoursToDuration(sc.Hours), ctx.Done())
 	horizon := clk.Since(start)
 
 	close(stop)
@@ -315,6 +339,7 @@ func RunSoak(sc SoakConfig) (SoakResult, error) {
 		Telemetry:        tel,
 		CPAttribution:    tel.Ledger.Attribution("cp", hours),
 		DPAttribution:    tel.Ledger.MergedPrefix("dp", "dp:", hours),
+		Truncated:        !completed,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -90,5 +91,59 @@ func TestSoakConfigValidate(t *testing.T) {
 	}
 	if err := (SoakConfig{ProbeEveryHours: 0.01, ProbeTimeoutHours: 0.02}).Validate(); err == nil {
 		t.Error("probe timeout above the probe period should be rejected")
+	}
+	// Past ~2.56e6 hours the duration conversion overflows int64
+	// nanoseconds and the virtual clock wedges instead of sleeping.
+	if err := (SoakConfig{Hours: 1e8}).Validate(); err == nil {
+		t.Error("horizon beyond time.Duration range should be rejected")
+	}
+	if err := (SoakConfig{Hours: 2e6}).Validate(); err != nil {
+		t.Errorf("2e6 h horizon is representable, got: %v", err)
+	}
+}
+
+// TestSoakContextCancelTruncates: cancelling a soak mid-horizon must
+// return a clean partial result — hours actually covered, availability
+// report and attribution ledger finalized at that shorter horizon — with
+// the Truncated flag set, instead of tearing the run down mid-write.
+func TestSoakContextCancelTruncates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res SoakResult
+	var err error
+	go func() {
+		defer close(done)
+		res, err = RunSoakContext(ctx, SoakConfig{Hours: 1e6, Seed: 7})
+	}()
+	// Let the virtual horizon get going, then abort: 1e6 simulated hours
+	// would take minutes of wall time, so a prompt return proves the
+	// cancellation path.
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled soak did not return within 30 s")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("cancelled soak not flagged Truncated")
+	}
+	if res.Hours <= 0 || res.Hours >= 1e6 {
+		t.Fatalf("truncated soak covered %.1f hours, want partial coverage in (0, 1e6)", res.Hours)
+	}
+	if len(res.Report.Samples) == 0 {
+		t.Error("truncated soak lost its probe samples")
+	}
+	if res.Telemetry == nil {
+		t.Fatal("truncated soak lost its telemetry aggregate")
+	}
+	// The ledger must be closed at the truncated horizon: total attributed
+	// CP downtime can never exceed the hours covered.
+	if res.CPAttribution.DowntimeHours > res.Hours {
+		t.Errorf("attribution total %.2f h exceeds soaked horizon %.2f h",
+			res.CPAttribution.DowntimeHours, res.Hours)
 	}
 }

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"math"
+
 	"sdnavail/internal/analytic"
 	"sdnavail/internal/chaos"
 	"sdnavail/internal/mc"
@@ -81,14 +84,29 @@ func ShareAgreement(ref, got map[string]float64, floor float64) float64 {
 // validation plus the per-plane attribution comparisons. It costs one
 // soak — use it instead of calling SoakValidation and re-soaking.
 func SoakWithAttribution(sc chaos.SoakConfig, replications int) (SoakOutcome, error) {
+	return SoakWithAttributionContext(context.Background(), sc, replications)
+}
+
+// SoakWithAttributionContext is SoakWithAttribution with cancellation. A
+// cancelled context truncates the live soak cleanly (partial horizon,
+// telemetry finalized); the Monte Carlo mirror then runs over the hours
+// actually soaked — on a fresh context, since the mirror at a truncated
+// horizon is sub-second work — so the three-way comparison stays
+// like-for-like and the partial output is still a validation, not noise.
+func SoakWithAttributionContext(ctx context.Context, sc chaos.SoakConfig, replications int) (SoakOutcome, error) {
 	if replications < 2 {
 		replications = 16
 	}
-	res, err := chaos.RunSoak(sc)
+	res, err := chaos.RunSoakContext(ctx, sc)
 	if err != nil {
 		return SoakOutcome{}, err
 	}
 	cfg := res.Config.SimConfig()
+	if res.Truncated {
+		// Mirror the horizon actually covered (floored at one hour so an
+		// instant abort still yields a well-formed configuration).
+		cfg.Horizon = math.Max(res.Hours, 1)
+	}
 	est, err := mc.Run(cfg, replications, 0.99)
 	if err != nil {
 		return SoakOutcome{}, err

@@ -1,8 +1,10 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -64,8 +66,17 @@ type Estimate struct {
 	// replications; MeanElectionHours their mean duration (0 if none).
 	Elections         int
 	MeanElectionHours float64
+	// Replications is the number of replications actually folded into the
+	// estimate — the requested count, unless the run was cancelled.
+	Replications int
+	// Truncated reports that the run's context expired before every
+	// requested replication completed: the estimate aggregates the
+	// replications that did finish, and its confidence intervals carry the
+	// honest (wider) half-widths of that partial sample.
+	Truncated bool
 	// Results holds the per-replication measurements. Nil when the run's
-	// Config.KeepResults was false.
+	// Config.KeepResults was false; on a truncated run it holds only the
+	// completed replications, in replication order.
 	Results []Result
 }
 
@@ -88,9 +99,25 @@ func Run(cfg Config, replications int, level float64) (Estimate, error) {
 	return runWorkers(cfg, replications, level, runtime.GOMAXPROCS(0))
 }
 
+// RunContext is Run with a deadline: when ctx expires mid-run the workers
+// abandon their in-flight replications (checking between replications and
+// every few thousand events within one), and the estimate returned
+// aggregates only the replications that completed, flagged Truncated with
+// Estimate.Replications recording the partial sample size. The error is
+// ctx.Err() only when not even one replication finished — a truncated
+// partial estimate is a result, not a failure.
+func RunContext(ctx context.Context, cfg Config, replications int, level float64) (Estimate, error) {
+	return runWorkersContext(ctx, cfg, replications, level, runtime.GOMAXPROCS(0))
+}
+
 // runWorkers is Run with an explicit worker count, split out so the
 // determinism test can pin different pool sizes against one another.
 func runWorkers(cfg Config, replications int, level float64, workers int) (Estimate, error) {
+	return runWorkersContext(context.Background(), cfg, replications, level, workers)
+}
+
+// runWorkersContext is the shared engine behind Run and RunContext.
+func runWorkersContext(ctx context.Context, cfg Config, replications int, level float64, workers int) (Estimate, error) {
 	// Validation happens once here; pooled replications cannot fail
 	// individually, so there is no per-replication error slice to collect —
 	// the first (and only) error site is this one.
@@ -108,6 +135,7 @@ func runWorkers(cfg Config, replications int, level float64, workers int) (Estim
 	}
 
 	ss := newSessionValidated(cfg)
+	done := ctx.Done()
 	out := make(chan repResult, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -116,11 +144,27 @@ func runWorkers(cfg Config, replications int, level float64, workers int) (Estim
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				r := int(next.Add(1)) - 1
 				if r >= replications {
 					return
 				}
-				out <- repResult{rep: r, res: ss.Replicate(r)}
+				res, ok := ss.replicateCancel(done, r)
+				if !ok {
+					return
+				}
+				// The reducer always drains until close, but guarding the
+				// send on done means an abandoning caller never strands a
+				// worker mid-handoff — workers exit, wg falls, out closes.
+				select {
+				case out <- repResult{rep: r, res: res}:
+				case <-done:
+					return
+				}
 			}
 		}()
 	}
@@ -141,6 +185,27 @@ func runWorkers(cfg Config, replications int, level float64, workers int) (Estim
 	if cfg.KeepResults {
 		results = make([]Result, replications)
 	}
+	folded := 0
+	var foldedReps []int // replication indices folded, for truncated compaction
+	fold := func(rep int, res Result) {
+		folded++
+		if results != nil {
+			foldedReps = append(foldedReps, rep)
+		}
+		cp.Add(res.CPAvailability)
+		sdp.Add(res.SharedDPAvailability)
+		dp.Add(res.HostDPAvailability)
+		elec.Add(res.CPElectionDowntime / res.Hours)
+		wrongRead.Add(res.CPWrongReadDowntime / res.Hours)
+		elections += res.LeaderElections
+		electionHours += res.ElectionHoursTotal
+		for m, h := range res.CPDowntimeByMode {
+			cpModes[m] += h / float64(replications)
+		}
+		for m, h := range res.DPDowntimeByMode {
+			dpModes[m] += h / float64(replications)
+		}
+	}
 	pending := make(map[int]Result, workers)
 	nextFold := 0
 	for rr := range out {
@@ -154,20 +219,47 @@ func runWorkers(cfg Config, replications int, level float64, workers int) (Estim
 				break
 			}
 			delete(pending, nextFold)
+			fold(nextFold, res)
 			nextFold++
-			cp.Add(res.CPAvailability)
-			sdp.Add(res.SharedDPAvailability)
-			dp.Add(res.HostDPAvailability)
-			elec.Add(res.CPElectionDowntime / res.Hours)
-			wrongRead.Add(res.CPWrongReadDowntime / res.Hours)
-			elections += res.LeaderElections
-			electionHours += res.ElectionHoursTotal
-			for m, h := range res.CPDowntimeByMode {
-				cpModes[m] += h / float64(replications)
+		}
+	}
+	// A cancelled run leaves gaps: replications past the cancellation point
+	// never completed, so completed results above a gap sit in pending.
+	// Fold them in ascending replication order — still deterministic for a
+	// given set of completed replications.
+	if len(pending) > 0 {
+		rest := make([]int, 0, len(pending))
+		for rep := range pending {
+			rest = append(rest, rep)
+		}
+		sort.Ints(rest)
+		for _, rep := range rest {
+			fold(rep, pending[rep])
+		}
+	}
+	truncated := folded < replications
+	if truncated {
+		if folded == 0 {
+			return Estimate{Truncated: true}, ctx.Err()
+		}
+		// The mode sums divided by the requested count during the fold (the
+		// bit-compatible full-run arithmetic); rescale to the partial count
+		// so a truncated estimate still means "mean hours per replication".
+		scale := float64(replications) / float64(folded)
+		for m := range cpModes {
+			cpModes[m] *= scale
+		}
+		for m := range dpModes {
+			dpModes[m] *= scale
+		}
+		if results != nil {
+			// foldedReps is ascending: the contiguous prefix folds first and
+			// the post-close remainder all lies above it, sorted.
+			compact := make([]Result, 0, folded)
+			for _, rep := range foldedReps {
+				compact = append(compact, results[rep])
 			}
-			for m, h := range res.DPDowntimeByMode {
-				dpModes[m] += h / float64(replications)
-			}
+			results = compact
 		}
 	}
 	est := Estimate{
@@ -179,6 +271,8 @@ func runWorkers(cfg Config, replications int, level float64, workers int) (Estim
 		CPElectionUnavailability:  elec.ConfidenceInterval(level),
 		CPWrongReadUnavailability: wrongRead.ConfidenceInterval(level),
 		Elections:                 elections,
+		Replications:              folded,
+		Truncated:                 truncated,
 		Results:                   results,
 	}
 	if elections > 0 {

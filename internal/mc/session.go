@@ -1,6 +1,9 @@
 package mc
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Session amortizes simulator construction across many replications of one
 // configuration. Each Replicate call checks a warmed-up Sim out of a pool,
@@ -38,20 +41,47 @@ func newSessionValidated(cfg Config) *Session {
 // are copied out of the pooled simulator's scratch buffers so the Result
 // stays valid after the Sim is reused.
 func (ss *Session) Replicate(replication int) Result {
+	res, _ := ss.replicateCancel(nil, replication)
+	return res
+}
+
+// ReplicateContext is Replicate with a deadline: a replication abandoned
+// because ctx expired reports ok=false and must not be folded (its zero
+// Result is not a sample). The abandoned simulator returns to the pool —
+// reset fully rewinds it, so a later replication reuses it safely.
+func (ss *Session) ReplicateContext(ctx context.Context, replication int) (Result, bool) {
+	return ss.replicateCancel(ctx.Done(), replication)
+}
+
+// replicateCancel runs one replication, abandoning it when done becomes
+// ready. A nil done never cancels. The boundary check below makes every
+// replication start a cancellation point: short-horizon replications can
+// finish under the in-loop check granularity, and a caller iterating a
+// huge replication count must still stop at its deadline.
+func (ss *Session) replicateCancel(done <-chan struct{}, replication int) (Result, bool) {
+	if done != nil {
+		select {
+		case <-done:
+			return Result{}, false
+		default:
+		}
+	}
 	s := ss.pool.Get().(*Sim)
 	s.reset(replication)
-	res := s.Run()
-	if ss.cfg.KeepResults {
-		res.CPOutageDurations = append([]float64(nil), res.CPOutageDurations...)
-		res.CPWindowDowntimes = append([]float64(nil), res.CPWindowDowntimes...)
-		res.ElectionDurations = append([]float64(nil), res.ElectionDurations...)
-	} else {
-		res.CPOutageDurations = nil
-		res.CPWindowDowntimes = nil
-		res.ElectionDurations = nil
+	res, ok := s.runCancel(done)
+	if ok {
+		if ss.cfg.KeepResults {
+			res.CPOutageDurations = append([]float64(nil), res.CPOutageDurations...)
+			res.CPWindowDowntimes = append([]float64(nil), res.CPWindowDowntimes...)
+			res.ElectionDurations = append([]float64(nil), res.ElectionDurations...)
+		} else {
+			res.CPOutageDurations = nil
+			res.CPWindowDowntimes = nil
+			res.ElectionDurations = nil
+		}
 	}
 	ss.pool.Put(s)
-	return res
+	return res, ok
 }
 
 // Config returns the session's configuration.

@@ -548,6 +548,21 @@ func (s *Sim) accumulate(dt float64) {
 // alias the simulator's scratch buffers; they stay valid until the Sim is
 // reset (Session.Replicate copies them when Config.KeepResults is set).
 func (s *Sim) Run() Result {
+	res, _ := s.runCancel(nil)
+	return res
+}
+
+// cancelCheckMask bounds how many events a replication processes between
+// cancellation checks. 4095 keeps the check off the hot path (one channel
+// poll per ~4k events, microseconds of extra latency at worst) while still
+// honoring a deadline within a sliver of its firing.
+const cancelCheckMask = 4095
+
+// runCancel is Run with a cancellation channel: when done becomes ready
+// the replication is abandoned mid-flight and runCancel reports false with
+// a zero Result (a partial replication is a biased sample, never folded).
+// A nil done compiles to the plain uncancellable run.
+func (s *Sim) runCancel(done <-chan struct{}) (Result, bool) {
 	// Initial failure schedule: everything starts up.
 	for i := range s.entities {
 		s.schedule(s.exp(s.entities[i].mtbf), i, false)
@@ -563,6 +578,13 @@ func (s *Sim) Run() Result {
 
 	horizon := s.cfg.Horizon
 	for s.events.len() > 0 {
+		if done != nil && s.nEvents&cancelCheckMask == cancelCheckMask {
+			select {
+			case <-done:
+				return Result{}, false
+			default:
+			}
+		}
 		ev := s.events.pop()
 		if ev.at >= horizon {
 			break
@@ -648,7 +670,7 @@ func (s *Sim) Run() Result {
 		dpParts[i] = s.ledger.Attribution(hostPlane(i), horizon)
 	}
 	res.DPDowntimeByMode = modeMap(telemetry.Merge("dp", dpParts...))
-	return res
+	return res, true
 }
 
 // startRepair dispatches a crew to a failed hardware entity.

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"sdnavail/internal/telemetry"
+)
+
+// Memoization for analytic evaluations: a bounded LRU in front of a
+// singleflight gate. Closed-form evaluation is cheap but not free (the
+// large-topology literal quadruple sum), and the "millions of users"
+// workload asks the same (profile, topology, params) keys over and over —
+// so the hot path is a map hit under a mutex, a thundering herd on a cold
+// key collapses to one evaluation, and memory stays bounded whatever the
+// key cardinality.
+
+// memoCall is one in-flight computation; latecomers block on done.
+type memoCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// memoEntry is one cached value in the LRU list.
+type memoEntry struct {
+	key string
+	val any
+}
+
+// memoCache is a singleflight-fronted bounded LRU.
+type memoCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List               // front = most recent
+	entries map[string]*list.Element // key -> *memoEntry element
+	calls   map[string]*memoCall
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+}
+
+// newMemoCache returns a cache bounded to max entries (min 1).
+func newMemoCache(max int, reg *telemetry.Registry) *memoCache {
+	if max < 1 {
+		max = 1
+	}
+	return &memoCache{
+		max:       max,
+		ll:        list.New(),
+		entries:   map[string]*list.Element{},
+		calls:     map[string]*memoCall{},
+		hits:      reg.Counter("cache_hits_total"),
+		misses:    reg.Counter("cache_misses_total"),
+		evictions: reg.Counter("cache_evictions_total"),
+	}
+}
+
+// Do returns the cached value for key, or computes it with fn — at most
+// once concurrently per key; concurrent callers of a cold key share the
+// single computation's result. cached reports whether the value came from
+// the LRU without running (or waiting on) fn. Errors are not cached: a
+// failed computation leaves the key cold. If fn panics, waiters are
+// released with the panic re-raised in the computing goroutine only —
+// the per-request recovery middleware turns it into that request's 500.
+func (c *memoCache) Do(key string, fn func() (any, error)) (val any, cached bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		val = el.Value.(*memoEntry).val
+		c.mu.Unlock()
+		c.hits.Inc()
+		return val, true, nil
+	}
+	if call, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.val, false, call.err
+	}
+	call := &memoCall{done: make(chan struct{})}
+	c.calls[key] = call
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	completed := false
+	defer func() {
+		if !completed {
+			// fn panicked: release waiters with an error result, drop the
+			// in-flight marker, and let the panic continue to the caller's
+			// recovery middleware.
+			call.err = errPanicked
+			c.finish(key, call, false)
+		}
+	}()
+	call.val, call.err = fn()
+	completed = true
+	c.finish(key, call, call.err == nil)
+	return call.val, false, call.err
+}
+
+// errPanicked is the error waiters on a panicked computation observe.
+var errPanicked = &panicError{}
+
+type panicError struct{}
+
+func (*panicError) Error() string { return "server: evaluation panicked" }
+
+// finish publishes a completed (or abandoned) call: removes the in-flight
+// marker, optionally stores the value in the LRU, and wakes waiters.
+func (c *memoCache) finish(key string, call *memoCall, store bool) {
+	c.mu.Lock()
+	delete(c.calls, key)
+	if store {
+		if el, ok := c.entries[key]; ok {
+			el.Value.(*memoEntry).val = call.val
+			c.ll.MoveToFront(el)
+		} else {
+			c.entries[key] = c.ll.PushFront(&memoEntry{key: key, val: call.val})
+			for c.ll.Len() > c.max {
+				oldest := c.ll.Back()
+				c.ll.Remove(oldest)
+				delete(c.entries, oldest.Value.(*memoEntry).key)
+				c.evictions.Inc()
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(call.done)
+}
+
+// Len returns the number of cached entries.
+func (c *memoCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+// Query-parameter decoding for the what-if endpoints. Every parameter is
+// validated strictly — NaN, infinities, negative rates and out-of-range
+// probabilities are 400s, never panics and never values smuggled into the
+// models (the fuzz harness drives this file with arbitrary query
+// strings). Unknown parameters are 400s too, so a typo'd knob fails loud
+// instead of silently evaluating the default.
+
+// badRequestError marks a decoding failure the handler answers with 400.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+// badf builds a badRequestError.
+func badf(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// modelRequest is the decoded (profile, topology, scenario, params) tuple
+// every endpoint shares — also the memoization key domain.
+type modelRequest struct {
+	ProfileName string
+	Profile     *profile.Profile
+	TopoName    string
+	Kind        topology.Kind
+	Cluster     int
+	Scenario    analytic.Scenario
+	Params      analytic.Params
+	Compute     int
+}
+
+// Key canonicalizes the request into the memo-cache key: every field that
+// influences the evaluation, in fixed order, with full float precision.
+func (m modelRequest) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%x|%x|%x|%x|%x|%x",
+		m.ProfileName, m.TopoName, m.Cluster, m.Scenario, m.Compute,
+		math.Float64bits(m.Params.AC), math.Float64bits(m.Params.AV),
+		math.Float64bits(m.Params.AH), math.Float64bits(m.Params.AR),
+		math.Float64bits(m.Params.A), math.Float64bits(m.Params.AS))
+}
+
+// mcRequest parameterizes a Monte Carlo what-if sweep.
+type mcRequest struct {
+	Model    modelRequest
+	Horizon  float64
+	Reps     int
+	CITarget float64
+	MinReps  int
+	MaxReps  int
+	Seed     int64
+	Headless float64
+}
+
+// soakRequest parameterizes a live virtual-time soak.
+type soakRequest struct {
+	Hours float64
+	MTBF  float64
+	Seed  int64
+	Hosts int
+}
+
+// knownParams guards against typo'd query keys per endpoint.
+var (
+	modelParams = []string{"profile", "topology", "cluster", "scenario", "compute",
+		"ac", "av", "ah", "ar", "a", "as", "timeout"}
+	mcParams   = append([]string{"horizon", "reps", "ci_target", "min_reps", "max_reps", "seed", "headless"}, modelParams...)
+	soakParams = []string{"hours", "mtbf", "seed", "hosts", "timeout"}
+)
+
+// rejectUnknown 400s on any query key outside the allowed set.
+func rejectUnknown(q url.Values, allowed []string) error {
+	for k := range q {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return badf("unknown parameter %q", k)
+		}
+	}
+	return nil
+}
+
+// parseProb parses a probability parameter: finite and strictly inside
+// (0, 1). Absent uses def.
+func parseProb(q url.Values, name string, def float64) (float64, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, badf("parameter %q: %q is not a finite number", name, s)
+	}
+	if v <= 0 || v >= 1 {
+		return 0, badf("parameter %q: %g outside (0, 1)", name, v)
+	}
+	return v, nil
+}
+
+// parsePositiveFloat parses a strictly positive finite float.
+func parsePositiveFloat(q url.Values, name string, def float64) (float64, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, badf("parameter %q: %q is not a finite number", name, s)
+	}
+	if v <= 0 {
+		return 0, badf("parameter %q: %g must be positive", name, v)
+	}
+	return v, nil
+}
+
+// parseNonNegFloat parses a finite float >= 0.
+func parseNonNegFloat(q url.Values, name string, def float64) (float64, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, badf("parameter %q: %q is not a finite number", name, s)
+	}
+	if v < 0 {
+		return 0, badf("parameter %q: %g must not be negative", name, v)
+	}
+	return v, nil
+}
+
+// parseIntRange parses an integer within [lo, hi].
+func parseIntRange(q url.Values, name string, def, lo, hi int) (int, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, badf("parameter %q: %q is not an integer", name, s)
+	}
+	if v < lo || v > hi {
+		return 0, badf("parameter %q: %d outside [%d, %d]", name, v, lo, hi)
+	}
+	return v, nil
+}
+
+// parseSeed parses the random seed (any int64).
+func parseSeed(q url.Values, def int64) (int64, error) {
+	s := q.Get("seed")
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, badf("parameter \"seed\": %q is not an integer", s)
+	}
+	return v, nil
+}
+
+// parseTimeout parses the per-request deadline override, bounded to
+// (0, max]. Absent uses def.
+func parseTimeout(q url.Values, def, max time.Duration) (time.Duration, error) {
+	s := q.Get("timeout")
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, badf("parameter \"timeout\": %q is not a duration (e.g. 500ms, 2s)", s)
+	}
+	if d <= 0 {
+		return 0, badf("parameter \"timeout\": %v must be positive", d)
+	}
+	if d > max {
+		d = max
+	}
+	return d, nil
+}
+
+// decodeModel parses the shared (profile, topology, scenario, params)
+// block.
+func decodeModel(q url.Values) (modelRequest, error) {
+	m := modelRequest{ProfileName: "opencontrail", TopoName: "small", Cluster: 3}
+	if s := q.Get("profile"); s != "" {
+		m.ProfileName = strings.ToLower(s)
+	}
+	switch m.ProfileName {
+	case "opencontrail":
+		m.Profile = profile.OpenContrail3x()
+	case "odl":
+		m.Profile = profile.ODLLike()
+	case "onos":
+		m.Profile = profile.ONOSLike()
+	default:
+		return m, badf("parameter \"profile\": unknown profile %q (opencontrail, odl, onos)", m.ProfileName)
+	}
+	if s := q.Get("topology"); s != "" {
+		m.TopoName = strings.ToLower(s)
+	}
+	switch m.TopoName {
+	case "small":
+		m.Kind = topology.Small
+	case "medium":
+		m.Kind = topology.Medium
+	case "large":
+		m.Kind = topology.Large
+	default:
+		return m, badf("parameter \"topology\": unknown topology %q (small, medium, large)", m.TopoName)
+	}
+	cluster, err := parseIntRange(q, "cluster", 3, 1, 9)
+	if err != nil {
+		return m, err
+	}
+	if cluster%2 == 0 {
+		return m, badf("parameter \"cluster\": %d must be odd (2N+1 quorum)", cluster)
+	}
+	m.Cluster = cluster
+	scen, err := parseIntRange(q, "scenario", 2, 1, 2)
+	if err != nil {
+		return m, err
+	}
+	m.Scenario = analytic.SupervisorNotRequired
+	if scen == 2 {
+		m.Scenario = analytic.SupervisorRequired
+	}
+	if m.Compute, err = parseIntRange(q, "compute", 4, 0, 4096); err != nil {
+		return m, err
+	}
+
+	p := analytic.Params{}
+	for _, f := range []struct {
+		name string
+		dst  *float64
+		def  float64
+	}{
+		{"ac", &p.AC, 0.995},
+		{"av", &p.AV, 0.9995},
+		{"ah", &p.AH, 0.999},
+		{"ar", &p.AR, 0.998},
+		{"a", &p.A, 0.999},
+		{"as", &p.AS, 0.995},
+	} {
+		if *f.dst, err = parseProb(q, f.name, f.def); err != nil {
+			return m, err
+		}
+	}
+	m.Params = p
+	return m, nil
+}
+
+// decodeAnalytic parses an analytic-evaluation request.
+func decodeAnalytic(q url.Values) (modelRequest, error) {
+	if err := rejectUnknown(q, modelParams); err != nil {
+		return modelRequest{}, err
+	}
+	return decodeModel(q)
+}
+
+// decodeMC parses a Monte Carlo what-if request.
+func decodeMC(q url.Values) (mcRequest, error) {
+	if err := rejectUnknown(q, mcParams); err != nil {
+		return mcRequest{}, err
+	}
+	m, err := decodeModel(q)
+	if err != nil {
+		return mcRequest{}, err
+	}
+	r := mcRequest{Model: m}
+	if r.Horizon, err = parsePositiveFloat(q, "horizon", 1e5); err != nil {
+		return r, err
+	}
+	if r.Horizon > 1e9 {
+		return r, badf("parameter \"horizon\": %g exceeds 1e9 simulated hours", r.Horizon)
+	}
+	if r.Reps, err = parseIntRange(q, "reps", 64, 2, 1<<20); err != nil {
+		return r, err
+	}
+	if r.CITarget, err = parseNonNegFloat(q, "ci_target", 0); err != nil {
+		return r, err
+	}
+	if r.MinReps, err = parseIntRange(q, "min_reps", 8, 2, 1<<20); err != nil {
+		return r, err
+	}
+	if r.MaxReps, err = parseIntRange(q, "max_reps", 0, 0, 1<<20); err != nil {
+		return r, err
+	}
+	if r.MaxReps == 0 {
+		r.MaxReps = r.Reps
+		if r.MaxReps < r.MinReps {
+			r.MaxReps = r.MinReps
+		}
+	}
+	if r.MaxReps < r.MinReps {
+		return r, badf("parameter \"max_reps\": %d below min_reps %d", r.MaxReps, r.MinReps)
+	}
+	if r.Seed, err = parseSeed(q, 1); err != nil {
+		return r, err
+	}
+	if r.Headless, err = parseNonNegFloat(q, "headless", 0); err != nil {
+		return r, err
+	}
+	if r.Headless > 1e6 {
+		return r, badf("parameter \"headless\": %g exceeds 1e6 hours", r.Headless)
+	}
+	return r, nil
+}
+
+// decodeSoak parses a live-soak request.
+func decodeSoak(q url.Values) (soakRequest, error) {
+	if err := rejectUnknown(q, soakParams); err != nil {
+		return soakRequest{}, err
+	}
+	r := soakRequest{}
+	var err error
+	if r.Hours, err = parsePositiveFloat(q, "hours", 200); err != nil {
+		return r, err
+	}
+	if r.Hours > 1e5 {
+		return r, badf("parameter \"hours\": %g exceeds 1e5 simulated hours", r.Hours)
+	}
+	if r.MTBF, err = parsePositiveFloat(q, "mtbf", 100); err != nil {
+		return r, err
+	}
+	if r.Seed, err = parseSeed(q, 1); err != nil {
+		return r, err
+	}
+	if r.Hosts, err = parseIntRange(q, "hosts", 3, 1, 64); err != nil {
+		return r, err
+	}
+	if r.MTBF < 10 {
+		return r, badf("parameter \"mtbf\": %g below the 10 h floor (repair times must be dominated)", r.MTBF)
+	}
+	return r, nil
+}

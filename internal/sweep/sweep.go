@@ -15,6 +15,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -120,11 +121,25 @@ type Result struct {
 	// Converged reports whether the point met CITarget (always true when
 	// adaptation is disabled — the fixed count is the contract).
 	Converged bool
+	// Truncated reports that the sweep's context expired before this point
+	// finished: the estimate aggregates the replications that completed
+	// (possibly zero), with the honest CI half-width of that partial
+	// sample, and Converged is false.
+	Truncated bool
 }
 
 // Run sweeps the points. The slice order of the results matches the
 // input; every point is validated before any replication runs.
 func Run(points []Point, opt Options) ([]Result, error) {
+	return RunContext(context.Background(), points, opt)
+}
+
+// RunContext is Run with a deadline: when ctx expires, every point stops
+// at its next cancellation check (between replication batches, and every
+// few thousand simulated events within one replication) and reports what
+// it measured so far flagged Truncated — a deadlined what-if query gets
+// its partial estimate with a CI half-width rather than nothing.
+func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -160,7 +175,7 @@ func Run(points []Point, opt Options) ([]Result, error) {
 				if i >= len(points) {
 					return
 				}
-				results[i] = runPoint(points[i], sessions[i], opt)
+				results[i] = runPoint(ctx, points[i], sessions[i], opt)
 			}
 		}()
 	}
@@ -173,14 +188,14 @@ func Run(points []Point, opt Options) ([]Result, error) {
 // per-mode downtime; replication r uses the same derived seed it would
 // under mc.Run, so a converged sweep point is a prefix of the fixed-count
 // run at the same configuration.
-func runPoint(p Point, ss *mc.Session, o Options) Result {
+func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 	var cp, sdp, dp stats.Accumulator
 	cpModes, dpModes := map[string]float64{}, map[string]float64{}
 	var results []mc.Result
 	if p.Config.KeepResults {
 		results = make([]mc.Result, 0, o.MinReps)
 	}
-	n, converged := 0, false
+	n, converged, truncated := 0, false, false
 	for {
 		target := o.MaxReps
 		if o.CITarget > 0 {
@@ -191,7 +206,11 @@ func runPoint(p Point, ss *mc.Session, o Options) Result {
 			}
 		}
 		for ; n < target; n++ {
-			res := ss.Replicate(n)
+			res, ok := ss.ReplicateContext(ctx, n)
+			if !ok {
+				truncated = true
+				break
+			}
 			cp.Add(res.CPAvailability)
 			sdp.Add(res.SharedDPAvailability)
 			dp.Add(res.HostDPAvailability)
@@ -205,6 +224,9 @@ func runPoint(p Point, ss *mc.Session, o Options) Result {
 				results = append(results, res)
 			}
 		}
+		if truncated {
+			break
+		}
 		if o.CITarget <= 0 {
 			converged = true // fixed-count run: the contract is the count
 			break
@@ -217,11 +239,13 @@ func runPoint(p Point, ss *mc.Session, o Options) Result {
 			break
 		}
 	}
-	for m := range cpModes {
-		cpModes[m] /= float64(n)
-	}
-	for m := range dpModes {
-		dpModes[m] /= float64(n)
+	if n > 0 {
+		for m := range cpModes {
+			cpModes[m] /= float64(n)
+		}
+		for m := range dpModes {
+			dpModes[m] /= float64(n)
+		}
 	}
 	return Result{
 		Point: p,
@@ -232,8 +256,11 @@ func runPoint(p Point, ss *mc.Session, o Options) Result {
 			CPDowntimeByMode: cpModes,
 			DPDowntimeByMode: dpModes,
 			Results:          results,
+			Replications:     n,
+			Truncated:        truncated,
 		},
 		Replications: n,
 		Converged:    converged,
+		Truncated:    truncated,
 	}
 }

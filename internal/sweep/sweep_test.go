@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"sdnavail/internal/analytic"
 	"sdnavail/internal/mc"
@@ -188,5 +190,70 @@ func BenchmarkSweep(b *testing.B) {
 		if len(res) != len(points) {
 			b.Fatalf("got %d results", len(res))
 		}
+	}
+}
+
+// TestRunContextTruncatesPromptly: a deadlined sweep must return partial
+// per-point estimates flagged Truncated within 100 ms of the deadline,
+// carrying the CI half-width of whatever sample each point accumulated.
+func TestRunContextTruncatesPromptly(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Horizon = 2e6 // long replications so the deadline lands mid-point
+	pts := []Point{
+		{ID: "a", X: 0, Config: cfg},
+		{ID: "b", X: 1, Config: cfg},
+	}
+	const deadline = 120 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+
+	start := time.Now()
+	res, err := RunContext(ctx, pts, Options{CITarget: 1e-9, MinReps: 8, MaxReps: 1 << 20})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over := elapsed - deadline; over > 100*time.Millisecond {
+		t.Fatalf("RunContext returned %v past the deadline (limit 100 ms)", over)
+	}
+	sawTruncated := false
+	for _, r := range res {
+		if r.Converged {
+			t.Fatalf("point %s claims convergence at CITarget 1e-9", r.Point.ID)
+		}
+		if r.Truncated {
+			sawTruncated = true
+			if r.Replications > 0 && (r.Estimate.CP.Mean <= 0 || r.Estimate.CP.Mean > 1) {
+				t.Fatalf("point %s partial CP mean %v outside (0, 1]", r.Point.ID, r.Estimate.CP.Mean)
+			}
+			if r.Replications > 1 && r.Estimate.CP.HalfWide <= 0 {
+				t.Fatalf("point %s partial estimate lost its CI half-width", r.Point.ID)
+			}
+		}
+	}
+	if !sawTruncated {
+		t.Fatal("no point reported Truncated under an expired deadline")
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: threading a live context must not
+// change the sweep's output.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := testConfig(t, 3)
+	pts := []Point{{ID: "p", X: 0, Config: cfg}}
+	opt := Options{CITarget: 5e-4, MinReps: 8, MaxReps: 64, Batch: 8}
+	a, err := Run(pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), pts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Replications != b[0].Replications || a[0].Estimate.CP != b[0].Estimate.CP {
+		t.Fatalf("context-threaded sweep diverged: %+v vs %+v", a[0], b[0])
+	}
+	if b[0].Truncated {
+		t.Fatal("uncancelled sweep reported Truncated")
 	}
 }

@@ -1,6 +1,7 @@
 package sdnavail
 
 import (
+	"context"
 	"time"
 
 	"sdnavail/internal/analytic"
@@ -10,6 +11,7 @@ import (
 	"sdnavail/internal/mc"
 	"sdnavail/internal/profile"
 	"sdnavail/internal/relmath"
+	"sdnavail/internal/server"
 	"sdnavail/internal/stats"
 	"sdnavail/internal/telemetry"
 	"sdnavail/internal/topology"
@@ -501,3 +503,35 @@ type ModeShare = telemetry.ModeShare
 // replica catch-ups, gray-leader detections); reports render the
 // distributions next to availability via Telemetry.Recovery.
 type RecoveryTracker = telemetry.Recovery
+
+// SimulateContext is Simulate with a deadline: when ctx expires, the run
+// stops at its next cancellation check and returns the partial estimate
+// with honest confidence intervals, flagged SimEstimate.Truncated —
+// a deadlined what-if query gets its partial answer, not an error.
+func SimulateContext(ctx context.Context, cfg SimConfig, replications int, level float64) (SimEstimate, error) {
+	return mc.RunContext(ctx, cfg, replications, level)
+}
+
+// RunSoakContext is RunSoak with a deadline: a cancelled soak finalizes
+// every aggregate at the virtual hours actually covered and reports
+// SoakResult.Truncated — a clean partial result, not a torn one.
+func RunSoakContext(ctx context.Context, sc SoakConfig) (SoakResult, error) {
+	return chaos.RunSoakContext(ctx, sc)
+}
+
+// ---- resident availability service (availd) ----
+
+// Server is the resident availability service behind cmd/availd: analytic
+// evaluation, Monte Carlo what-ifs and live soaks as HTTP endpoints, with
+// bounded admission (explicit 429 load shedding), per-request deadlines
+// answering truncated partial estimates, per-request panic isolation,
+// memoized analytic evaluation, Prometheus-format metrics, and graceful
+// drain. Embed it via ServerConfig + NewServer, or mount
+// Server.Handler() on an existing mux.
+type Server = server.Server
+
+// ServerConfig parameterizes the service; zero fields select defaults.
+type ServerConfig = server.Config
+
+// NewServer builds a service (call Listen then Serve, or mount Handler).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
