@@ -5,7 +5,7 @@
 // Usage:
 //
 //	chaosctl [-topology small|large] [-hosts n]
-//	         [-scenario section3|dbquorum|rack|partition|asymlink|crashloop|flapping|headless|staleread|leadercrash|grayleader|staleleader|ackdrop|campaign]
+//	         [-scenario section3|dbquorum|rack|partition|asymlink|graphlink|crashloop|flapping|headless|staleread|leadercrash|grayleader|staleleader|ackdrop|campaign]
 //	         [-scenario-file spec.json]
 //	         [-step d] [-duration d] [-mbf d] [-repair d] [-seed s]
 //	         [-headless-hold d] [-route-max-age d] [-catchup d]
@@ -19,6 +19,9 @@
 //	section3    — the paper's §III control failure narrative
 //	partition   — majority network partition and heal
 //	asymlink    — asymmetric mesh link cuts (degraded, not down) and heal
+//	graphlink   — network-fabric failures over the topology graph: a host
+//	              uplink is severed, then the service-edge adjacency (full
+//	              connectivity outage), then every link heals
 //	crashloop   — crash-loop config-api until its supervisor gives up (FATAL)
 //	flapping    — flap a control process into FATAL via flap detection
 //	dbquorum    — Cassandra quorum loss and repair
@@ -107,7 +110,7 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 	var (
 		topoName = flag.String("topology", "small", "deployment topology: small or large")
 		hosts    = flag.Int("hosts", 3, "vRouter compute hosts")
-		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition, asymlink, crashloop, flapping, headless, staleread, leadercrash, grayleader, staleleader, ackdrop or campaign")
+		scenario = flag.String("scenario", "section3", "scenario: section3, dbquorum, rack, partition, asymlink, graphlink, crashloop, flapping, headless, staleread, leadercrash, grayleader, staleleader, ackdrop or campaign")
 		specFile = flag.String("scenario-file", "", "run a declarative JSON scenario from this file instead of -scenario")
 		step     = flag.Duration("step", 250*time.Millisecond, "delay between scripted injections")
 		duration = flag.Duration("duration", 2*time.Second, "campaign duration")
@@ -184,6 +187,12 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 		topo = topology.NewLarge(prof.ClusterRoles, 3)
 	default:
 		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+	// The graphlink scenario cuts declared network links; give the
+	// topology its default fabric (uplinks, rack core links, edge
+	// adjacency) so those links exist to cut.
+	if *scenario == "graphlink" && *specFile == "" {
+		topo = topo.WithDefaultLinks(10_000, 4)
 	}
 
 	if *soak {
@@ -263,6 +272,9 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 		rep, err = chaos.RunScenario(c, chaos.MajorityPartition(*step), 2**step, 0, 0)
 	case "asymlink":
 		rep, err = chaos.RunScenario(c, chaos.AsymmetricPartition(*step), 2**step, 0, 0)
+	case "graphlink":
+		uplink := "up:" + topo.Racks[0].Hosts[0].Name
+		rep, err = chaos.RunScenario(c, chaos.GraphLinkOutage(uplink, "adj:edge", *step), 2**step, 0, 0)
 	case "crashloop":
 		rep, err = chaos.RunScenario(c, chaos.CrashLoop("Config", 0, "config-api", *step), *step, 0, 0)
 	case "flapping":

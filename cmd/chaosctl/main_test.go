@@ -49,6 +49,11 @@ func TestScenarios(t *testing.T) {
 			[]string{"cut mesh link", "heal all mesh links", "cluster health: healthy"},
 		},
 		{
+			"graphlink",
+			[]string{"-scenario", "graphlink", "-step", "100ms", "-hosts", "2"},
+			[]string{"cut graph link up:H1", "cut graph link adj:edge", "heal all graph links", "cluster health: healthy"},
+		},
+		{
 			"campaign",
 			[]string{"-scenario", "campaign", "-duration", "150ms", "-mbf", "40ms", "-repair", "30ms", "-hosts", "2", "-snapshot"},
 			[]string{"chaos report", "final process snapshot"},

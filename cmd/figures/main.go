@@ -6,14 +6,20 @@
 //
 // Usage:
 //
-//	figures [-fig 3|4|5|all] [-tables] [-ablations] [-validate]
+//	figures [-fig 3|4|5|all] [-tables] [-ablations] [-validate] [-placement]
 //	        [-format ascii|csv] [-points n] [-reps n] [-horizon h]
 //	        [-ci-target w] [-min-reps n] [-max-reps n]
+//	        [-controllers n] [-candidates n] [-top n]
 //
 // -ci-target switches the validation experiment to adaptive replication:
 // each option replicates only until its CP confidence half-width meets the
 // target, bounded by [-min-reps, -max-reps]; with it unset, -reps is the
 // fixed count.
+//
+// -placement prints the controller-placement ranking: every way to place
+// the -controllers cluster over the reference 4x3 rack/host grid (capped
+// by -candidates), scored analytically and cross-checked by the adaptive
+// Monte Carlo engine at a laptop-scale horizon.
 //
 // With no selection flags it prints everything.
 package main
@@ -54,18 +60,24 @@ func run(args []string, out io.Writer) error {
 		ciTarget   = flag.Float64("ci-target", 0, "adaptive validation: stop each option once the CP CI half-width is ≤ this (0 = fixed -reps)")
 		minReps    = flag.Int("min-reps", 8, "adaptive validation: replication floor before the first stopping check")
 		maxReps    = flag.Int("max-reps", 256, "adaptive validation: replication ceiling")
+
+		placement   = flag.Bool("placement", false, "print the controller-placement ranking")
+		controllers = flag.Int("controllers", 3, "placement: controller cluster size (odd)")
+		candidates  = flag.Int("candidates", 60, "placement: candidate cap via deterministic subsampling (0 = all)")
+		top         = flag.Int("top", 10, "placement: ranked rows to print (0 = all)")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
 	}
 
-	all := *fig == "" && !*tables && !*ablations && !*extensions && !*validate
+	all := *fig == "" && !*tables && !*ablations && !*extensions && !*validate && !*placement
 	if all {
 		*fig = "all"
 		*tables = true
 		*ablations = true
 		*extensions = true
 		*validate = true
+		*placement = true
 	}
 
 	if *tables {
@@ -124,6 +136,19 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, t.Text())
 		fmt.Fprintln(out, experiments.DowntimeDistributionTable(*reps, *horizon, *seed).Text())
+	}
+
+	if *placement {
+		// Laptop-scale horizon: the ranking compares hundreds of candidate
+		// topologies, so each cross-check stays cheap and adaptive.
+		spec := experiments.DefaultPlacementSpec(*controllers, 2e4, *seed)
+		spec.MaxCandidates = *candidates
+		popt := sweep.Options{CITarget: *ciTarget, MinReps: *minReps, MaxReps: *maxReps}
+		if *ciTarget == 0 {
+			popt = sweep.Options{CITarget: 2e-3, MinReps: 8, MaxReps: 32, Batch: 8}
+		}
+		_, t := experiments.PlacementStudy(spec, popt, *top)
+		fmt.Fprintln(out, t.Text())
 	}
 	return nil
 }

@@ -101,6 +101,11 @@ func (e *ExactModel) resolve() (*exactLayout, error) {
 			}
 		}
 	}
+	if len(e.Topology.Links) > 0 {
+		if err := e.resolveLinks(lay); err != nil {
+			return nil, err
+		}
+	}
 	for i := range lay.elements {
 		if lay.elements[i].placements > 1 {
 			lay.elements[i].sharedIdx = len(lay.shared)
@@ -111,6 +116,114 @@ func (e *ExactModel) resolve() (*exactLayout, error) {
 		return nil, fmt.Errorf("analytic: topology has %d shared hardware elements; the exact enumeration caps at %d", len(lay.shared), maxSharedElements)
 	}
 	return lay, nil
+}
+
+// resolveLinks extends every placement's element chain with the fallible
+// links on its host's edge path — the series part of the series/parallel
+// decomposition. The graph must be a tree (unique paths); redundant
+// fabrics have no closed form here and belong to the Monte Carlo engine.
+// After the link pass, elements carried by identical placement sets are
+// merged into one element with the product availability — exact, because
+// such elements only ever appear together in a chain — which keeps the
+// shared-element count of placement-sweep layouts well under the
+// enumeration cap. Neither step runs for link-free topologies, so those
+// keep the seed layout (and its floating-point rounding) bit-identically.
+func (e *ExactModel) resolveLinks(lay *exactLayout) error {
+	g, err := e.Topology.Graph()
+	if err != nil {
+		return err
+	}
+	linkElem := map[int]int{} // link index -> element index
+	fallible := false
+	for _, rack := range e.Topology.Racks {
+		for _, host := range rack.Hosts {
+			node, ok := g.NodeIndex(host.Name)
+			if !ok {
+				return fmt.Errorf("analytic: host %q missing from topology graph", host.Name)
+			}
+			path, err := g.PathLinks(node)
+			if err != nil {
+				return fmt.Errorf("analytic: %w (redundant link fabrics need the Monte Carlo simulator)", err)
+			}
+			var els []int
+			for _, li := range path {
+				l := g.Links[li]
+				if !l.Fallible() {
+					continue
+				}
+				ei, ok := linkElem[li]
+				if !ok {
+					lay.elements = append(lay.elements, hwElement{avail: l.Availability(), sharedIdx: -1})
+					ei = len(lay.elements) - 1
+					linkElem[li] = ei
+				}
+				els = append(els, ei)
+			}
+			if len(els) == 0 {
+				continue
+			}
+			fallible = true
+			for _, vm := range host.VMs {
+				for _, pl := range vm.Placements {
+					lay.chain[pl] = append(lay.chain[pl], els...)
+					for _, ei := range els {
+						lay.elements[ei].placements++
+					}
+				}
+			}
+		}
+	}
+	if fallible {
+		lay.mergeSameMembership(e.Topology)
+	}
+	return nil
+}
+
+// mergeSameMembership collapses elements whose placement-membership sets
+// are identical into a single element with the product availability, and
+// drops elements no chain references.
+func (lay *exactLayout) mergeSameMembership(t *topology.Topology) {
+	sig := make([]string, len(lay.elements))
+	for _, role := range t.Roles {
+		for node := 0; node < t.ClusterSize; node++ {
+			pl := topology.Placement{Role: role, Node: node}
+			for _, ei := range lay.chain[pl] {
+				sig[ei] += pl.String() + "|"
+			}
+		}
+	}
+	remap := make([]int, len(lay.elements))
+	canon := map[string]int{}
+	var merged []hwElement
+	for i, el := range lay.elements {
+		if el.placements == 0 {
+			remap[i] = -1 // unreferenced: cannot affect any chain
+			continue
+		}
+		if j, ok := canon[sig[i]]; ok {
+			merged[j].avail *= el.avail
+			remap[i] = j
+			continue
+		}
+		remap[i] = len(merged)
+		canon[sig[i]] = len(merged)
+		merged = append(merged, hwElement{avail: el.avail, sharedIdx: -1})
+	}
+	for pl, els := range lay.chain {
+		seen := map[int]bool{}
+		var out []int
+		for _, ei := range els {
+			j := remap[ei]
+			if j < 0 || seen[j] {
+				continue
+			}
+			seen[j] = true
+			out = append(out, j)
+			merged[j].placements++
+		}
+		lay.chain[pl] = out
+	}
+	lay.elements = merged
 }
 
 // planeAvailability enumerates the shared-element states.

@@ -1,0 +1,46 @@
+package analytic
+
+import (
+	"fmt"
+
+	"sdnavail/internal/topology"
+)
+
+// Path-availability closed form over the network graph.
+//
+// On a tree-shaped fabric every host has a unique link path to the edge,
+// so its connectivity availability is the SERIES product of the per-link
+// availabilities along that path:
+//
+//	A_path(h) = Π_{l ∈ path(h)} MTBF_l / (MTBF_l + MTTR_l)
+//
+// Links shared by several controller placements (the rack fabric link,
+// the edge adjacency) correlate those placements exactly like shared
+// racks do, so the exact evaluator enumerates them as joint up/down
+// states — the PARALLEL part of the decomposition — while links exclusive
+// to one placement fold into that placement's availability like exclusive
+// hardware. ExactModel applies both automatically when the topology
+// declares links; PathAvailability exposes the per-host series term for
+// reports and cross-checks.
+func PathAvailability(t *topology.Topology, host string) (float64, error) {
+	if len(t.Links) == 0 {
+		return 1, nil // tree semantics: connectivity is free
+	}
+	g, err := t.Graph()
+	if err != nil {
+		return 0, err
+	}
+	node, ok := g.NodeIndex(host)
+	if !ok {
+		return 0, fmt.Errorf("analytic: host %q not in topology %s", host, t.Name)
+	}
+	path, err := g.PathLinks(node)
+	if err != nil {
+		return 0, fmt.Errorf("analytic: %w (redundant link fabrics need the Monte Carlo simulator)", err)
+	}
+	a := 1.0
+	for _, li := range path {
+		a *= g.Links[li].Availability()
+	}
+	return a, nil
+}

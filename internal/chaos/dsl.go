@@ -122,28 +122,31 @@ type opSpec struct {
 }
 
 var opSpecs = map[string]opSpec{
-	"kill-process":      {needsProc: true},
-	"restart-process":   {needsProc: true},
-	"restart-node-role": {needsRole: true},
-	"kill-host":         {needsTarget: true},
-	"restore-host":      {needsTarget: true},
-	"kill-vm":           {needsTarget: true},
-	"restore-vm":        {needsTarget: true},
-	"kill-rack":         {needsTarget: true},
-	"restore-rack":      {needsTarget: true},
-	"isolate":           {needsNodes: true},
-	"heal-partition":    {},
-	"cut-link":          {needsLink: true},
-	"restore-link":      {needsLink: true},
-	"heal-links":        {},
-	"wrong-reads":       {needsEnable: true, takesStore: true},
-	"ack-drop":          {needsEnable: true, takesStore: true},
-	"gray-leader":       {takesStore: true},
-	"clear-byzantine":   {takesStore: true},
-	"kill-leader":       {takesStore: true},
-	"restart-replica":   {needsEnable: false, takesStore: true}, // node required, see Validate
-	"isolate-leader":    {takesStore: true},
-	"write-marker":      {needsKV: true},
+	"kill-process":       {needsProc: true},
+	"restart-process":    {needsProc: true},
+	"restart-node-role":  {needsRole: true},
+	"kill-host":          {needsTarget: true},
+	"restore-host":       {needsTarget: true},
+	"kill-vm":            {needsTarget: true},
+	"restore-vm":         {needsTarget: true},
+	"kill-rack":          {needsTarget: true},
+	"restore-rack":       {needsTarget: true},
+	"isolate":            {needsNodes: true},
+	"heal-partition":     {},
+	"cut-link":           {needsLink: true},
+	"restore-link":       {needsLink: true},
+	"heal-links":         {},
+	"cut-graph-link":     {needsTarget: true},
+	"restore-graph-link": {needsTarget: true},
+	"heal-graph-links":   {},
+	"wrong-reads":        {needsEnable: true, takesStore: true},
+	"ack-drop":           {needsEnable: true, takesStore: true},
+	"gray-leader":        {takesStore: true},
+	"clear-byzantine":    {takesStore: true},
+	"kill-leader":        {takesStore: true},
+	"restart-replica":    {needsEnable: false, takesStore: true}, // node required, see Validate
+	"isolate-leader":     {takesStore: true},
+	"write-marker":       {needsKV: true},
 }
 
 // storeProcess maps a store name to its backing Database process.
@@ -350,6 +353,14 @@ func (st *StepSpec) compile() Action {
 		return Step(after, name, func(c *cluster.Cluster) error { return c.RestoreLink(a, b) })
 	case "heal-links":
 		return Step(after, name, func(c *cluster.Cluster) error { c.HealLinks(); return nil })
+	case "cut-graph-link":
+		t := st.Target
+		return Step(after, name, func(c *cluster.Cluster) error { return c.CutGraphLink(t) })
+	case "restore-graph-link":
+		t := st.Target
+		return Step(after, name, func(c *cluster.Cluster) error { return c.RestoreGraphLink(t) })
+	case "heal-graph-links":
+		return Step(after, name, func(c *cluster.Cluster) error { c.HealGraphLinks(); return nil })
 	case "wrong-reads":
 		store, node, on := canonicalStore(st.Store), *st.Node, *st.Enable
 		return Step(after, name, func(c *cluster.Cluster) error { return c.SetWrongReads(store, node, on) })

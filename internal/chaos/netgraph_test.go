@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sdnavail/internal/cluster"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+	"sdnavail/internal/vclock"
+)
+
+// newFakeLinkedCluster builds a started fake-clocked testbed whose Small
+// topology declares the default fabric, so graph-link chaos runs in
+// deterministic virtual time.
+func newFakeLinkedCluster(t *testing.T) (*cluster.Cluster, *vclock.Fake) {
+	t.Helper()
+	fc := vclock.NewFake(time.Time{})
+	prof := profile.OpenContrail3x()
+	topo := topology.NewSmall(prof.ClusterRoles, 3).WithDefaultLinks(10_000, 4)
+	c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 2, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c, fc
+}
+
+// TestScenarioEquivalencePerfectFabric pins the tree↔graph contract at
+// the live-testbed layer: the seed SectionIII scenario replayed on a
+// cluster whose topology declares a PERFECT default fabric (MTBF 0 —
+// the graph machinery is active but no link ever fails) must reproduce
+// the bare containment-tree cluster's report bit-for-bit, probe by
+// probe, on identical virtual timelines.
+//
+// DP-probe observations (Sample.DPUp, PerHostDP, DPAvailability) are
+// excluded from the comparison: per-host DP probes race against agent
+// restarts even on the fake clock, and a single sample near a
+// transition edge flips run-to-run on the bare seed tree itself (this
+// predates the graph work — verified against the pre-graph commit). CP
+// probes, health sampling, injections and bus totals are fully
+// deterministic and are compared exactly.
+func TestScenarioEquivalencePerfectFabric(t *testing.T) {
+	run := func(linked bool) (Report, cluster.HealthReport) {
+		fc := vclock.NewFake(time.Time{})
+		prof := profile.OpenContrail3x()
+		topo := topology.NewSmall(prof.ClusterRoles, 3)
+		if linked {
+			topo.WithDefaultLinks(0, 0)
+		}
+		c, err := cluster.New(cluster.Config{Profile: prof, Topology: topo, ComputeHosts: 2, Clock: fc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+		rep, err := RunScenario(c, SectionIII(120*time.Millisecond), 120*time.Millisecond, 7*time.Millisecond, 30*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, c.Health()
+	}
+	bareRep, bareHealth := run(false)
+	linkedRep, linkedHealth := run(true)
+	stripDP := func(r Report) Report {
+		r.DPAvailability = 0
+		r.PerHostDP = nil
+		samples := make([]Sample, len(r.Samples))
+		copy(samples, r.Samples)
+		for i := range samples {
+			samples[i].DPUp = nil
+		}
+		r.Samples = samples
+		r.FinalHealth.Telemetry = nil
+		r.FinalHealth.At = time.Time{}
+		return r
+	}
+	if got, want := len(linkedRep.PerHostDP), len(bareRep.PerHostDP); got != want {
+		t.Errorf("perfect fabric observed %d DP hosts, tree observed %d", got, want)
+	}
+	if !reflect.DeepEqual(stripDP(bareRep), stripDP(linkedRep)) {
+		t.Errorf("perfect fabric drifted from the tree scenario report:\n%+v\nvs\n%+v", bareRep, linkedRep)
+	}
+	// The telemetry digest counts DP probe outcomes and the snapshot
+	// timestamp lands wherever the last probe left the virtual clock, so
+	// both inherit the same pre-existing nondeterminism; every semantic
+	// field of the health snapshot must match exactly.
+	bareHealth.Telemetry, linkedHealth.Telemetry = nil, nil
+	bareHealth.At, linkedHealth.At = time.Time{}, time.Time{}
+	if !reflect.DeepEqual(bareHealth, linkedHealth) {
+		t.Errorf("perfect fabric drifted from the tree health:\n%v\nvs\n%v", bareHealth, linkedHealth)
+	}
+}
+
+// TestGraphLinkOutageScenarioVirtual replays the graph-fabric outage
+// narrative on the virtual clock: one host uplink cut leaves the control
+// plane up on the surviving quorum; cutting the edge adjacency severs
+// every controller host and the control plane goes down; healing all
+// links restores it. Windows are exact because injections land at
+// scripted virtual instants.
+func TestGraphLinkOutageScenarioVirtual(t *testing.T) {
+	c, _ := newFakeLinkedCluster(t)
+	const (
+		step         = 120 * time.Millisecond
+		margin       = 15 * time.Millisecond
+		probeTimeout = 30 * time.Millisecond
+	)
+	rep, err := RunScenario(c, GraphLinkOutage("up:H1", "adj:edge", step), step, 7*time.Millisecond, probeTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Duration, 3*step; got != want {
+		t.Fatalf("virtual duration %v, want %v", got, want)
+	}
+	// Phase 1 [0, step): one uplink cut, quorum holds 2-of-3, CP up.
+	if frac, _, n := windowFracs(rep.Samples, margin, step-probeTimeout); n == 0 || frac != 1 {
+		t.Errorf("phase 1 (uplink cut): CP fraction %v over %d samples, want exactly 1", frac, n)
+	}
+	// Phase 2 [step, 2*step): edge adjacency cut, every host severed, CP down.
+	if frac, _, n := windowFracs(rep.Samples, step+margin, 2*step); n == 0 || frac != 0 {
+		t.Errorf("phase 2 (edge cut): CP fraction %v over %d samples, want exactly 0", frac, n)
+	}
+	// Phase 3 [2*step, 3*step): all links healed, CP back up.
+	if frac, _, n := windowFracs(rep.Samples, 2*step+margin, 3*step); n == 0 || frac != 1 {
+		t.Errorf("phase 3 (healed): CP fraction %v over %d samples, want exactly 1", frac, n)
+	}
+	if c.GraphLinkDown("up:H1") || c.GraphLinkDown("adj:edge") {
+		t.Error("links still down after heal-graph-links")
+	}
+}
+
+// TestGraphLinkDSL round-trips the graph ops through the declarative
+// scenario grammar and executes the compiled script.
+func TestGraphLinkDSL(t *testing.T) {
+	doc := []byte(`{
+		"name": "fabric-outage",
+		"steps": [
+			{"op": "cut-graph-link", "target": "up:H1"},
+			{"after": "40ms", "op": "restore-graph-link", "target": "up:H1"},
+			{"after": "40ms", "op": "cut-graph-link", "target": "fab:R1"},
+			{"after": "40ms", "op": "heal-graph-links"}
+		]
+	}`)
+	spec, err := ParseScenarioSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := newFakeLinkedCluster(t)
+	rep, err := RunSpec(c, spec, 7*time.Millisecond, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Injections) != 4 {
+		t.Fatalf("injection log %v, want 4 entries", rep.Injections)
+	}
+	for _, inj := range rep.Injections {
+		if strings.Contains(inj, "ERROR") {
+			t.Errorf("injection failed: %s", inj)
+		}
+	}
+	if c.GraphLinkDown("fab:R1") {
+		t.Error("fab:R1 still down after heal-graph-links")
+	}
+
+	// Schema violations: a graph cut without a target, unknown op spelling.
+	if _, err := ParseScenarioSpec([]byte(`{"name":"x","steps":[{"op":"cut-graph-link"}]}`)); err == nil {
+		t.Error("cut-graph-link without target accepted")
+	}
+	if _, err := ParseScenarioSpec([]byte(`{"name":"x","steps":[{"op":"cut-graph"}]}`)); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+// TestFlakyLinkVirtual drives the MTBF/MTTR link injector inside a
+// virtual-clock scenario: the edge adjacency flaps for one long step,
+// producing repeated CP outages, then the injector stops and repairs the
+// link on the way out.
+func TestFlakyLinkVirtual(t *testing.T) {
+	c, _ := newFakeLinkedCluster(t)
+	flaky := &FlakyLink{Link: "adj:edge", MTBF: 20 * time.Millisecond, MTTR: 10 * time.Millisecond, Seed: 7}
+	actions := []Action{
+		Step(0, "start flaky link injector on adj:edge", func(c *cluster.Cluster) error {
+			return flaky.Start(c)
+		}),
+		Step(400*time.Millisecond, "stop flaky link injector", func(c *cluster.Cluster) error {
+			flaky.Stop()
+			return nil
+		}),
+	}
+	rep, err := RunScenario(c, actions, 50*time.Millisecond, 7*time.Millisecond, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flaky.Cuts() < 3 {
+		t.Errorf("flaky link produced only %d cuts over 400ms of MTBF=20ms flapping", flaky.Cuts())
+	}
+	if c.GraphLinkDown("adj:edge") {
+		t.Error("injector left the link down after Stop")
+	}
+	if rep.CPAvailability >= 1 {
+		t.Error("flapping edge adjacency produced no observed CP downtime")
+	}
+	if rep.CPAvailability == 0 {
+		t.Error("CP never observed up despite MTTR << MTBF")
+	}
+	// Validation errors surface at Start.
+	bad := &FlakyLink{Link: "up:H9"}
+	if err := bad.Start(c); err == nil {
+		t.Error("unknown link accepted by FlakyLink.Start")
+	}
+}

@@ -166,6 +166,26 @@ func AsymmetricPartition(step time.Duration) []Action {
 	}
 }
 
+// GraphLinkOutage returns a scenario of network-fabric failures over the
+// topology graph: a host uplink is cut (its node's replicas and control
+// drop out while quorum rides on the survivors), then the given core
+// link fails too, and finally every link heals. Run it against a cluster
+// whose topology declares links (topology.WithDefaultLinks).
+func GraphLinkOutage(uplink, core string, step time.Duration) []Action {
+	return []Action{
+		Step(0, "cut graph link "+uplink, func(c *cluster.Cluster) error {
+			return c.CutGraphLink(uplink)
+		}),
+		Step(step, "cut graph link "+core, func(c *cluster.Cluster) error {
+			return c.CutGraphLink(core)
+		}),
+		Step(step, "heal all graph links", func(c *cluster.Cluster) error {
+			c.HealGraphLinks()
+			return nil
+		}),
+	}
+}
+
 // Headless exercises the graceful-degradation axis of the section III
 // narrative: with the cluster configured for a headless hold longer than
 // one step, a total control outage of one step is ridden out on stale

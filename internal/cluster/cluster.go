@@ -81,6 +81,13 @@ type Cluster struct {
 	isolated   map[int]bool             // controller nodes partitioned away
 	cutLinks   map[link]bool            // severed controller-pair mesh links
 	catchUpAt  map[catchUpKey]time.Time // deferred replica catch-up deadlines
+	// net mirrors the topology's network graph when links are declared
+	// (nil otherwise — link-free topologies keep the historical tree
+	// semantics with zero overhead). hostProcs indexes the controller
+	// processes by topology host so a link flip marks dirty exactly the
+	// processes whose reachability changed.
+	net       *topology.Connectivity
+	hostProcs map[string][]procKey
 	// changed is closed and replaced whenever observable cluster state
 	// mutates; WaitUntil blocks on it instead of polling. changedWaiters
 	// counts the goroutines currently parked on the present generation of
@@ -246,6 +253,9 @@ func New(cfg Config) (*Cluster, error) {
 	// Control nodes.
 	for node := 0; node < n; node++ {
 		c.controls = append(c.controls, newControlNode(c, node))
+	}
+	if err := c.initNetGraphLocked(); err != nil {
+		return nil, err
 	}
 	// The process table is complete and immutable from here on; freeze the
 	// snapshot enumeration order.
@@ -581,7 +591,7 @@ func (c *Cluster) recomputeControlLocked(ctl *controlNode) {
 	}
 	ctl.wasAlive = alive
 
-	usable := alive && c.reachableLocked(ctl.node)
+	usable := c.usableLocked(ctl.key())
 	if usable && !ctl.wasUsable {
 		ctl.resyncLocked()
 	}
@@ -651,7 +661,7 @@ func (c *Cluster) runCatchUps() {
 		if now.Before(due) {
 			continue
 		}
-		if !c.reachableLocked(k.node) {
+		if !c.replicaReachableLocked(k.node) {
 			c.catchUpAt[k] = now.Add(c.cfg.Degradation.ReplicaCatchUp)
 			continue
 		}

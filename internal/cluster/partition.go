@@ -167,9 +167,15 @@ func (c *Cluster) linkCutLocked(a, b int) bool {
 }
 
 // meshConnectedLocked reports whether two controller nodes can exchange
-// mesh state: same side of any isolation, and the pairwise link intact.
+// mesh state: same side of any isolation, the pairwise link intact, and —
+// with a declared network graph — both Control hosts reachable over the
+// fabric (the iBGP sessions ride the same management network as the
+// clients, so a host severed from the core loses its mesh peers too).
 func (c *Cluster) meshConnectedLocked(a, b int) bool {
-	return c.isolated[a] == c.isolated[b] && !c.linkCutLocked(a, b)
+	if c.isolated[a] != c.isolated[b] || c.linkCutLocked(a, b) {
+		return false
+	}
+	return c.controlHostReachableLocked(a) && c.controlHostReachableLocked(b)
 }
 
 // meshRefreshLocked re-syncs every alive control from its now-reachable
@@ -189,15 +195,18 @@ func (c *Cluster) reachableLocked(node int) bool {
 }
 
 // usableLocked combines process liveness with reachability: the process is
-// running, its hardware is up, and its node is not partitioned away.
+// running, its hardware is up, its node is not partitioned away, and its
+// host still has a network path to the edge when the topology declares
+// graph links.
 func (c *Cluster) usableLocked(k procKey) bool {
 	if !c.aliveLocked(k) {
 		return false
 	}
 	// Per-host vRouter processes are never in the isolated set (isolation
-	// applies to controller nodes).
+	// applies to controller nodes) and compute hosts sit outside the
+	// controller fabric graph.
 	if k.role == string(c.cfg.Profile.HostRole) {
 		return true
 	}
-	return c.reachableLocked(k.node)
+	return c.reachableLocked(k.node) && c.hostReachableLocked(c.loc[k].host)
 }

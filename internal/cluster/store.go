@@ -31,9 +31,9 @@ type versioned struct {
 
 // logEntry is one committed operation in the replicated log.
 type logEntry struct {
-	term uint64
-	del  bool
-	key  string
+	term  uint64
+	del   bool
+	key   string
 	value string
 }
 

@@ -207,8 +207,13 @@ func (c *Cluster) modeKeyLocked(k procKey) string {
 		return "vm:" + loc.vm
 	}
 	if p, ok := c.procs[k]; ok && p.state == Running &&
-		k.role != string(c.cfg.Profile.HostRole) && !c.reachableLocked(k.node) {
-		return fmt.Sprintf("partition:node%d", k.node)
+		k.role != string(c.cfg.Profile.HostRole) {
+		if !c.reachableLocked(k.node) {
+			return fmt.Sprintf("partition:node%d", k.node)
+		}
+		if !c.hostReachableLocked(loc.host) {
+			return c.graphCutModeLocked(loc.host)
+		}
 	}
 	return "process:" + k.name
 }

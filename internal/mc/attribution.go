@@ -30,6 +30,8 @@ func (s *Sim) modeName(ent int) string {
 		return "host:" + e.name
 	case kindVM:
 		return "vm:" + e.name
+	case kindLink:
+		return "link:" + e.name
 	}
 	name := e.name
 	if i := strings.LastIndex(name, "/"); i >= 0 {
@@ -53,6 +55,16 @@ func (s *Sim) nodeBlames(gn *groupNode, set map[string]bool) {
 	}
 	if hwDown >= 0 {
 		set[s.modeName(hwDown)] = true
+		return
+	}
+	if gn.connNode >= 0 && !s.conn.Reachable(gn.connNode) {
+		// The host is alive but cut off: blame the down links that can
+		// sever it (its edge path on tree fabrics).
+		for _, le := range gn.pathLinkEnts {
+			if !s.entities[le].up {
+				set[s.modeName(le)] = true
+			}
+		}
 		return
 	}
 	if s.cfg.Scenario == analytic.SupervisorRequired && gn.supEnt >= 0 && !s.entities[gn.supEnt].up {

@@ -17,6 +17,7 @@ const (
 	kindHost
 	kindVM
 	kindProcess
+	kindLink
 )
 
 // procClass selects the repair policy of a process entity.
@@ -35,9 +36,14 @@ type entity struct {
 	name  string
 	up    bool
 	mtbf  float64
+	// repair is the per-entity mean repair time for kindLink entities
+	// (links carry individual MTTRs); other kinds use the Config times.
+	repair float64
 	// supEnt is the entity index of the owning supervisor for procAuto
 	// entities, or -1.
 	supEnt int
+	// link is the topology link index for kindLink entities.
+	link int
 }
 
 // groupNode is one (role, node) placement of a quorum group resolved to
@@ -49,6 +55,14 @@ type entity struct {
 type groupNode struct {
 	rackEnt, hostEnt, vmEnt, supEnt int
 	memberEnts                      []int
+	// connNode is the placement host's network-graph node, or -1 when the
+	// topology has no fallible links: the instance only serves while a
+	// live link path reaches it from the edge.
+	connNode int
+	// pathLinkEnts are the fallible-link entities that can cut this host
+	// off (its edge path on tree fabrics, every fallible link otherwise),
+	// for downtime attribution.
+	pathLinkEnts []int
 }
 
 // simGroup is a quorum group resolved for simulation: the group is
@@ -86,6 +100,10 @@ type Sim struct {
 	supRequired bool
 	// raft is the leadership mirror, nil unless Config.RaftElectionMax > 0.
 	raft *simRaft
+	// conn tracks edge reachability over the network graph, nil unless
+	// the topology declares fallible links. Each Sim owns its own tracker
+	// (Connectivity is single-consumer).
+	conn *topology.Connectivity
 
 	// running indicators
 	cpUp      bool
@@ -219,6 +237,9 @@ func (s *Sim) reset(replication int) {
 	if s.raft != nil {
 		s.raft.reset()
 	}
+	if s.conn != nil {
+		s.conn.Reset()
+	}
 }
 
 // addEntity appends an entity and returns its index.
@@ -232,6 +253,7 @@ func (s *Sim) addEntity(e entity) int {
 // during build; the quorum groups flatten it into groupNodes.
 type instanceLoc struct {
 	rackEnt, hostEnt, vmEnt, supEnt int
+	hostName                        string
 	procs                           map[string]int
 }
 
@@ -239,7 +261,10 @@ type instanceLoc struct {
 func (s *Sim) build() {
 	cfg := s.cfg
 	// Hardware hierarchy.
-	type vmLoc struct{ rackEnt, hostEnt, vmEnt int }
+	type vmLoc struct {
+		rackEnt, hostEnt, vmEnt int
+		hostName                string
+	}
 	vmOf := map[topology.Placement]vmLoc{}
 	for _, rack := range cfg.Topology.Racks {
 		re := s.addEntity(entity{kind: kindRack, name: rack.Name, mtbf: cfg.RackMTBF, supEnt: -1})
@@ -248,7 +273,7 @@ func (s *Sim) build() {
 			for _, vm := range host.VMs {
 				ve := s.addEntity(entity{kind: kindVM, name: vm.Name, mtbf: cfg.VMMTBF, supEnt: -1})
 				for _, pl := range vm.Placements {
-					vmOf[pl] = vmLoc{rackEnt: re, hostEnt: he, vmEnt: ve}
+					vmOf[pl] = vmLoc{rackEnt: re, hostEnt: he, vmEnt: ve, hostName: host.Name}
 				}
 			}
 		}
@@ -266,8 +291,8 @@ func (s *Sim) build() {
 			}
 			inst := instanceLoc{
 				rackEnt: loc.rackEnt, hostEnt: loc.hostEnt, vmEnt: loc.vmEnt,
-				supEnt: -1,
-				procs:  map[string]int{},
+				supEnt: -1, hostName: loc.hostName,
+				procs: map[string]int{},
 			}
 			// Supervisor first so member processes can reference it.
 			if sup, ok := cfg.Profile.SupervisorOf(role); ok {
@@ -295,9 +320,15 @@ func (s *Sim) build() {
 			byPlace[pl] = inst
 		}
 	}
+	// Graph-link entities, one per fallible link, appended after the
+	// role instances so a link-free topology leaves the entity table — and
+	// with it every replication's RNG draw order — untouched. Perfect
+	// links (MTBF 0) never become entities either: exp(0) would schedule
+	// an immediate failure.
+	connNode, pathEnts := s.buildLinks()
 	// Quorum groups for both planes.
-	s.cpGroups = s.resolveGroups(profile.ControlPlane, byPlace)
-	s.dpGroups = s.resolveGroups(profile.DataPlane, byPlace)
+	s.cpGroups = s.resolveGroups(profile.ControlPlane, byPlace, connNode, pathEnts)
+	s.dpGroups = s.resolveGroups(profile.DataPlane, byPlace, connNode, pathEnts)
 
 	// Compute hosts carrying the local vRouter processes.
 	for h := 0; h < cfg.ComputeHosts; h++ {
@@ -330,9 +361,59 @@ func (s *Sim) build() {
 	s.hostTime = make([]float64, len(s.hosts))
 }
 
+// buildLinks compiles the network graph, creates one entity per fallible
+// link, and returns the per-host graph-node and attribution tables for
+// resolveGroups. A topology without fallible links returns nil maps and
+// leaves the simulator in pure tree mode (s.conn == nil).
+func (s *Sim) buildLinks() (connNode map[string]int, pathEnts map[string][]int) {
+	if !s.cfg.Topology.HasFallibleLinks() {
+		return nil, nil
+	}
+	g, err := s.cfg.Topology.Graph()
+	if err != nil {
+		panic(fmt.Sprintf("mc: validated topology failed to compile: %v", err)) // Validate vetted the links
+	}
+	s.conn = topology.NewConnectivity(g)
+	linkEnt := map[int]int{}
+	for _, li := range g.FallibleLinks() {
+		l := g.Links[li]
+		linkEnt[li] = s.addEntity(entity{
+			kind: kindLink, name: l.ID(),
+			mtbf: l.MTBF, repair: l.MTTR, supEnt: -1, link: li,
+		})
+	}
+	connNode = map[string]int{}
+	pathEnts = map[string][]int{}
+	for _, rack := range s.cfg.Topology.Racks {
+		for _, host := range rack.Hosts {
+			n, ok := g.NodeIndex(host.Name)
+			if !ok {
+				panic(fmt.Sprintf("mc: host %q missing from topology graph", host.Name))
+			}
+			connNode[host.Name] = n
+			var ents []int
+			if path, err := g.PathLinks(n); err == nil {
+				for _, li := range path {
+					if ent, ok := linkEnt[li]; ok {
+						ents = append(ents, ent)
+					}
+				}
+			} else {
+				// Redundant fabric: no unique path, so attribution blames
+				// whichever fallible links are down when the host is cut off.
+				for _, li := range g.FallibleLinks() {
+					ents = append(ents, linkEnt[li])
+				}
+			}
+			pathEnts[host.Name] = ents
+		}
+	}
+	return connNode, pathEnts
+}
+
 // resolveGroups expands the profile's quorum groups for the plane into
 // per-node flat entity-index lists.
-func (s *Sim) resolveGroups(pl profile.Plane, byPlace map[topology.Placement]instanceLoc) []simGroup {
+func (s *Sim) resolveGroups(pl profile.Plane, byPlace map[topology.Placement]instanceLoc, connNode map[string]int, pathEnts map[string][]int) []simGroup {
 	var out []simGroup
 	for _, role := range s.cfg.Profile.ClusterRoles {
 		for _, g := range profile.QuorumGroups(s.cfg.Profile, role, pl) {
@@ -361,7 +442,11 @@ func (s *Sim) resolveGroups(pl profile.Plane, byPlace map[topology.Placement]ins
 				inst := byPlace[topology.Placement{Role: role, Node: node}]
 				gn := groupNode{
 					rackEnt: inst.rackEnt, hostEnt: inst.hostEnt,
-					vmEnt: inst.vmEnt, supEnt: inst.supEnt,
+					vmEnt: inst.vmEnt, supEnt: inst.supEnt, connNode: -1,
+				}
+				if s.conn != nil {
+					gn.connNode = connNode[inst.hostName]
+					gn.pathLinkEnts = pathEnts[inst.hostName]
 				}
 				for _, m := range members {
 					gn.memberEnts = append(gn.memberEnts, inst.procs[m])
@@ -388,6 +473,8 @@ func (s *Sim) repairTime(e *entity) float64 {
 		return s.exp(s.cfg.HostRepair)
 	case kindVM:
 		return s.exp(s.cfg.VMRepair)
+	case kindLink:
+		return s.exp(e.repair)
 	}
 	switch e.class {
 	case procSupervisor:
@@ -415,6 +502,9 @@ func (s *Sim) repairTime(e *entity) float64 {
 func (s *Sim) nodeUp(gn *groupNode) bool {
 	ents := s.entities
 	if !ents[gn.rackEnt].up || !ents[gn.hostEnt].up || !ents[gn.vmEnt].up {
+		return false
+	}
+	if gn.connNode >= 0 && !s.conn.Reachable(gn.connNode) {
 		return false
 	}
 	if s.supRequired && gn.supEnt >= 0 && !ents[gn.supEnt].up {
@@ -596,9 +686,15 @@ func (s *Sim) runCancel(done <-chan struct{}) (Result, bool) {
 		} else if ev.entity >= 0 {
 			e := &s.entities[ev.entity]
 			e.up = ev.up
+			if e.kind == kindLink {
+				// Mirror the flip into the incremental reachability
+				// tracker; refresh() below re-evaluates the quorum groups
+				// against the new dirty component.
+				s.conn.SetLink(e.link, ev.up)
+			}
 			if ev.up {
 				s.schedule(s.now+s.exp(e.mtbf), ev.entity, false)
-				if e.kind != kindProcess && s.cfg.RepairCrews > 0 {
+				if e.kind != kindProcess && e.kind != kindLink && s.cfg.RepairCrews > 0 {
 					s.crewsBusy--
 					if len(s.crewQueue) > 0 {
 						next := s.crewQueue[0]
@@ -607,7 +703,10 @@ func (s *Sim) runCancel(done <-chan struct{}) (Result, bool) {
 					}
 				}
 			} else {
-				if e.kind != kindProcess && s.cfg.RepairCrews > 0 {
+				// Link repairs are never crew-limited: the crews model
+				// rack/host/VM hardware technicians, while link faults are
+				// cleared by the (independent) network operations team.
+				if e.kind != kindProcess && e.kind != kindLink && s.cfg.RepairCrews > 0 {
 					if s.crewsBusy >= s.cfg.RepairCrews {
 						s.crewQueue = append(s.crewQueue, ev.entity)
 					} else {

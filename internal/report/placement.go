@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+
+	"sdnavail/internal/relmath"
+)
+
+// PlacementRow is one ranked controller placement, pre-digested by the
+// caller so the report package stays free of simulator dependencies.
+type PlacementRow struct {
+	// Label names the placement ("R1H1+R2H1+R3H1").
+	Label string
+	// Racks is the number of distinct racks the placement touches.
+	Racks int
+	// QuorumSharesRack flags layouts where one rack carries a quorum.
+	QuorumSharesRack bool
+	// AnalyticCP is the closed-form control-plane availability.
+	AnalyticCP float64
+	// MCCP and MCHalfWidth are the Monte Carlo cross-check's mean and CI
+	// half-width.
+	MCCP, MCHalfWidth float64
+	// Replications is what the adaptive engine spent on the cross-check;
+	// Converged whether it met the CI target.
+	Replications int
+	Converged    bool
+}
+
+// PlacementTable renders the paper-style placement ranking: analytic
+// downtime minutes per year next to the Monte Carlo cross-check, with
+// the quorum-shares-rack hazard flagged. Rows are rendered in the order
+// given (best first, by convention).
+func PlacementTable(title string, rows []PlacementRow) Table {
+	t := Table{
+		Title: title,
+		Columns: []string{"rank", "placement", "racks", "quorum/rack",
+			"analytic CP", "min/yr", "MC CP (CI)", "reps"},
+	}
+	for i, r := range rows {
+		hazard := "no"
+		if r.QuorumSharesRack {
+			hazard = "YES"
+		}
+		reps := fmt.Sprintf("%d", r.Replications)
+		if !r.Converged {
+			reps += "*"
+		}
+		t.AddRow(i+1, r.Label, r.Racks, hazard,
+			fmt.Sprintf("%.8f", r.AnalyticCP),
+			fmt.Sprintf("%.2f", relmath.DowntimeMinutesPerYear(r.AnalyticCP)),
+			fmt.Sprintf("%.8f ± %.8f", r.MCCP, r.MCHalfWidth),
+			reps)
+	}
+	return t
+}

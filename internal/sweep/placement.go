@@ -1,0 +1,319 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/mc"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/topology"
+)
+
+// Controller-placement sweeps. A PlacementSpec describes a rack/host slot
+// grid and a controller count; the sweep enumerates every way to place
+// the controllers onto distinct host slots, builds a topology for each
+// candidate (optionally with the default network fabric declared as
+// failure-aware links), scores every candidate with the closed-form
+// exact model, and — through the adaptive sequential-stopping engine —
+// cross-checks the ranking with the Monte Carlo simulator. The result is
+// the paper-style placement ranking: which layouts keep the control
+// plane's quorum off shared racks and shared fabric links, and what that
+// buys in minutes per year.
+
+// PlacementSpec describes one controller-placement sweep.
+type PlacementSpec struct {
+	// Profile is the controller software profile.
+	Profile *profile.Profile
+	// Scenario selects the supervisor semantics.
+	Scenario analytic.Scenario
+	// Params gives the element availabilities; the zero value selects
+	// analytic.Defaults().
+	Params analytic.Params
+	// Controllers is the cluster size (2N+1 controller nodes) to place.
+	Controllers int
+	// Racks and HostsPerRack shape the slot grid the controllers are
+	// placed onto (defaults 4 and 3: twelve host slots).
+	Racks        int
+	HostsPerRack int
+	// LinkMTBF/LinkMTTR, when LinkMTBF > 0, declare the default network
+	// fabric (host uplinks, rack fabric links, edge adjacency) on every
+	// candidate topology with those failure parameters. Zero keeps the
+	// candidates link-free: pure containment-tree semantics.
+	LinkMTBF float64
+	LinkMTTR float64
+	// MaxCandidates caps the enumeration with deterministic stride
+	// subsampling over the full lexicographic candidate sequence
+	// (0 = keep every candidate).
+	MaxCandidates int
+
+	// Horizon, ComputeHosts and Seed override the simulator defaults
+	// when positive.
+	Horizon      float64
+	ComputeHosts int
+	Seed         int64
+}
+
+// withDefaults resolves zero fields.
+func (s PlacementSpec) withDefaults() PlacementSpec {
+	if s.Racks == 0 {
+		s.Racks = 4
+	}
+	if s.HostsPerRack == 0 {
+		s.HostsPerRack = 3
+	}
+	if s.Params == (analytic.Params{}) {
+		s.Params = analytic.Defaults()
+	}
+	return s
+}
+
+// Validate reports the first problem with the spec.
+func (s PlacementSpec) Validate() error {
+	s = s.withDefaults()
+	if s.Profile == nil {
+		return fmt.Errorf("sweep: placement spec has no profile")
+	}
+	if s.Controllers < 1 || s.Controllers%2 == 0 {
+		return fmt.Errorf("sweep: placement needs an odd controller count, got %d", s.Controllers)
+	}
+	if s.Racks < 1 || s.HostsPerRack < 1 {
+		return fmt.Errorf("sweep: placement grid %dx%d is empty", s.Racks, s.HostsPerRack)
+	}
+	if slots := s.Racks * s.HostsPerRack; s.Controllers > slots {
+		return fmt.Errorf("sweep: %d controllers cannot fit %d host slots", s.Controllers, slots)
+	}
+	if s.LinkMTBF < 0 || s.LinkMTTR < 0 {
+		return fmt.Errorf("sweep: negative link failure parameters")
+	}
+	if s.MaxCandidates < 0 {
+		return fmt.Errorf("sweep: negative MaxCandidates")
+	}
+	return nil
+}
+
+// Candidate is one enumerated placement: controller node i lives on host
+// slot Slots[i].
+type Candidate struct {
+	// Index is the candidate's position in the full lexicographic
+	// enumeration (stable across MaxCandidates subsampling).
+	Index int
+	// Slots names the occupied host slots, "R<rack>H<host>", in node
+	// order.
+	Slots []string
+	// Topology is the materialized layout: only occupied slots become
+	// hosts, node i's roles share one VM on its slot.
+	Topology *topology.Topology
+	// RacksUsed counts distinct racks the placement touches.
+	RacksUsed int
+	// QuorumSharesRack reports whether any single rack carries a quorum
+	// of the cluster — the dominant placement hazard.
+	QuorumSharesRack bool
+}
+
+// Label renders the candidate like "R1H1+R1H2+R2H1".
+func (c Candidate) Label() string { return strings.Join(c.Slots, "+") }
+
+// placementCount returns C(slots, k) without overflow for the grid sizes
+// the sweep supports.
+func placementCount(slots, k int) int {
+	if k < 0 || k > slots {
+		return 0
+	}
+	if k > slots-k {
+		k = slots - k
+	}
+	n := 1
+	for i := 0; i < k; i++ {
+		n = n * (slots - i) / (i + 1)
+	}
+	return n
+}
+
+// buildTopology materializes one placement combination (0-based slot
+// indices into the row-major rack×host grid) as a Custom topology.
+func (s PlacementSpec) buildTopology(combo []int) *topology.Topology {
+	byRack := map[int][]int{}
+	for node, slot := range combo {
+		byRack[slot/s.HostsPerRack] = append(byRack[slot/s.HostsPerRack], node)
+	}
+	t := &topology.Topology{
+		Name:        "Placement",
+		Kind:        topology.Custom,
+		ClusterSize: s.Controllers,
+		Roles:       s.Profile.ClusterRoles,
+	}
+	for r := 0; r < s.Racks; r++ {
+		nodes := byRack[r]
+		if len(nodes) == 0 {
+			continue
+		}
+		rack := topology.Rack{Name: fmt.Sprintf("R%d", r+1)}
+		for _, node := range nodes {
+			h := combo[node]%s.HostsPerRack + 1
+			vm := topology.VM{Name: fmt.Sprintf("GCAD%d", node+1)}
+			for _, role := range s.Profile.ClusterRoles {
+				vm.Placements = append(vm.Placements, topology.Placement{Role: role, Node: node})
+			}
+			rack.Hosts = append(rack.Hosts, topology.Host{
+				Name: fmt.Sprintf("R%dH%d", r+1, h),
+				VMs:  []topology.VM{vm},
+			})
+		}
+		t.Racks = append(t.Racks, rack)
+	}
+	if s.LinkMTBF > 0 {
+		t.Links = topology.DefaultLinks(t, s.LinkMTBF, s.LinkMTTR)
+	}
+	return t
+}
+
+// Enumerate returns the candidate placements in lexicographic slot
+// order. With MaxCandidates > 0 it subsamples the full sequence at a
+// deterministic stride, always keeping the first combination (the most
+// rack-concentrated layout) and reaching into the spread-out tail.
+func (s PlacementSpec) Enumerate() ([]Candidate, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s = s.withDefaults()
+	slots := s.Racks * s.HostsPerRack
+	total := placementCount(slots, s.Controllers)
+	keep := func(int) bool { return true }
+	n := total
+	if s.MaxCandidates > 0 && s.MaxCandidates < total {
+		n = s.MaxCandidates
+		wanted := make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			wanted[i*total/n] = true
+		}
+		keep = func(idx int) bool { return wanted[idx] }
+	}
+
+	combo := make([]int, s.Controllers)
+	for i := range combo {
+		combo[i] = i
+	}
+	out := make([]Candidate, 0, n)
+	for idx := 0; ; idx++ {
+		if keep(idx) {
+			c := Candidate{Index: idx, Slots: make([]string, s.Controllers)}
+			racks := map[int]bool{}
+			for node, slot := range combo {
+				r := slot/s.HostsPerRack + 1
+				racks[r] = true
+				c.Slots[node] = fmt.Sprintf("R%dH%d", r, slot%s.HostsPerRack+1)
+			}
+			c.RacksUsed = len(racks)
+			c.Topology = s.buildTopology(combo)
+			if err := c.Topology.Validate(); err != nil {
+				return nil, fmt.Errorf("sweep: candidate %d (%s): %w", idx, c.Label(), err)
+			}
+			c.QuorumSharesRack = c.Topology.QuorumSharesRack()
+			out = append(out, c)
+		}
+		// Advance to the next k-combination of [0, slots).
+		i := s.Controllers - 1
+		for i >= 0 && combo[i] == slots-s.Controllers+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		combo[i]++
+		for j := i + 1; j < s.Controllers; j++ {
+			combo[j] = combo[j-1] + 1
+		}
+	}
+	return out, nil
+}
+
+// PlacementResult scores one candidate.
+type PlacementResult struct {
+	Candidate Candidate
+	// AnalyticCP and AnalyticDP are the closed-form exact-model plane
+	// availabilities, computed with the exact parameters the simulator
+	// uses (mc.Config.Params()) so the two columns estimate the same
+	// quantity.
+	AnalyticCP float64
+	AnalyticDP float64
+	// MC is the adaptive Monte Carlo cross-check for this candidate.
+	MC Result
+}
+
+// PlacementSweep is a completed placement sweep, ranked best-first by
+// analytic control-plane availability (candidate index breaks ties, so
+// the ranking is deterministic).
+type PlacementSweep struct {
+	Spec       PlacementSpec
+	Candidates int // full enumeration size before subsampling
+	Results    []PlacementResult
+}
+
+// RunPlacement ranks every candidate placement with the exact model and
+// cross-checks each with the adaptive Monte Carlo engine.
+func RunPlacement(spec PlacementSpec, opt Options) (*PlacementSweep, error) {
+	return RunPlacementContext(context.Background(), spec, opt)
+}
+
+// RunPlacementContext is RunPlacement with a deadline: when ctx expires
+// the engine's truncation semantics apply — every candidate keeps its
+// analytic score and reports whatever MC replications completed, flagged
+// Truncated.
+func RunPlacementContext(ctx context.Context, spec PlacementSpec, opt Options) (*PlacementSweep, error) {
+	cands, err := spec.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	slots := spec.Racks * spec.HostsPerRack
+
+	points := make([]Point, len(cands))
+	results := make([]PlacementResult, len(cands))
+	for i, cand := range cands {
+		cfg := mc.NewConfig(spec.Profile, cand.Topology, spec.Scenario, spec.Params)
+		cfg.KeepResults = false
+		if spec.Horizon > 0 {
+			cfg.Horizon = spec.Horizon
+		}
+		if spec.ComputeHosts > 0 {
+			cfg.ComputeHosts = spec.ComputeHosts
+		}
+		if spec.Seed != 0 {
+			cfg.Seed = spec.Seed
+		}
+		exact := analytic.NewExactModel(spec.Profile, cand.Topology, spec.Scenario)
+		exact.Params = cfg.Params()
+		cp, err := exact.ControlPlane()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: candidate %s: %w", cand.Label(), err)
+		}
+		dp, err := exact.DataPlane()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: candidate %s: %w", cand.Label(), err)
+		}
+		results[i] = PlacementResult{Candidate: cand, AnalyticCP: cp, AnalyticDP: dp}
+		points[i] = Point{ID: cand.Label(), X: float64(cand.Index), Config: cfg}
+	}
+
+	mcResults, err := RunContext(ctx, points, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i := range results {
+		results[i].MC = mcResults[i]
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].AnalyticCP != results[j].AnalyticCP {
+			return results[i].AnalyticCP > results[j].AnalyticCP
+		}
+		return results[i].Candidate.Index < results[j].Candidate.Index
+	})
+	return &PlacementSweep{
+		Spec:       spec,
+		Candidates: placementCount(slots, spec.Controllers),
+		Results:    results,
+	}, nil
+}

@@ -1,0 +1,292 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/profile"
+)
+
+// testPlacementSpec is a small grid with degraded parameters so MC
+// variance is visible at a few dozen replications.
+func testPlacementSpec(t testing.TB) PlacementSpec {
+	t.Helper()
+	return PlacementSpec{
+		Profile:      profile.OpenContrail3x(),
+		Scenario:     analytic.SupervisorRequired,
+		Params:       analytic.Params{AC: 0.995, AV: 0.9995, AH: 0.999, AR: 0.998, A: 0.999, AS: 0.995},
+		Controllers:  3,
+		Racks:        2,
+		HostsPerRack: 2,
+		Horizon:      2e4,
+		ComputeHosts: 2,
+	}
+}
+
+// TestPlacementEnumerationCounts pins the enumeration sizes for the
+// default 4x3 grid the CLI sweeps: C(12,3) = 220 and C(12,5) = 792, both
+// past the hundred-candidate mark the placement study calls for.
+func TestPlacementEnumerationCounts(t *testing.T) {
+	for _, tc := range []struct {
+		controllers, want int
+	}{{3, 220}, {5, 792}} {
+		spec := PlacementSpec{Profile: profile.OpenContrail3x(), Controllers: tc.controllers}
+		cands, err := spec.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != tc.want {
+			t.Errorf("%d controllers on 4x3 grid: %d candidates, want %d", tc.controllers, len(cands), tc.want)
+		}
+		// Lexicographic order, contiguous indices, valid distinct slots.
+		seen := map[string]bool{}
+		for i, c := range cands {
+			if c.Index != i {
+				t.Fatalf("candidate %d carries index %d", i, c.Index)
+			}
+			if seen[c.Label()] {
+				t.Fatalf("duplicate candidate %s", c.Label())
+			}
+			seen[c.Label()] = true
+			if got, want := len(c.Slots), tc.controllers; got != want {
+				t.Fatalf("candidate %s places %d slots, want %d", c.Label(), got, want)
+			}
+		}
+		// Lex order pins the ends: the first candidate packs the leading
+		// slots (a quorum on rack 1), the last packs the trailing slots
+		// (concentrated on rack 4); the spread-out layouts live between.
+		first, last := cands[0], cands[len(cands)-1]
+		if first.Slots[0] != "R1H1" || !first.QuorumSharesRack {
+			t.Errorf("first candidate %s should pack the leading slots", first.Label())
+		}
+		if last.Slots[len(last.Slots)-1] != "R4H3" {
+			t.Errorf("last candidate %s should pack the trailing slots", last.Label())
+		}
+		maxRacks := 0
+		for _, c := range cands {
+			if c.RacksUsed > maxRacks {
+				maxRacks = c.RacksUsed
+			}
+		}
+		want := tc.controllers
+		if want > 4 {
+			want = 4
+		}
+		if maxRacks != want {
+			t.Errorf("%d controllers: max racks used %d, want %d", tc.controllers, maxRacks, want)
+		}
+	}
+}
+
+// TestPlacementSubsampling checks MaxCandidates: a deterministic stride
+// over the full sequence that keeps the first combination, preserves
+// index order, and is reproducible.
+func TestPlacementSubsampling(t *testing.T) {
+	spec := PlacementSpec{Profile: profile.OpenContrail3x(), Controllers: 3, MaxCandidates: 10}
+	a, err := spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 {
+		t.Fatalf("subsampled to %d candidates, want 10", len(a))
+	}
+	if a[0].Index != 0 {
+		t.Errorf("subsample dropped the first combination (index %d)", a[0].Index)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Index <= a[i-1].Index {
+			t.Fatalf("subsample indices not increasing: %d after %d", a[i].Index, a[i-1].Index)
+		}
+	}
+	b, err := spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("enumeration is not reproducible")
+	}
+}
+
+// TestPlacementTopologies checks the materialized layouts: only occupied
+// slots become hosts, every controller node appears exactly once with
+// all cluster roles, and LinkMTBF > 0 declares the default fabric.
+func TestPlacementTopologies(t *testing.T) {
+	spec := testPlacementSpec(t)
+	cands, err := spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 4 { // C(4,3)
+		t.Fatalf("2x2 grid with 3 controllers: %d candidates, want 4", len(cands))
+	}
+	for _, c := range cands {
+		racks, hosts, vms := c.Topology.Counts()
+		if hosts != 3 || vms != 3 {
+			t.Errorf("candidate %s: %d hosts / %d vms, want 3 / 3", c.Label(), hosts, vms)
+		}
+		if racks != c.RacksUsed {
+			t.Errorf("candidate %s: topology has %d racks, candidate reports %d", c.Label(), racks, c.RacksUsed)
+		}
+		if len(c.Topology.Links) != 0 {
+			t.Errorf("candidate %s: links declared without LinkMTBF", c.Label())
+		}
+	}
+
+	spec.LinkMTBF, spec.LinkMTTR = 10_000, 4
+	linked, err := spec.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range linked {
+		// 3 uplinks + one fabric link per rack + the edge adjacency.
+		want := 3 + c.RacksUsed + 1
+		if len(c.Topology.Links) != want {
+			t.Errorf("candidate %s: %d links, want %d", c.Label(), len(c.Topology.Links), want)
+		}
+	}
+}
+
+// TestPlacementSpecValidate exercises the spec's error surface.
+func TestPlacementSpecValidate(t *testing.T) {
+	base := testPlacementSpec(t)
+	for name, mutate := range map[string]func(*PlacementSpec){
+		"no profile":       func(s *PlacementSpec) { s.Profile = nil },
+		"even controllers": func(s *PlacementSpec) { s.Controllers = 4 },
+		"zero controllers": func(s *PlacementSpec) { s.Controllers = 0 },
+		"too many":         func(s *PlacementSpec) { s.Controllers = 5 }, // 2x2 grid
+		"negative mtbf":    func(s *PlacementSpec) { s.LinkMTBF = -1 },
+		"negative cap":     func(s *PlacementSpec) { s.MaxCandidates = -1 },
+	} {
+		spec := base
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: spec accepted", name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base spec rejected: %v", err)
+	}
+}
+
+// TestPlacementSweepRanking runs the full pipeline on the small grid and
+// checks the ranking invariants: results sorted by analytic CP with the
+// index tiebreak, the rack-splitting layouts above the quorum-sharing
+// ones, and every candidate's analytic value inside its MC confidence
+// band (plus the modeling tolerance the availsim gate uses).
+func TestPlacementSweepRanking(t *testing.T) {
+	spec := testPlacementSpec(t)
+	sw, err := RunPlacement(spec, Options{CITarget: 2e-3, MinReps: 24, MaxReps: 96, Batch: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Candidates != 4 || len(sw.Results) != 4 {
+		t.Fatalf("sweep covered %d/%d candidates, want 4/4", len(sw.Results), sw.Candidates)
+	}
+	for i := 1; i < len(sw.Results); i++ {
+		a, b := sw.Results[i-1], sw.Results[i]
+		if a.AnalyticCP < b.AnalyticCP {
+			t.Errorf("ranking out of order at %d: %.9f before %.9f", i, a.AnalyticCP, b.AnalyticCP)
+		}
+		if a.AnalyticCP == b.AnalyticCP && a.Candidate.Index > b.Candidate.Index {
+			t.Errorf("tie at %d not broken by candidate index", i)
+		}
+	}
+	// On a 2x2 grid every 3-controller layout shares a rack quorum except
+	// none — 2+1 splits still put 2 nodes on one rack, which IS a quorum
+	// of 3. So all four candidates share; the ranking must still be
+	// complete and the MC cross-check must agree with the exact model.
+	for _, r := range sw.Results {
+		mean, half := r.MC.Estimate.CP.Mean, r.MC.Estimate.CP.HalfWide
+		if math.Abs(r.AnalyticCP-mean) > half+4e-4 {
+			t.Errorf("candidate %s: analytic CP %.6f outside MC band %.6f ± %.6f (+4e-4)",
+				r.Candidate.Label(), r.AnalyticCP, mean, half)
+		}
+		if r.MC.Replications == 0 {
+			t.Errorf("candidate %s: no MC replications", r.Candidate.Label())
+		}
+	}
+}
+
+// TestPlacementSweepDeterminism requires two runs of the same spec to be
+// bit-identical — the property the CI determinism step shuffles against.
+func TestPlacementSweepDeterminism(t *testing.T) {
+	spec := testPlacementSpec(t)
+	opt := Options{CITarget: 2e-3, MinReps: 16, MaxReps: 48, Batch: 16}
+	a, err := RunPlacementContext(context.Background(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 3
+	b, err := RunPlacementContext(context.Background(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("placement sweep is not deterministic across worker counts")
+	}
+}
+
+// TestPlacementSweepCancellation checks the deadline path: a cancelled
+// sweep still returns every candidate's analytic score, with its MC
+// cross-check flagged Truncated.
+func TestPlacementSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sw, err := RunPlacementContext(ctx, testPlacementSpec(t), Options{MaxReps: 8, MinReps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sw.Results {
+		if !r.MC.Truncated {
+			t.Errorf("candidate %s: MC result not flagged Truncated", r.Candidate.Label())
+		}
+		if r.AnalyticCP <= 0 || r.AnalyticCP >= 1 {
+			t.Errorf("candidate %s: analytic CP %.6f missing despite truncation", r.Candidate.Label(), r.AnalyticCP)
+		}
+	}
+}
+
+// TestPlacementHundredCandidates is the study-scale gate: a hundred
+// candidate placements for both the 3- and the 5-controller cluster,
+// each with the default fabric declared fallible, must complete through
+// the adaptive engine with every candidate's analytic CP inside its MC
+// confidence band (plus the modeling tolerance the availsim gate uses).
+func TestPlacementHundredCandidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study-scale sweep skipped in -short mode")
+	}
+	for _, controllers := range []int{3, 5} {
+		spec := PlacementSpec{
+			Profile:       profile.OpenContrail3x(),
+			Scenario:      analytic.SupervisorRequired,
+			Params:        analytic.Params{AC: 0.995, AV: 0.9995, AH: 0.999, AR: 0.998, A: 0.999, AS: 0.995},
+			Controllers:   controllers,
+			LinkMTBF:      10_000,
+			LinkMTTR:      4,
+			MaxCandidates: 100,
+			Horizon:       1e5,
+			ComputeHosts:  2,
+		}
+		sw, err := RunPlacement(spec, Options{CITarget: 1e-3, MinReps: 16, MaxReps: 64, Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sw.Results) != 100 {
+			t.Fatalf("%d controllers: sweep covered %d candidates, want 100", controllers, len(sw.Results))
+		}
+		for _, r := range sw.Results {
+			if r.MC.Truncated || r.MC.Replications == 0 {
+				t.Errorf("%d controllers, candidate %s: incomplete MC cross-check (%d reps, truncated=%v)",
+					controllers, r.Candidate.Label(), r.MC.Replications, r.MC.Truncated)
+			}
+			mean, half := r.MC.Estimate.CP.Mean, r.MC.Estimate.CP.HalfWide
+			if math.Abs(r.AnalyticCP-mean) > half+4e-4 {
+				t.Errorf("%d controllers, candidate %s: analytic CP %.6f outside MC band %.6f ± %.6f (+4e-4)",
+					controllers, r.Candidate.Label(), r.AnalyticCP, mean, half)
+			}
+		}
+	}
+}

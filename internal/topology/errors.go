@@ -1,0 +1,75 @@
+package topology
+
+import "fmt"
+
+// ErrorKind classifies topology validation failures, so callers (and the
+// JSON fuzzer) can assert on the failure class instead of matching
+// message text.
+type ErrorKind int
+
+const (
+	// ErrCluster: cluster size is not a positive 2N+1.
+	ErrCluster ErrorKind = iota
+	// ErrDuplicateName: a rack, host or VM name appears twice.
+	ErrDuplicateName
+	// ErrDuplicatePlacement: one role/node pair is placed on two VMs.
+	ErrDuplicatePlacement
+	// ErrNodeRange: a placement's node index is outside [0, ClusterSize).
+	ErrNodeRange
+	// ErrEmptyContainer: a rack has no hosts or a host has no VMs.
+	ErrEmptyContainer
+	// ErrMissingPlacement: a role/node pair from the profile is unplaced.
+	ErrMissingPlacement
+	// ErrBadLink: a link is malformed (self-loop, duplicate ID, negative
+	// MTBF/MTTR).
+	ErrBadLink
+	// ErrDanglingLink: a link endpoint names no node in the graph.
+	ErrDanglingLink
+	// ErrDisconnected: links are declared but some host cannot reach the
+	// edge even with every link up.
+	ErrDisconnected
+)
+
+// String names the kind.
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrCluster:
+		return "cluster"
+	case ErrDuplicateName:
+		return "duplicate-name"
+	case ErrDuplicatePlacement:
+		return "duplicate-placement"
+	case ErrNodeRange:
+		return "node-range"
+	case ErrEmptyContainer:
+		return "empty-container"
+	case ErrMissingPlacement:
+		return "missing-placement"
+	case ErrBadLink:
+		return "bad-link"
+	case ErrDanglingLink:
+		return "dangling-link"
+	case ErrDisconnected:
+		return "disconnected"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Error is a typed topology validation failure.
+type Error struct {
+	Kind     ErrorKind
+	Topology string // Topology.Name at validation time
+	Detail   string // human-readable specifics
+}
+
+// Error renders like the historical fmt.Errorf messages:
+// "topology <name>: <detail>".
+func (e *Error) Error() string {
+	return fmt.Sprintf("topology %s: %s", e.Topology, e.Detail)
+}
+
+// errf builds a typed validation error with a formatted detail.
+func (t *Topology) errf(kind ErrorKind, format string, args ...any) *Error {
+	return &Error{Kind: kind, Topology: t.Name, Detail: fmt.Sprintf(format, args...)}
+}

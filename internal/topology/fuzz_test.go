@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sdnavail/internal/profile"
+)
+
+// FuzzTopologyJSON throws arbitrary bytes at FromJSON and checks the
+// round-trip invariant: any input that parses into a valid topology must
+// survive ToJSON -> FromJSON with structure (counts, cluster size, links)
+// intact and a canonical encoding that is a fixed point. Any rejection
+// must be a typed *Error or a JSON parse error — never a panic.
+func FuzzTopologyJSON(f *testing.F) {
+	// Compact seeds: the minimizer budget punishes multi-kilobyte inputs.
+	small := NewSmall([]profile.Role{"Control"}, 1).WithDefaultLinks(8760, 4)
+	small.Name = "seed"
+	data, err := ToJSON(small)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{"name":"x","clusterSize":1,"roles":["Control"],"racks":[{"name":"R1","hosts":[{"name":"H1","vms":[{"name":"C1","placements":[{"role":"Control","node":0}]}]}]}]}`))
+	f.Add([]byte(`{"name":"x","clusterSize":1,"roles":["Control"],"racks":[{"name":"R1","hosts":[{"name":"H1","vms":[{"name":"C1","placements":[{"role":"Control","node":0}]}]}]}],"links":[{"kind":"uplink","a":"H1","b":"R1","mtbfHours":100,"mttrHours":1}]}`))
+	f.Add([]byte(`{"links":[{"kind":"warp","a":"H1","b":"zz"}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		topo, err := FromJSON(data)
+		if err != nil {
+			var te *Error
+			if !errors.As(err, &te) && !bytes.Contains([]byte(err.Error()), []byte("parsing JSON")) &&
+				!bytes.Contains([]byte(err.Error()), []byte("unknown kind")) {
+				t.Fatalf("rejection is neither a typed topology error nor a parse error: %v", err)
+			}
+			return
+		}
+		enc, err := ToJSON(topo)
+		if err != nil {
+			t.Fatalf("decoded topology %q failed to re-encode: %v", topo.Name, err)
+		}
+		back, err := FromJSON(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding of %q failed to decode: %v", topo.Name, err)
+		}
+		r1, h1, v1 := topo.Counts()
+		r2, h2, v2 := back.Counts()
+		if back.Name != topo.Name || back.ClusterSize != topo.ClusterSize ||
+			r1 != r2 || h1 != h2 || v1 != v2 || len(back.Links) != len(topo.Links) {
+			t.Fatalf("round trip lost structure: %q (%d,%d,%d,%d links) vs %q (%d,%d,%d,%d links)",
+				topo.Name, r1, h1, v1, len(topo.Links), back.Name, r2, h2, v2, len(back.Links))
+		}
+		if topo.QuorumSharesRack() != back.QuorumSharesRack() {
+			t.Fatal("round trip flipped QuorumSharesRack")
+		}
+		enc2, err := ToJSON(back)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

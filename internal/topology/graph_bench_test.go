@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// Graph-recompute benchmark: incremental Connectivity.SetLink against the
+// naive per-event full BFS, on a synthetic fabric large enough that the
+// difference matters (64 racks × 16 hosts ≈ 1k nodes). The event script
+// is a seeded random walk over link states, so both arms replay exactly
+// the same sequence.
+
+const (
+	benchRacks        = 64
+	benchHostsPerRack = 16
+	benchEvents       = 20_000
+)
+
+func benchGraph(tb testing.TB) *Graph {
+	topo := &Topology{Name: "bench", ClusterSize: 3}
+	for r := 0; r < benchRacks; r++ {
+		rack := Rack{Name: "R" + itoa(r)}
+		for h := 0; h < benchHostsPerRack; h++ {
+			rack.Hosts = append(rack.Hosts, Host{Name: "R" + itoa(r) + "H" + itoa(h)})
+		}
+		topo.Racks = append(topo.Racks, rack)
+	}
+	topo.Links = DefaultLinks(topo, 10_000, 4)
+	g, err := topo.Graph()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// benchScript pre-rolls the event sequence so neither arm pays RNG cost.
+type linkEvent struct {
+	link int
+	up   bool
+}
+
+func benchScript(g *Graph) []linkEvent {
+	rng := rand.New(rand.NewSource(99))
+	down := make([]bool, len(g.Links))
+	events := make([]linkEvent, benchEvents)
+	for i := range events {
+		li := rng.Intn(len(g.Links))
+		events[i] = linkEvent{link: li, up: down[li]}
+		down[li] = !down[li]
+	}
+	return events
+}
+
+func BenchmarkConnectivityIncremental(b *testing.B) {
+	g := benchGraph(b)
+	events := benchScript(g)
+	conn := NewConnectivity(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		conn.SetLink(ev.link, ev.up)
+	}
+}
+
+func BenchmarkConnectivityNaiveBFS(b *testing.B) {
+	g := benchGraph(b)
+	events := benchScript(g)
+	conn := NewConnectivity(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		conn.linkDown[ev.link] = !ev.up
+		conn.RecomputeFull()
+	}
+}
+
+// TestWriteTopologyBenchArtifact times the same scripted event sequence
+// through the incremental tracker and the naive per-event BFS and writes
+// BENCH_topology.json to the path named by BENCH_TOPOLOGY_OUT. Skipped
+// unless the variable is set:
+//
+//	BENCH_TOPOLOGY_OUT=$PWD/BENCH_topology.json go test ./internal/topology/ -run WriteTopologyBenchArtifact -v
+func TestWriteTopologyBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_TOPOLOGY_OUT")
+	if out == "" {
+		t.Skip("set BENCH_TOPOLOGY_OUT to write the benchmark artifact")
+	}
+	g := benchGraph(t)
+	events := benchScript(g)
+
+	runIncremental := func() time.Duration {
+		conn := NewConnectivity(g)
+		start := time.Now()
+		for _, ev := range events {
+			conn.SetLink(ev.link, ev.up)
+		}
+		return time.Since(start)
+	}
+	runNaive := func() time.Duration {
+		conn := NewConnectivity(g)
+		start := time.Now()
+		for _, ev := range events {
+			conn.linkDown[ev.link] = !ev.up
+			conn.RecomputeFull()
+		}
+		return time.Since(start)
+	}
+
+	// Sanity first: both arms must land in the same state.
+	fast, slow := NewConnectivity(g), NewConnectivity(g)
+	for _, ev := range events {
+		fast.SetLink(ev.link, ev.up)
+		slow.linkDown[ev.link] = !ev.up
+	}
+	slow.RecomputeFull()
+	fs, ss := fast.Snapshot(), slow.Snapshot()
+	if len(fs) != len(ss) {
+		t.Fatalf("incremental and naive disagree after script: %d vs %d reachable", len(fs), len(ss))
+	}
+
+	runIncremental() // warm up
+	runNaive()
+	inc, naive := runIncremental(), runNaive()
+	speedup := float64(naive) / float64(inc)
+
+	artifact := struct {
+		Nodes         int     `json:"nodes"`
+		Links         int     `json:"links"`
+		Events        int     `json:"events"`
+		IncrementalNs int64   `json:"incremental_ns"`
+		NaiveBFSNs    int64   `json:"naive_bfs_ns"`
+		Speedup       float64 `json:"speedup"`
+	}{
+		Nodes:         len(g.Names),
+		Links:         len(g.Links),
+		Events:        len(events),
+		IncrementalNs: inc.Nanoseconds(),
+		NaiveBFSNs:    naive.Nanoseconds(),
+		Speedup:       speedup,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("incremental=%v naive=%v speedup=%.1fx -> %s", inc, naive, speedup, out)
+	if speedup < 2 {
+		t.Errorf("incremental reachability is only %.2fx the naive BFS; expected ≥2x on a %d-node fabric",
+			speedup, len(g.Names))
+	}
+}

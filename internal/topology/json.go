@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -45,11 +46,29 @@ type jsonRack struct {
 	Hosts []jsonHost `json:"hosts"`
 }
 
+type jsonLink struct {
+	Name string  `json:"name,omitempty"`
+	Kind string  `json:"kind"`
+	A    string  `json:"a"`
+	B    string  `json:"b"`
+	MTBF float64 `json:"mtbfHours,omitempty"`
+	MTTR float64 `json:"mttrHours,omitempty"`
+}
+
 type jsonTopology struct {
 	Name        string     `json:"name"`
 	ClusterSize int        `json:"clusterSize"`
 	Roles       []string   `json:"roles"`
 	Racks       []jsonRack `json:"racks"`
+	Links       []jsonLink `json:"links,omitempty"`
+}
+
+// linkKindNames maps the JSON spelling to the typed kind; keep in sync
+// with LinkKind.String.
+var linkKindNames = map[string]LinkKind{
+	"uplink":    Uplink,
+	"fabric":    FabricLink,
+	"adjacency": Adjacency,
 }
 
 // ToJSON renders the topology as indented JSON.
@@ -76,14 +95,24 @@ func ToJSON(t *Topology) ([]byte, error) {
 		}
 		jt.Racks = append(jt.Racks, jr)
 	}
+	for _, l := range t.Links {
+		jt.Links = append(jt.Links, jsonLink{
+			Name: l.Name, Kind: l.Kind.String(),
+			A: l.A, B: l.B, MTBF: l.MTBF, MTTR: l.MTTR,
+		})
+	}
 	return json.MarshalIndent(jt, "", "  ")
 }
 
 // FromJSON parses and validates a topology. Parsed layouts are Custom
-// kind regardless of their shape.
+// kind regardless of their shape. Decoding is strict: unknown fields are
+// rejected, so a typo'd key fails loudly instead of silently dropping a
+// constraint.
 func FromJSON(data []byte) (*Topology, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var jt jsonTopology
-	if err := json.Unmarshal(data, &jt); err != nil {
+	if err := dec.Decode(&jt); err != nil {
 		return nil, fmt.Errorf("topology: parsing JSON: %w", err)
 	}
 	t := &Topology{
@@ -108,6 +137,17 @@ func FromJSON(data []byte) (*Topology, error) {
 			rack.Hosts = append(rack.Hosts, host)
 		}
 		t.Racks = append(t.Racks, rack)
+	}
+	for _, jl := range jt.Links {
+		kind, ok := linkKindNames[jl.Kind]
+		if !ok {
+			return nil, &Error{Kind: ErrBadLink, Topology: t.Name,
+				Detail: fmt.Sprintf("link %q has unknown kind %q", jl.Name, jl.Kind)}
+		}
+		t.Links = append(t.Links, Link{
+			Name: jl.Name, Kind: kind,
+			A: jl.A, B: jl.B, MTBF: jl.MTBF, MTTR: jl.MTTR,
+		})
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

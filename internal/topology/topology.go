@@ -89,13 +89,16 @@ type Rack struct {
 	Hosts []Host
 }
 
-// Topology is a complete controller deployment layout.
+// Topology is a complete controller deployment layout. Links, when
+// declared, turn the containment tree into a failure-aware network graph
+// (see graph.go); an empty Links keeps the seed tree semantics exactly.
 type Topology struct {
 	Name        string
 	Kind        Kind
 	ClusterSize int // 2N+1 controller nodes
 	Roles       []profile.Role
 	Racks       []Rack
+	Links       []Link
 }
 
 // NewSmall builds the Small reference topology for the given roles and
@@ -196,13 +199,17 @@ func ByKind(k Kind, roles []profile.Role, clusterSize int) (*Topology, error) {
 }
 
 // Validate checks that the layout is a complete, non-duplicated placement
-// of every role on every node, and that names are unique.
+// of every role on every node, that names are unique, that no rack or
+// host is empty, and that declared links form a well-formed graph (known
+// endpoints, no self-loops or duplicates, every host connected to the
+// edge when all links are up). Failures are *Error values carrying an
+// ErrorKind.
 func (t *Topology) Validate() error {
 	if t.ClusterSize < 1 {
-		return fmt.Errorf("topology %s: cluster size %d", t.Name, t.ClusterSize)
+		return t.errf(ErrCluster, "cluster size %d", t.ClusterSize)
 	}
 	if t.ClusterSize%2 == 0 {
-		return fmt.Errorf("topology %s: cluster size %d is not 2N+1", t.Name, t.ClusterSize)
+		return t.errf(ErrCluster, "cluster size %d is not 2N+1", t.ClusterSize)
 	}
 	seen := map[Placement]string{}
 	rackNames := map[string]bool{}
@@ -210,25 +217,31 @@ func (t *Topology) Validate() error {
 	vmNames := map[string]bool{}
 	for _, rack := range t.Racks {
 		if rackNames[rack.Name] {
-			return fmt.Errorf("topology %s: duplicate rack %q", t.Name, rack.Name)
+			return t.errf(ErrDuplicateName, "duplicate rack %q", rack.Name)
 		}
 		rackNames[rack.Name] = true
+		if len(rack.Hosts) == 0 {
+			return t.errf(ErrEmptyContainer, "rack %q has no hosts", rack.Name)
+		}
 		for _, host := range rack.Hosts {
 			if hostNames[host.Name] {
-				return fmt.Errorf("topology %s: duplicate host %q", t.Name, host.Name)
+				return t.errf(ErrDuplicateName, "duplicate host %q", host.Name)
 			}
 			hostNames[host.Name] = true
+			if len(host.VMs) == 0 {
+				return t.errf(ErrEmptyContainer, "host %q has no VMs", host.Name)
+			}
 			for _, vm := range host.VMs {
 				if vmNames[vm.Name] {
-					return fmt.Errorf("topology %s: duplicate VM %q", t.Name, vm.Name)
+					return t.errf(ErrDuplicateName, "duplicate VM %q", vm.Name)
 				}
 				vmNames[vm.Name] = true
 				for _, pl := range vm.Placements {
 					if pl.Node < 0 || pl.Node >= t.ClusterSize {
-						return fmt.Errorf("topology %s: placement %v out of range", t.Name, pl)
+						return t.errf(ErrNodeRange, "placement %v out of range", pl)
 					}
 					if prev, dup := seen[pl]; dup {
-						return fmt.Errorf("topology %s: %v placed on both %q and %q", t.Name, pl, prev, vm.Name)
+						return t.errf(ErrDuplicatePlacement, "%v placed on both %q and %q", pl, prev, vm.Name)
 					}
 					seen[pl] = vm.Name
 				}
@@ -238,8 +251,16 @@ func (t *Topology) Validate() error {
 	for _, r := range t.Roles {
 		for i := 0; i < t.ClusterSize; i++ {
 			if _, ok := seen[Placement{Role: r, Node: i}]; !ok {
-				return fmt.Errorf("topology %s: missing placement %s/%d", t.Name, r, i)
+				return t.errf(ErrMissingPlacement, "missing placement %s/%d", r, i)
 			}
+		}
+	}
+	if len(t.Links) > 0 {
+		// Graph() performs the link checks (dangling endpoints,
+		// self-loops, duplicates, negative rates, edge connectivity) and
+		// returns typed errors of its own.
+		if _, err := t.Graph(); err != nil {
+			return err
 		}
 	}
 	return nil

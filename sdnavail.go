@@ -13,6 +13,7 @@ import (
 	"sdnavail/internal/relmath"
 	"sdnavail/internal/server"
 	"sdnavail/internal/stats"
+	"sdnavail/internal/sweep"
 	"sdnavail/internal/telemetry"
 	"sdnavail/internal/topology"
 	"sdnavail/internal/vclock"
@@ -433,6 +434,70 @@ func ProfileFromJSON(data []byte) (*Profile, error) { return profile.FromJSON(da
 // -topology-file).
 func TopologyToJSON(t *Topology) ([]byte, error)      { return topology.ToJSON(t) }
 func TopologyFromJSON(data []byte) (*Topology, error) { return topology.FromJSON(data) }
+
+// ---- failure-aware network graph ----
+
+// NetworkLink is one failure-prone edge of a topology's network graph:
+// a host uplink, a rack-to-core fabric link, or the service-edge
+// adjacency. MTBF == 0 declares the link perfect; a topology with no
+// links at all keeps the original containment-tree semantics exactly.
+type NetworkLink = topology.Link
+
+// NetworkLinkKind types a link by its role in the fabric.
+type NetworkLinkKind = topology.LinkKind
+
+// Re-exported link kinds.
+const (
+	UplinkLink    = topology.Uplink
+	FabricLink    = topology.FabricLink
+	AdjacencyLink = topology.Adjacency
+)
+
+// DefaultNetworkLinks builds the canonical fabric for a containment
+// tree: one uplink per host ("up:<host>"), one fabric link per rack
+// ("fab:<rack>") and one edge adjacency ("adj:edge"), all with the same
+// MTBF/MTTR hours.
+func DefaultNetworkLinks(t *Topology, mtbf, mttr float64) []NetworkLink {
+	return topology.DefaultLinks(t, mtbf, mttr)
+}
+
+// ---- controller-placement sweeps ----
+
+// SweepOptions tunes the adaptive sequential-stopping Monte Carlo
+// engine: replicate each point until its CP confidence half-width meets
+// CITarget, bounded by [MinReps, MaxReps].
+type SweepOptions = sweep.Options
+
+// PlacementSpec describes a controller-placement sweep: a rack/host
+// slot grid, a controller count, optional link failure parameters, and
+// a candidate cap applied by deterministic subsampling.
+type PlacementSpec = sweep.PlacementSpec
+
+// PlacementCandidate is one enumerated placement with its materialized
+// topology.
+type PlacementCandidate = sweep.Candidate
+
+// PlacementResult scores one candidate: closed-form exact-model plane
+// availabilities plus the adaptive Monte Carlo cross-check.
+type PlacementResult = sweep.PlacementResult
+
+// PlacementSweep is a completed sweep, ranked best-first by analytic
+// control-plane availability.
+type PlacementSweep = sweep.PlacementSweep
+
+// RunPlacement enumerates the spec's candidate placements, scores each
+// with the exact model and cross-checks each with the adaptive Monte
+// Carlo engine.
+func RunPlacement(spec PlacementSpec, opt SweepOptions) (*PlacementSweep, error) {
+	return sweep.RunPlacement(spec, opt)
+}
+
+// RunPlacementContext is RunPlacement with a deadline: when ctx expires
+// every candidate keeps its analytic score and reports the Monte Carlo
+// replications that completed, flagged Truncated.
+func RunPlacementContext(ctx context.Context, spec PlacementSpec, opt SweepOptions) (*PlacementSweep, error) {
+	return sweep.RunPlacementContext(ctx, spec, opt)
+}
 
 // Operator is the remediation automation of the paper's §VII: it watches
 // the live testbed and manually restarts processes that stay failed past
