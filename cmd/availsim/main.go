@@ -8,6 +8,9 @@
 //	         [-reps n] [-horizon hours] [-seed s] [-compute n]
 //	         [-av f] [-ah f] [-ar f] [-a f] [-as f] [-headless hours]
 //	         [-ci-target w] [-min-reps n] [-max-reps n]
+//	availsim -rare [-rel-target e] [-rare-bias B] [-rare-hw-bias B]
+//	         [-rare-link-bias B] [-rare-split-levels l1,l2,...]
+//	         [-rare-split-factor m] [-min-reps n] [-max-reps n]
 //	availsim -soak [-soak-hours h] [-topology t] [-compute n] [-reps n] [-seed s]
 //	availsim -placement [-controllers n] [-racks n] [-hosts-per-rack n]
 //	         [-candidates n] [-top n] [-link-mtbf h] [-link-mttr h]
@@ -21,6 +24,16 @@
 // the control-plane availability confidence half-width is no wider than
 // the target, bounded by [-min-reps, -max-reps]; -reps is ignored. With
 // it unset (the default), exactly -reps replications run.
+//
+// -rare switches to the rare-event engine for deep availability tails:
+// failure draws are accelerated (forcing) and replications climbing toward
+// quorum loss are cloned (importance splitting), with exact
+// likelihood-ratio correction keeping the CP unavailability estimate
+// unbiased. With no -rare-* schedule flags the biasing schedule is
+// auto-selected from the configuration; setting any of them switches to a
+// fully manual schedule. The run stops at -rel-target relative error
+// (effective-sample-size gated) and prints the tail table with nines and
+// the extrapolated speedup over naive Monte Carlo.
 //
 // -headless gives the vRouter agents a headless hold (hours): shared-DP
 // outages shorter than the hold no longer take the host data planes down,
@@ -49,6 +62,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"sdnavail/internal/analytic"
@@ -106,6 +121,14 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 
 		soak      = flag.Bool("soak", false, "validate against a live virtual-time soak of the cluster testbed")
 		soakHours = flag.Float64("soak-hours", 1000, "soak: simulated hours for the live run")
+
+		rare       = flag.Bool("rare", false, "rare-event mode: estimate deep-tail CP unavailability with forced failures and importance splitting")
+		rareBias   = flag.Float64("rare-bias", 0, "rare: process failure bias factor (0 = auto-select)")
+		rareHW     = flag.Float64("rare-hw-bias", 0, "rare: rack/host/VM failure bias factor (0 = auto-select)")
+		rareLink   = flag.Float64("rare-link-bias", 0, "rare: network link failure bias factor (0 = auto-select)")
+		rareLevels = flag.String("rare-split-levels", "", "rare: comma-separated down-entity splitting thresholds (empty = auto-select)")
+		rareFactor = flag.Int("rare-split-factor", 0, "rare: splitting branch factor (0 = auto with levels)")
+		relTarget  = flag.Float64("rel-target", 0.10, "rare: stop once the CP unavailability relative error is ≤ this")
 
 		placement    = flag.Bool("placement", false, "rank controller placements over a rack/host slot grid")
 		controllers  = flag.Int("controllers", 3, "placement: controller cluster size (odd)")
@@ -191,6 +214,26 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 	cfg.GrayDetect = *grayDet
 
 	opt := analytic.Option{Kind: kind, Scenario: sc}
+
+	if *rare {
+		rc, err := parseRareSchedule(*rareBias, *rareHW, *rareLink, *rareLevels, *rareFactor)
+		if err != nil {
+			return err
+		}
+		cfg.Rare = rc
+		ropts := sweep.Options{RelTarget: *relTarget, MinReps: *minReps, MaxReps: *maxReps, Batch: *minReps}
+		// The fixed-count defaults are sized for the plain comparison run;
+		// deep tails need a real ESS floor before relative-error stopping is
+		// trustworthy, and room to run when the tail is hard.
+		if !flagWasSet(flag, "min-reps") {
+			ropts.MinReps, ropts.Batch = 32, 32
+		}
+		if !flagWasSet(flag, "max-reps") {
+			ropts.MaxReps = 4096
+		}
+		return runRare(ctx, out, opt, cfg, ropts)
+	}
+
 	var est mc.Estimate
 	if *ciTarget > 0 {
 		fmt.Fprintf(out, "simulating option %s: adaptive, CP half-width target %g (%d-%d replications × %.0f hours, seed %d)\n",
@@ -295,6 +338,83 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 		})
 	fmt.Fprint(out, dpCmp.Text())
 	return nil
+}
+
+// parseRareSchedule builds the explicit rare-event schedule from the
+// -rare-* flags. The zero value means "auto-select": TailStudy applies
+// sweep.AutoRare. Setting any flag switches to a fully manual schedule —
+// kinds left at zero simply stay unbiased.
+func parseRareSchedule(pb, hb, lb float64, levels string, factor int) (mc.RareEventConfig, error) {
+	var rc mc.RareEventConfig
+	rc.ProcessBias, rc.HardwareBias, rc.LinkBias = pb, hb, lb
+	if levels != "" {
+		for _, tok := range strings.Split(levels, ",") {
+			lv, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return rc, fmt.Errorf("-rare-split-levels: %q is not an integer", tok)
+			}
+			rc.SplitLevels = append(rc.SplitLevels, lv)
+		}
+		if factor == 0 {
+			factor = 3
+		}
+	}
+	rc.SplitFactor = factor
+	return rc, nil
+}
+
+// flagWasSet reports whether the named flag appeared on the command line.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runRare estimates the deep-tail CP unavailability with the rare-event
+// engine and prints the tail table with the naive-MC speedup
+// extrapolation, anchored by the closed-form unavailability at the same
+// parameters.
+func runRare(ctx context.Context, out io.Writer, opt analytic.Option, cfg mc.Config, ropts sweep.Options) error {
+	fmt.Fprintf(out, "rare-event mode, option %s: relative-error target %.0f%% (%d-%d replications × %.0f hours, seed %d)\n",
+		opt.Label(), ropts.RelTarget*100, ropts.MinReps, ropts.MaxReps, cfg.Horizon, cfg.Seed)
+	results, table, err := experiments.TailStudyContext(ctx, []experiments.TailPoint{
+		{Label: opt.Label(), Config: cfg},
+	}, ropts)
+	if err != nil {
+		return err
+	}
+	r := results[0]
+	rc := r.Point.Config.Rare
+	fmt.Fprintf(out, "biasing schedule: process ×%.3g, hardware ×%.3g, link ×%.3g; split levels %v, factor %d\n",
+		effectiveBias(rc.ProcessBias), effectiveBias(rc.HardwareBias), effectiveBias(rc.LinkBias),
+		rc.SplitLevels, rc.SplitFactor)
+	switch {
+	case r.Truncated:
+		fmt.Fprintf(out, "interrupted after %d replications; the table reports the partial estimate\n", r.Replications)
+	case r.Converged:
+		fmt.Fprintf(out, "converged after %d replications (ESS %.0f)\n", r.Replications, r.Estimate.RareESS)
+	default:
+		fmt.Fprintf(out, "ceiling: %d replications without meeting the relative-error target (ESS %.0f)\n",
+			r.Replications, r.Estimate.RareESS)
+	}
+	model := analytic.NewModel(cfg.Profile, opt)
+	model.Params = cfg.Params()
+	cp, _ := model.Evaluate()
+	fmt.Fprintf(out, "analytic CP unavailability at these parameters: %.3e\n\n", 1-cp)
+	fmt.Fprint(out, table.Text())
+	return nil
+}
+
+// effectiveBias renders an unset bias factor as the identity.
+func effectiveBias(b float64) float64 {
+	if b <= 0 {
+		return 1
+	}
+	return b
 }
 
 // placementArgs carries the parsed -placement flags.

@@ -31,21 +31,21 @@ func newFakeLinkedCluster(t *testing.T) (*cluster.Cluster, *vclock.Fake) {
 	return c, fc
 }
 
-// TestScenarioEquivalencePerfectFabric pins the tree↔graph contract at
-// the live-testbed layer: the seed SectionIII scenario replayed on a
-// cluster whose topology declares a PERFECT default fabric (MTBF 0 —
-// the graph machinery is active but no link ever fails) must reproduce
-// the bare containment-tree cluster's report bit-for-bit, probe by
-// probe, on identical virtual timelines.
+// TestLiveTestbedEquivalence pins the tree↔graph contract at the
+// live-testbed layer: the seed SectionIII scenario replayed on a cluster
+// whose topology declares a PERFECT default fabric (MTBF 0 — the graph
+// machinery is active but no link ever fails) must reproduce the bare
+// containment-tree cluster's report bit-for-bit, probe by probe, on
+// identical virtual timelines.
 //
-// DP-probe observations (Sample.DPUp, PerHostDP, DPAvailability) are
-// excluded from the comparison: per-host DP probes race against agent
-// restarts even on the fake clock, and a single sample near a
-// transition edge flips run-to-run on the bare seed tree itself (this
-// predates the graph work — verified against the pre-graph commit). CP
-// probes, health sampling, injections and bus totals are fully
-// deterministic and are compared exactly.
-func TestScenarioEquivalencePerfectFabric(t *testing.T) {
+// The comparison includes the per-host DP probe observations
+// (Sample.DPUp, PerHostDP, DPAvailability): the fake clock now fires
+// coincident deadlines one waiter at a time in arm order, so DP probes no
+// longer race agent restarts at shared virtual instants — the exclusion
+// an earlier revision needed is gone. Only the health snapshot timestamp
+// is normalized (it lands wherever the last probe left the virtual
+// clock).
+func TestLiveTestbedEquivalence(t *testing.T) {
 	run := func(linked bool) (Report, cluster.HealthReport) {
 		fc := vclock.NewFake(time.Time{})
 		prof := profile.OpenContrail3x()
@@ -69,30 +69,16 @@ func TestScenarioEquivalencePerfectFabric(t *testing.T) {
 	}
 	bareRep, bareHealth := run(false)
 	linkedRep, linkedHealth := run(true)
-	stripDP := func(r Report) Report {
-		r.DPAvailability = 0
-		r.PerHostDP = nil
-		samples := make([]Sample, len(r.Samples))
-		copy(samples, r.Samples)
-		for i := range samples {
-			samples[i].DPUp = nil
-		}
-		r.Samples = samples
-		r.FinalHealth.Telemetry = nil
+	normalize := func(r Report) Report {
 		r.FinalHealth.At = time.Time{}
 		return r
 	}
 	if got, want := len(linkedRep.PerHostDP), len(bareRep.PerHostDP); got != want {
 		t.Errorf("perfect fabric observed %d DP hosts, tree observed %d", got, want)
 	}
-	if !reflect.DeepEqual(stripDP(bareRep), stripDP(linkedRep)) {
+	if !reflect.DeepEqual(normalize(bareRep), normalize(linkedRep)) {
 		t.Errorf("perfect fabric drifted from the tree scenario report:\n%+v\nvs\n%+v", bareRep, linkedRep)
 	}
-	// The telemetry digest counts DP probe outcomes and the snapshot
-	// timestamp lands wherever the last probe left the virtual clock, so
-	// both inherit the same pre-existing nondeterminism; every semantic
-	// field of the health snapshot must match exactly.
-	bareHealth.Telemetry, linkedHealth.Telemetry = nil, nil
 	bareHealth.At, linkedHealth.At = time.Time{}, time.Time{}
 	if !reflect.DeepEqual(bareHealth, linkedHealth) {
 		t.Errorf("perfect fabric drifted from the tree health:\n%v\nvs\n%v", bareHealth, linkedHealth)

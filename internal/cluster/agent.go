@@ -57,10 +57,14 @@ func (a *vRouterAgent) start() {
 	a.c.mu.Unlock()
 	a.c.loops.Add(1)
 	a.c.clk.Register()
+	// Arm the ticker before launching the loop: on a fake clock,
+	// coincident deadlines fire in arm order, so arming synchronously in
+	// Start()'s agent order keeps same-instant maintenance passes
+	// deterministic instead of depending on goroutine startup scheduling.
+	ticker := a.c.clk.NewTicker(a.c.timing.Rediscover)
 	go func() {
 		defer a.c.loops.Done()
 		defer a.c.clk.Unregister()
-		ticker := a.c.clk.NewTicker(a.c.timing.Rediscover)
 		defer ticker.Stop()
 		for ticker.Wait(a.c.stopAll) {
 			a.c.mu.Lock()

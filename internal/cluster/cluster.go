@@ -311,6 +311,7 @@ func (c *Cluster) Start() error {
 				children = append(children, procKey{role: string(role), node: node, name: proc.Name})
 			}
 			s := &supervisor{c: c, self: self, children: children, stop: c.stopAll, done: make(chan struct{})}
+			s.ticker = c.clk.NewTicker(c.timing.SupervisorCheck)
 			c.sups = append(c.sups, s)
 			c.loops.Add(1)
 			c.clk.Register()
@@ -335,10 +336,10 @@ func (c *Cluster) Start() error {
 	if c.cfg.Degradation.ReplicaCatchUp > 0 {
 		c.loops.Add(1)
 		c.clk.Register()
+		ticker := c.clk.NewTicker(c.timing.SupervisorCheck)
 		go func() {
 			defer c.loops.Done()
 			defer c.clk.Unregister()
-			ticker := c.clk.NewTicker(c.timing.SupervisorCheck)
 			defer ticker.Stop()
 			for ticker.Wait(c.stopAll) {
 				c.runCatchUps()
@@ -351,10 +352,10 @@ func (c *Cluster) Start() error {
 	if c.cfg.Raft.timed() {
 		c.loops.Add(1)
 		c.clk.Register()
+		ticker := c.clk.NewTicker(c.cfg.Raft.heartbeat())
 		go func() {
 			defer c.loops.Done()
 			defer c.clk.Unregister()
-			ticker := c.clk.NewTicker(c.cfg.Raft.heartbeat())
 			defer ticker.Stop()
 			for ticker.Wait(c.stopAll) {
 				c.raftTick()

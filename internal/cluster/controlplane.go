@@ -107,9 +107,13 @@ func (ctl *controlNode) key() procKey {
 	return procKey{role: string(profile.Control), node: ctl.node, name: "control"}
 }
 
-// resyncLocked copies configuration version, routes and policies from the
-// first alive peer control on the same side of any partition — the BGP
-// refresh a restarting or rejoining control performs. Callers hold c.mu.
+// resyncLocked merges configuration version, routes and policies from
+// every alive peer control on the same side of any partition — the BGP
+// refresh a restarting or rejoining control performs. Merging from all
+// reachable peers (not just the first) matters when the peers themselves
+// are still converging: configuration consumption is asynchronous, so at
+// any instant one peer may hold updates another has not applied yet.
+// Callers hold c.mu.
 func (ctl *controlNode) resyncLocked() {
 	for _, peer := range ctl.c.controls {
 		if peer.node == ctl.node || !ctl.c.aliveLocked(peer.key()) {
@@ -134,7 +138,6 @@ func (ctl *controlNode) resyncLocked() {
 		for prefix, allow := range peer.policies {
 			ctl.policies[prefix] = allow
 		}
-		return
 	}
 }
 

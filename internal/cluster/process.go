@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"time"
+
+	"sdnavail/internal/vclock"
 )
 
 // ProcState is the lifecycle state of a testbed process.
@@ -234,13 +236,16 @@ type supervisor struct {
 	children []procKey
 	stop     chan struct{}
 	done     chan struct{}
+	// ticker is armed synchronously in Start() before the run goroutine
+	// launches, so same-instant supervisor scans fire in a deterministic
+	// order on a fake clock.
+	ticker vclock.Ticker
 }
 
 func (s *supervisor) run() {
 	defer close(s.done)
-	ticker := s.c.clk.NewTicker(s.c.timing.SupervisorCheck)
-	defer ticker.Stop()
-	for ticker.Wait(s.stop) {
+	defer s.ticker.Stop()
+	for s.ticker.Wait(s.stop) {
 		s.scan()
 	}
 }

@@ -149,6 +149,76 @@ func TestMissionReliabilityMatchesFrequencyApproximation(t *testing.T) {
 	}
 }
 
+// TestExpectedDownTimeMatchesClosedForm: for a single repairable
+// component started up, P_down(s) = (1−A)(1 − e^{−(λ+μ)s}), so the
+// integral over [0, t] is (1−A)·(t − (1 − e^{−(λ+μ)t})/(λ+μ)).
+func TestExpectedDownTimeMatchesClosedForm(t *testing.T) {
+	lambda, mu := 0.02, 0.8
+	c := twoState(lambda, mu)
+	unavail := lambda / (lambda + mu)
+	rate := lambda + mu
+	down := func(state int) bool { return state == 0 }
+	for _, tm := range []float64{0, 0.5, 2, 20, 200} {
+		got, err := c.ExpectedDownTime([]float64{0, 1}, tm, down)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := unavail * (tm - (1-math.Exp(-rate*tm))/rate)
+		if math.Abs(got-want) > 1e-9*(1+tm) {
+			t.Errorf("E[down time over %g] = %.12f, closed form %.12f", tm, got, want)
+		}
+	}
+}
+
+// TestExpectedDownTimeConvergesToSteadyState: over a long interval the
+// time-averaged down probability approaches the stationary one.
+func TestExpectedDownTimeConvergesToSteadyState(t *testing.T) {
+	lambda, mu := 1.0/200, 0.5
+	horizon := 2e5
+	got, err := KofNExpectedDownTime(2, 3, lambda, mu, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail, _, _, err := KofNAvailability(2, 3, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAvg, want := got/horizon, 1-avail; math.Abs(gotAvg-want) > 1e-3*want {
+		t.Errorf("time-averaged down prob %.6e vs stationary %.6e", gotAvg, want)
+	}
+	// The transient average must sit strictly below stationary (the chain
+	// starts all-up), and the 0-of-n group never loses availability.
+	if gotAvg := got / horizon; gotAvg >= 1-avail {
+		t.Errorf("transient average %.6e should undercut stationary %.6e", gotAvg, 1-avail)
+	}
+	if free, _ := KofNExpectedDownTime(0, 3, lambda, mu, horizon); free != 0 {
+		t.Errorf("0-of-n down time = %g, want 0", free)
+	}
+}
+
+func TestExpectedDownTimeValidation(t *testing.T) {
+	c := twoState(0.1, 1)
+	down := func(state int) bool { return state == 0 }
+	if _, err := c.ExpectedDownTime([]float64{1}, 1, down); err == nil {
+		t.Error("wrong-length p0 accepted")
+	}
+	if _, err := c.ExpectedDownTime([]float64{0.5, 0.4}, 1, down); err == nil {
+		t.Error("non-normalized p0 accepted")
+	}
+	if _, err := c.ExpectedDownTime([]float64{0, 1}, -1, down); err == nil {
+		t.Error("negative time accepted")
+	}
+	// A rate-free chain stays in its initial distribution forever.
+	idle, _ := NewChain(2)
+	got, err := idle.ExpectedDownTime([]float64{0.25, 0.75}, 8, down)
+	if err != nil || math.Abs(got-2) > 1e-12 {
+		t.Errorf("rate-free down time = %v, %v; want 2", got, err)
+	}
+	if _, err := KofNExpectedDownTime(4, 3, 1, 1, 1); err == nil {
+		t.Error("m>n accepted")
+	}
+}
+
 func TestMissionReliabilityValidation(t *testing.T) {
 	if _, err := KofNMissionReliability(4, 3, 1, 1, 1); err == nil {
 		t.Error("m>n accepted")

@@ -99,6 +99,11 @@ type Config struct {
 	// the analytic models make. Process restarts are never crew-limited
 	// (supervisors and operators act in parallel).
 	RepairCrews int
+	// Rare configures the rare-event acceleration layer (forced-failure
+	// biasing and multilevel importance splitting with exact
+	// likelihood-ratio correction). The zero value disables it and
+	// reproduces the unbiased engine bit-for-bit; see RareEventConfig.
+	Rare RareEventConfig
 	// Seed seeds the deterministic random source; replication r uses
 	// Seed+r.
 	Seed int64
@@ -217,6 +222,17 @@ func (c Config) Validate() error {
 		}
 	} else if c.RaftElectionMax < 0 || c.RaftElectionMin != 0 || c.GrayLeaderMTBF != 0 || c.GrayDetect != 0 {
 		return fmt.Errorf("mc: raft mirror parameters require RaftElectionMax > 0")
+	}
+	if err := c.Rare.Validate(); err != nil {
+		return err
+	}
+	if c.Rare.Enabled() {
+		if c.RaftElectionMax > 0 {
+			return &RareConfigError{"Rare", "cannot be combined with the RAFT mirror (RaftElectionMax > 0): leadership state is not replayed across importance-splitting branches"}
+		}
+		if c.WindowHours > 0 {
+			return &RareConfigError{"Rare", "cannot be combined with WindowHours: per-window downtime accounting is unweighted and a biased run would corrupt SLA statistics"}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,645 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rare-event acceleration: forced-failure biasing and multilevel
+// importance splitting with exact likelihood-ratio correction.
+//
+// Brute-force replication cannot resolve deep availability tails: at an
+// unavailability of 1e-9 a replication of any affordable horizon almost
+// never observes a single outage, so the estimator's relative error is
+// stuck near 100% regardless of how many replications run. The layer here
+// attacks that two ways, both classical rare-event techniques:
+//
+//   - Forcing (importance sampling): failure draws of selected entity
+//     kinds are accelerated by a factor B — the time to failure is drawn
+//     from Exp(B·λ) instead of Exp(λ). Every accelerated draw is paid for
+//     by the exact likelihood ratio f/g. For a consumed draw of length X
+//     that is ln(1/B) + (B−1)·λ·X in log space; for a draw still pending
+//     at any instant t the ratio is the survival ratio e^{(B−1)·λ·x} of
+//     its elapsed time-at-risk x. Both reduce to one running pair: a
+//     −ln B term added when a biased failure fires, plus the hazard
+//     integral ∫ Σ_up (B−1)·λ dt accumulated over simulated time. Repairs
+//     are never biased (ratio 1).
+//
+//   - Multilevel splitting (RESTART): replications that climb toward the
+//     rare set — measured by the count of simultaneously-down entities —
+//     are cloned when they cross a threshold (each of the m branches
+//     carrying 1/m of the weight), and a clone is killed when it falls
+//     back below the threshold it was created at, with the surviving
+//     branch re-absorbing the killed weight (its level drops, multiplying
+//     its weight by m). The expectation over the path tree telescopes to
+//     the unsplit expectation, so the correction is exact, not heuristic.
+//
+// The downtime estimator stays unbiased because the indicator at every
+// instant is weighted by the likelihood ratio of the path *restricted to
+// that instant*: E_g[1_down(t)·W_{0:t}] = E_f[1_down(t)]. Weighted
+// downtime is accrued per inter-event interval in closed form — the
+// weight grows as e^{h·τ} within an interval of constant hazard surplus
+// h, so the interval's contribution is W₀·(e^{h·dt}−1)/h, with no
+// mid-interval approximation. When the configuration is zeroed the
+// engine is bypassed entirely and the simulator is bit-identical to the
+// unbiased event loop.
+
+// RareConfigError reports an invalid RareEventConfig field. Validation
+// returns typed errors (never panics) so callers — and the fuzz harness —
+// can distinguish configuration mistakes from engine bugs.
+type RareConfigError struct {
+	// Field names the offending RareEventConfig (or Config) field.
+	Field string
+	// Reason explains the constraint that was violated.
+	Reason string
+}
+
+func (e *RareConfigError) Error() string {
+	return fmt.Sprintf("mc: rare-event config: %s %s", e.Field, e.Reason)
+}
+
+// RareEventConfig parameterizes the rare-event acceleration layer. The
+// zero value disables it entirely: the simulator then runs the unbiased
+// event loop, bit-identical to a build without this file.
+type RareEventConfig struct {
+	// ProcessBias accelerates every controller/vRouter process failure
+	// draw by this factor (time to failure ~ Exp(mean/ProcessBias)),
+	// corrected by the exact likelihood ratio. 0 or 1 disables process
+	// forcing; values in (0, 1) are rejected — de-accelerating failures
+	// only thickens the already-dominant mass.
+	ProcessBias float64
+	// HardwareBias is ProcessBias for rack, host and VM hardware.
+	HardwareBias float64
+	// LinkBias is ProcessBias for fallible network-graph links.
+	LinkBias float64
+
+	// SplitLevels are strictly increasing "simultaneously down entities"
+	// thresholds for multilevel importance splitting: a replication path
+	// crossing SplitLevels[i] upward is cloned into SplitFactor branches
+	// (weight each 1/SplitFactor); a branch created at level i+1 is
+	// killed when its down-count falls below SplitLevels[i] again, its
+	// weight re-absorbed by the surviving branch. Empty disables
+	// splitting.
+	SplitLevels []int
+	// SplitFactor is the branching factor m at every threshold (2..64).
+	// Required when SplitLevels is set, rejected otherwise.
+	SplitFactor int
+	// MaxPaths bounds the simultaneously pending splitting branches per
+	// replication (default 4096). When the bound is reached further
+	// crossings simply do not split — weights are untouched, so the
+	// estimator stays unbiased and only the variance reduction saturates.
+	MaxPaths int
+}
+
+// defaultRareMaxPaths bounds pending splitting branches when
+// RareEventConfig.MaxPaths is zero.
+const defaultRareMaxPaths = 4096
+
+// Enabled reports whether any acceleration is configured. Bias factors
+// of exactly 1 count as disabled (they are the identity).
+func (rc RareEventConfig) Enabled() bool {
+	return rc.ProcessBias > 1 || rc.HardwareBias > 1 || rc.LinkBias > 1 || len(rc.SplitLevels) > 0
+}
+
+// maxPaths resolves the pending-branch bound.
+func (rc RareEventConfig) maxPaths() int {
+	if rc.MaxPaths > 0 {
+		return rc.MaxPaths
+	}
+	return defaultRareMaxPaths
+}
+
+// Validate reports the first problem with the configuration as a typed
+// *RareConfigError. It never panics, whatever the field values — the
+// contract FuzzRareEventConfig enforces.
+func (rc RareEventConfig) Validate() error {
+	biases := []struct {
+		name string
+		v    float64
+	}{
+		{"ProcessBias", rc.ProcessBias},
+		{"HardwareBias", rc.HardwareBias},
+		{"LinkBias", rc.LinkBias},
+	}
+	for _, b := range biases {
+		switch {
+		case math.IsNaN(b.v):
+			return &RareConfigError{b.name, "is NaN"}
+		case math.IsInf(b.v, 0):
+			return &RareConfigError{b.name, "is infinite"}
+		case b.v < 0:
+			return &RareConfigError{b.name, fmt.Sprintf("= %g must not be negative", b.v)}
+		case b.v > 0 && b.v < 1:
+			return &RareConfigError{b.name, fmt.Sprintf("= %g must be 0 (off) or >= 1 (forcing accelerates failures, never slows them)", b.v)}
+		case b.v > 1e9:
+			return &RareConfigError{b.name, fmt.Sprintf("= %g exceeds 1e9; the likelihood ratio would underflow", b.v)}
+		}
+	}
+	if len(rc.SplitLevels) > 32 {
+		return &RareConfigError{"SplitLevels", fmt.Sprintf("has %d levels, max 32", len(rc.SplitLevels))}
+	}
+	prev := 0
+	for i, lv := range rc.SplitLevels {
+		if lv < 1 {
+			return &RareConfigError{"SplitLevels", fmt.Sprintf("[%d] = %d must be >= 1 down entities", i, lv)}
+		}
+		if lv <= prev {
+			return &RareConfigError{"SplitLevels", fmt.Sprintf("[%d] = %d must exceed level %d (thresholds strictly increase)", i, lv, prev)}
+		}
+		prev = lv
+	}
+	if len(rc.SplitLevels) > 0 {
+		if rc.SplitFactor < 2 || rc.SplitFactor > 64 {
+			return &RareConfigError{"SplitFactor", fmt.Sprintf("= %d must be in [2, 64] when SplitLevels is set", rc.SplitFactor)}
+		}
+	} else if rc.SplitFactor != 0 {
+		return &RareConfigError{"SplitFactor", fmt.Sprintf("= %d requires SplitLevels", rc.SplitFactor)}
+	}
+	if rc.MaxPaths < 0 {
+		return &RareConfigError{"MaxPaths", fmt.Sprintf("= %d must not be negative", rc.MaxPaths)}
+	}
+	if rc.MaxPaths > 0 && len(rc.SplitLevels) == 0 {
+		return &RareConfigError{"MaxPaths", fmt.Sprintf("= %d requires SplitLevels", rc.MaxPaths)}
+	}
+	if rc.MaxPaths > 0 && rc.MaxPaths <= rc.SplitFactor {
+		return &RareConfigError{"MaxPaths", fmt.Sprintf("= %d must exceed SplitFactor %d (one full split must fit)", rc.MaxPaths, rc.SplitFactor)}
+	}
+	return nil
+}
+
+// rarePathSnap is a frozen splitting branch: the complete dynamic state
+// of the simulator at the instant of a split, resumed depth-first after
+// the current branch reaches the horizon or is killed. Connectivity is
+// not snapshotted — it is rebuilt from the link entity states on restore.
+type rarePathSnap struct {
+	entUp    []bool
+	events   []event
+	seq      uint64
+	now      float64
+	rngState uint64
+
+	cpUp, sdpUp        bool
+	hostUp             []bool
+	cpStart, sdpDownAt float64
+	crewsBusy          int
+	crewQueue          []int
+
+	logW, hazUp    float64
+	downCount      int
+	lvl, createLvl int
+	cpEverDown     bool
+	cpBlame        []string
+	hostBlame      [][]string
+}
+
+// rareRun holds the per-entity biasing tables (immutable per Sim) and the
+// running rare-event state of the current replication.
+type rareRun struct {
+	cfg RareEventConfig
+	// bias, lnBias and hazRate are per-entity: the acceleration factor B
+	// (1 when unbiased), ln B, and the hazard surplus (B−1)/MTBF the
+	// entity contributes to the likelihood-ratio integral while up.
+	bias    []float64
+	lnBias  []float64
+	hazRate []float64
+	// invPow[l] = SplitFactor^(−l), the RESTART weight of a level-l path.
+	invPow []float64
+
+	// Current-path state (snapshotted/restored across splits).
+	//
+	// logW is the log likelihood ratio of the path so far: −Σ ln B over
+	// consumed biased failure draws plus the hazard integral ∫ hazUp dt.
+	logW float64
+	// hazUp is Σ (B−1)·λ over currently-up biased entities.
+	hazUp float64
+	// downCount counts simultaneously down entities (the splitting
+	// importance function).
+	downCount int
+	// lvl is the path's current splitting level; createLvl the level it
+	// was created at (0 for the root path, which is never killed).
+	lvl, createLvl int
+	// cpEverDown records whether the path's trajectory (including the
+	// prefix inherited from its parent at the split instant) accrued any
+	// control-plane downtime — the indicator behind the hit-probability
+	// estimator.
+	cpEverDown bool
+	// cpBlame and hostBlame freeze the failure modes named when the
+	// respective plane went down, for weighted attribution.
+	cpBlame   []string
+	hostBlame [][]string
+
+	// Replication-global accumulators (across every branch of the tree).
+	stack                []rarePathSnap
+	splitSeq             uint64
+	paths, splits, kills int
+	cpDownW, sdpDownW    float64
+	hostDownW            []float64
+	cpModes, dpModes     map[string]float64
+	totalW               float64
+	// hitW sums terminal path weights over paths whose trajectory saw any
+	// CP downtime: an unbiased estimate of P_naive(replication observes an
+	// outage), which sizes the naive replication count a tail would cost.
+	hitW float64
+}
+
+// newRareRun builds the biasing tables for a constructed entity set.
+func newRareRun(s *Sim) *rareRun {
+	rc := s.cfg.Rare
+	r := &rareRun{cfg: rc}
+	n := len(s.entities)
+	r.bias = make([]float64, n)
+	r.lnBias = make([]float64, n)
+	r.hazRate = make([]float64, n)
+	for i := range s.entities {
+		e := &s.entities[i]
+		b := 1.0
+		switch e.kind {
+		case kindProcess:
+			if rc.ProcessBias > 1 {
+				b = rc.ProcessBias
+			}
+		case kindRack, kindHost, kindVM:
+			if rc.HardwareBias > 1 {
+				b = rc.HardwareBias
+			}
+		case kindLink:
+			if rc.LinkBias > 1 {
+				b = rc.LinkBias
+			}
+		}
+		r.bias[i] = b
+		if b > 1 {
+			r.lnBias[i] = math.Log(b)
+			r.hazRate[i] = (b - 1) / e.mtbf
+		}
+	}
+	r.invPow = make([]float64, len(rc.SplitLevels)+1)
+	r.invPow[0] = 1
+	for l := 1; l < len(r.invPow); l++ {
+		r.invPow[l] = r.invPow[l-1] / float64(rc.SplitFactor)
+	}
+	r.hostDownW = make([]float64, len(s.hosts))
+	r.hostBlame = make([][]string, len(s.hosts))
+	return r
+}
+
+// reset rewinds the rare state for a fresh replication. The attribution
+// maps are allocated anew because the previous replication's Result owns
+// the old ones.
+func (r *rareRun) reset(s *Sim) {
+	r.logW = 0
+	r.hazUp = 0
+	for i := range s.entities {
+		r.hazUp += r.hazRate[i]
+	}
+	r.downCount = 0
+	r.lvl, r.createLvl = 0, 0
+	r.cpEverDown = false
+	r.cpBlame = nil
+	for i := range r.hostBlame {
+		r.hostBlame[i] = nil
+	}
+	r.stack = r.stack[:0]
+	r.splitSeq = 0
+	r.paths, r.splits, r.kills = 0, 0, 0
+	r.cpDownW, r.sdpDownW = 0, 0
+	for i := range r.hostDownW {
+		r.hostDownW[i] = 0
+	}
+	r.cpModes = map[string]float64{}
+	r.dpModes = map[string]float64{}
+	r.totalW = 0
+	r.hitW = 0
+}
+
+// pathWeight returns the path's instantaneous estimator weight: the
+// RESTART level weight times the likelihood ratio accumulated so far.
+func (r *rareRun) pathWeight() float64 {
+	return r.invPow[r.lvl] * math.Exp(r.logW)
+}
+
+// mixSeed derives a clone's RNG state from its parent's by hashing in the
+// split ordinal with the splitmix64 finalizer, decorrelating the branch
+// streams deterministically.
+func mixSeed(state, ordinal uint64) uint64 {
+	z := state ^ (ordinal * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// accumulateRare is the rare-mode accumulate: it credits every down
+// indicator with the exact time-integral of the evolving path weight over
+// the interval, then advances the hazard integral. Within an interval no
+// entity flips, so the weight is W₀·e^{h·τ} and the integral is
+// W₀·(e^{h·dt}−1)/h in closed form — this is what keeps the downtime
+// estimator strictly unbiased rather than first-order accurate.
+func (s *Sim) accumulateRare(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	r := s.rare
+	anyDown := !s.cpUp || !s.sdpUp
+	if !anyDown {
+		for _, up := range s.hostUp {
+			if !up {
+				anyDown = true
+				break
+			}
+		}
+	}
+	if anyDown {
+		w0 := r.pathWeight()
+		var integ float64
+		if r.hazUp == 0 {
+			integ = dt
+		} else {
+			integ = math.Expm1(r.hazUp*dt) / r.hazUp
+		}
+		wdt := w0 * integ
+		if !s.cpUp {
+			r.cpEverDown = true
+			r.cpDownW += wdt
+			if n := len(r.cpBlame); n > 0 {
+				share := wdt / float64(n)
+				for _, m := range r.cpBlame {
+					r.cpModes[m] += share
+				}
+			}
+		}
+		if !s.sdpUp {
+			r.sdpDownW += wdt
+		}
+		for i, up := range s.hostUp {
+			if up {
+				continue
+			}
+			r.hostDownW[i] += wdt
+			if n := len(r.hostBlame[i]); n > 0 {
+				share := wdt / float64(n)
+				for _, m := range r.hostBlame[i] {
+					r.dpModes[m] += share
+				}
+			}
+		}
+	}
+	r.logW += r.hazUp * dt
+}
+
+// refreshRare recomputes the plane indicators in rare mode. It mirrors
+// refresh but captures blame sets into the path-local rare state instead
+// of driving the (interval-based) telemetry ledger: weighted attribution
+// must accrue incrementally because splitting branches diverge mid
+// outage, and an open interval cannot be shared across branches.
+func (s *Sim) refreshRare() {
+	r := s.rare
+	cp := s.groupsSatisfied(s.cpGroups)
+	if cp != s.cpUp {
+		if !cp {
+			s.cpStart = s.now
+			r.cpBlame = s.cpBlames()
+		} else {
+			s.cpOutages++
+			r.cpBlame = nil
+		}
+		s.cpUp = cp
+	}
+	sdp := s.groupsSatisfied(s.dpGroups)
+	if sdp != s.sdpUp {
+		if !sdp && s.cfg.HeadlessHold > 0 {
+			s.sdpDownAt = s.now
+			s.schedule(s.now+s.cfg.HeadlessHold, timerEntity, false)
+		}
+		s.sdpUp = sdp
+	}
+	headless := !s.sdpUp && s.cfg.HeadlessHold > 0 && s.now-s.sdpDownAt < s.cfg.HeadlessHold
+	for i := range s.hosts {
+		up := (s.sdpUp || headless) && s.localUp(&s.hosts[i])
+		if up != s.hostUp[i] {
+			if !up {
+				r.hostBlame[i] = s.hostBlames(i)
+			} else {
+				r.hostBlame[i] = nil
+			}
+			s.hostUp[i] = up
+		}
+	}
+}
+
+// snapshotRarePath freezes the simulator as a pending splitting branch.
+func (s *Sim) snapshotRarePath(rngState uint64, lvl, createLvl int) rarePathSnap {
+	r := s.rare
+	snap := rarePathSnap{
+		seq: s.seq, now: s.now, rngState: rngState,
+		cpUp: s.cpUp, sdpUp: s.sdpUp,
+		cpStart: s.cpStart, sdpDownAt: s.sdpDownAt,
+		crewsBusy: s.crewsBusy,
+		logW:      r.logW, hazUp: r.hazUp,
+		downCount: r.downCount, lvl: lvl, createLvl: createLvl,
+		cpEverDown: r.cpEverDown,
+	}
+	snap.entUp = make([]bool, len(s.entities))
+	for i := range s.entities {
+		snap.entUp[i] = s.entities[i].up
+	}
+	snap.events = append([]event(nil), s.events.ev...)
+	snap.hostUp = append([]bool(nil), s.hostUp...)
+	snap.crewQueue = append([]int(nil), s.crewQueue...)
+	snap.cpBlame = append([]string(nil), r.cpBlame...)
+	if len(s.hosts) > 0 {
+		snap.hostBlame = make([][]string, len(s.hosts))
+		for i, b := range r.hostBlame {
+			snap.hostBlame[i] = append([]string(nil), b...)
+		}
+	}
+	return snap
+}
+
+// restoreRarePath pops the most recent pending branch and resumes it.
+// Connectivity is rebuilt from the restored link entity states.
+func (s *Sim) restoreRarePath() {
+	r := s.rare
+	snap := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	for i := range s.entities {
+		s.entities[i].up = snap.entUp[i]
+	}
+	s.events.ev = append(s.events.ev[:0], snap.events...)
+	s.seq = snap.seq
+	s.now = snap.now
+	s.rng.state = snap.rngState
+	s.cpUp, s.sdpUp = snap.cpUp, snap.sdpUp
+	copy(s.hostUp, snap.hostUp)
+	s.cpStart, s.sdpDownAt = snap.cpStart, snap.sdpDownAt
+	s.crewsBusy = snap.crewsBusy
+	s.crewQueue = append(s.crewQueue[:0], snap.crewQueue...)
+	r.logW, r.hazUp = snap.logW, snap.hazUp
+	r.downCount, r.lvl, r.createLvl = snap.downCount, snap.lvl, snap.createLvl
+	r.cpEverDown = snap.cpEverDown
+	r.cpBlame = snap.cpBlame
+	if snap.hostBlame != nil {
+		copy(r.hostBlame, snap.hostBlame)
+	}
+	if s.conn != nil {
+		s.conn.Reset()
+		for i := range s.entities {
+			e := &s.entities[i]
+			if e.kind == kindLink && !e.up {
+				s.conn.SetLink(e.link, false)
+			}
+		}
+	}
+}
+
+// checkLevels applies the RESTART rules after an entity flip. Crossing a
+// threshold upward spawns SplitFactor−1 clone branches one level up (the
+// current path also moves up, so the m branches each carry 1/m of the
+// weight); falling below the highest crossed threshold either kills the
+// path (if it was created at that level) or restores its weight (the
+// surviving branch re-absorbs the killed clones' share). It reports
+// whether the current path died.
+func (r *rareRun) checkLevels(s *Sim) bool {
+	levels := r.cfg.SplitLevels
+	if len(levels) == 0 {
+		return false
+	}
+	for r.lvl < len(levels) && r.downCount >= levels[r.lvl] {
+		// A full split must fit under the branch bound; a partial split
+		// would break the weight conservation, so skip entirely instead
+		// (unbiased — splitting at a crossing is optional, weights
+		// unchanged).
+		if len(r.stack)+r.cfg.SplitFactor > r.cfg.maxPaths() {
+			break
+		}
+		for c := 0; c < r.cfg.SplitFactor-1; c++ {
+			r.splitSeq++
+			r.stack = append(r.stack, s.snapshotRarePath(mixSeed(s.rng.state, r.splitSeq), r.lvl+1, r.lvl+1))
+		}
+		r.lvl++
+		r.splits++
+	}
+	for r.lvl > 0 && r.downCount < levels[r.lvl-1] {
+		if r.createLvl == r.lvl {
+			r.kills++
+			return true
+		}
+		r.lvl--
+	}
+	return false
+}
+
+// runRareCancel is the rare-mode event loop: the biased, split,
+// LR-corrected counterpart of runCancel. It is a separate loop so the
+// unbiased engine stays byte-for-byte untouched when the rare config is
+// zeroed. Each splitting branch runs depth-first to the horizon (or its
+// kill threshold); weighted downtime accrues across the whole tree.
+func (s *Sim) runRareCancel(done <-chan struct{}) (Result, bool) {
+	r := s.rare
+	for i := range s.entities {
+		s.schedule(s.exp(s.entities[i].mtbf/r.bias[i]), i, false)
+	}
+	s.cpUp, s.sdpUp = true, true
+	for i := range s.hostUp {
+		s.hostUp[i] = true
+	}
+
+	horizon := s.cfg.Horizon
+	for {
+		died := false
+		for s.events.len() > 0 {
+			if done != nil && s.nEvents&cancelCheckMask == cancelCheckMask {
+				select {
+				case <-done:
+					return Result{}, false
+				default:
+				}
+			}
+			ev := s.events.pop()
+			if ev.at >= horizon {
+				break
+			}
+			s.accumulateRare(ev.at - s.now)
+			s.now = ev.at
+			if ev.entity >= 0 {
+				e := &s.entities[ev.entity]
+				e.up = ev.up
+				if e.kind == kindLink {
+					s.conn.SetLink(e.link, ev.up)
+				}
+				if ev.up {
+					r.downCount--
+					r.hazUp += r.hazRate[ev.entity]
+					s.schedule(s.now+s.exp(e.mtbf/r.bias[ev.entity]), ev.entity, false)
+					if e.kind != kindProcess && e.kind != kindLink && s.cfg.RepairCrews > 0 {
+						s.crewsBusy--
+						if len(s.crewQueue) > 0 {
+							next := s.crewQueue[0]
+							s.crewQueue = s.crewQueue[1:]
+							s.startRepair(next)
+						}
+					}
+				} else {
+					r.downCount++
+					r.hazUp -= r.hazRate[ev.entity]
+					r.logW -= r.lnBias[ev.entity]
+					if e.kind != kindProcess && e.kind != kindLink && s.cfg.RepairCrews > 0 {
+						if s.crewsBusy >= s.cfg.RepairCrews {
+							s.crewQueue = append(s.crewQueue, ev.entity)
+						} else {
+							s.startRepair(ev.entity)
+						}
+					} else {
+						s.schedule(s.now+s.repairTime(e), ev.entity, true)
+					}
+				}
+			}
+			s.refreshRare()
+			s.nEvents++
+			if r.checkLevels(s) {
+				died = true
+				break
+			}
+		}
+		if !died {
+			s.accumulateRare(horizon - s.now)
+			s.now = horizon
+			w := r.pathWeight()
+			r.totalW += w
+			if r.cpEverDown {
+				r.hitW += w
+			}
+			r.paths++
+			if !s.cpUp {
+				s.cpOutages++
+			}
+		}
+		if len(r.stack) == 0 {
+			break
+		}
+		s.restoreRarePath()
+	}
+
+	res := Result{
+		Hours:            horizon,
+		Events:           s.nEvents,
+		CPUnavailability: r.cpDownW / horizon,
+		CPOutages:        s.cpOutages,
+		RareTotalWeight:  r.totalW,
+		RareHitWeight:    r.hitW,
+		RarePaths:        r.paths,
+		RareSplits:       r.splits,
+		RareKills:        r.kills,
+		CPDowntimeByMode: r.cpModes,
+		DPDowntimeByMode: r.dpModes,
+	}
+	res.CPAvailability = 1 - res.CPUnavailability
+	res.SharedDPAvailability = 1 - r.sdpDownW/horizon
+	if len(s.hosts) > 0 {
+		sum := 0.0
+		for _, d := range r.hostDownW {
+			sum += d
+		}
+		res.HostDPAvailability = 1 - sum/(float64(len(s.hosts))*horizon)
+	}
+	return res, true
+}

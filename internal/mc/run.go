@@ -52,6 +52,29 @@ type Estimate struct {
 	CP       stats.Interval
 	SharedDP stats.Interval
 	HostDP   stats.Interval
+	// CPUnavailability estimates the control-plane unavailability
+	// directly — the deep-tail headline number, with full floating-point
+	// precision where 1−CP.Mean has none. In rare mode it is the unbiased
+	// likelihood-ratio-weighted estimate; its half-width over the
+	// replication samples is the basis of relative-error stopping.
+	CPUnavailability stats.Interval
+	// RareESS is the Kish effective sample size of the replications'
+	// terminal estimator weights: equal to Replications when the run was
+	// unbiased, collapsing toward 1 when a rare-event biasing schedule
+	// degenerates. Stopping rules must not trust the CI before RareESS
+	// clears a floor.
+	RareESS float64
+	// RareHitProb estimates the probability that a NAIVE replication of
+	// this configuration would observe any CP downtime (the weighted
+	// hit-indicator mean). It sizes the naive replication count a tail
+	// table quotes as the speedup baseline: naive MC needs about
+	// z²·(1/p−1)/ε² replications for relative error ε.
+	RareHitProb float64
+	// RarePaths, RareSplits and RareKills total the splitting-branch
+	// activity across replications (zero without Config.Rare).
+	RarePaths  int
+	RareSplits int
+	RareKills  int
 	// CPDowntimeByMode and DPDowntimeByMode are the mean per-replication
 	// downtime hours attributed to each failure mode.
 	CPDowntimeByMode map[string]float64
@@ -179,8 +202,11 @@ func runWorkersContext(ctx context.Context, cfg Config, replications int, level 
 	// ordered fold is what makes the estimate independent of the worker
 	// count. pending holds at most ~workers entries.
 	var cp, sdp, dp, elec, wrongRead stats.Accumulator
+	var cpU stats.WeightedAccumulator
 	cpModes, dpModes := map[string]float64{}, map[string]float64{}
 	elections, electionHours := 0, 0.0
+	rarePaths, rareSplits, rareKills := 0, 0, 0
+	sumW, hitW := 0.0, 0.0
 	var results []Result
 	if cfg.KeepResults {
 		results = make([]Result, replications)
@@ -195,6 +221,21 @@ func runWorkersContext(ctx context.Context, cfg Config, replications int, level 
 		cp.Add(res.CPAvailability)
 		sdp.Add(res.SharedDPAvailability)
 		dp.Add(res.HostDPAvailability)
+		// The weighted fold: each replication's unavailability estimate is
+		// unbiased on its own, so the estimator is the plain mean of the
+		// samples; feeding (U/W, W) keeps that mean exact while letting the
+		// terminal weights drive the effective-sample-size diagnostic. An
+		// unbiased run has W = 1 everywhere and degrades to the plain fold.
+		w := res.RareTotalWeight
+		if w <= 0 {
+			w = 1
+		}
+		cpU.Add(res.CPUnavailability/w, w)
+		sumW += w
+		hitW += res.RareHitWeight
+		rarePaths += res.RarePaths
+		rareSplits += res.RareSplits
+		rareKills += res.RareKills
 		elec.Add(res.CPElectionDowntime / res.Hours)
 		wrongRead.Add(res.CPWrongReadDowntime / res.Hours)
 		elections += res.LeaderElections
@@ -266,6 +307,12 @@ func runWorkersContext(ctx context.Context, cfg Config, replications int, level 
 		CP:                        cp.ConfidenceInterval(level),
 		SharedDP:                  sdp.ConfidenceInterval(level),
 		HostDP:                    dp.ConfidenceInterval(level),
+		CPUnavailability:          cpU.ConfidenceInterval(level),
+		RareESS:                   cpU.ESS(),
+		RareHitProb:               hitProb(hitW, sumW),
+		RarePaths:                 rarePaths,
+		RareSplits:                rareSplits,
+		RareKills:                 rareKills,
 		CPDowntimeByMode:          cpModes,
 		DPDowntimeByMode:          dpModes,
 		CPElectionUnavailability:  elec.ConfidenceInterval(level),
@@ -279,4 +326,13 @@ func runWorkersContext(ctx context.Context, cfg Config, replications int, level 
 		est.MeanElectionHours = electionHours / float64(elections)
 	}
 	return est, nil
+}
+
+// hitProb folds the weighted hit indicator into the self-normalized hit
+// probability (0 when nothing folded).
+func hitProb(hitW, sumW float64) float64 {
+	if sumW <= 0 {
+		return 0
+	}
+	return hitW / sumW
 }

@@ -104,6 +104,10 @@ type Sim struct {
 	// the topology declares fallible links. Each Sim owns its own tracker
 	// (Connectivity is single-consumer).
 	conn *topology.Connectivity
+	// rare is the rare-event acceleration state, nil unless
+	// Config.Rare is enabled. A nil rare leaves the unbiased event loop
+	// byte-for-byte untouched.
+	rare *rareRun
 
 	// running indicators
 	cpUp      bool
@@ -137,6 +141,12 @@ type Result struct {
 	Events int
 	// CPAvailability is the fraction of time the SDN control plane was up.
 	CPAvailability float64
+	// CPUnavailability is the control-plane unavailability, computed
+	// directly (not as 1−CPAvailability, which loses every digit past the
+	// float mantissa in deep tails). In rare mode it is the
+	// likelihood-ratio-weighted estimate; unbiased for the true
+	// unavailability either way.
+	CPUnavailability float64
 	// CPOutages counts distinct control-plane outages.
 	CPOutages int
 	// CPMeanOutageHours is the mean duration of a control-plane outage
@@ -180,6 +190,29 @@ type Result struct {
 	// ElectionDurations lists every completed election's duration in
 	// hours, for distributional comparison with the live testbed.
 	ElectionDurations []float64
+
+	// Rare-event acceleration measurements, zero unless Config.Rare is
+	// enabled.
+	//
+	// RareTotalWeight is the terminal estimator weight summed over every
+	// splitting branch that reached the horizon. Its expectation is
+	// exactly 1; the spread across replications drives the effective
+	// sample size on the Estimate.
+	RareTotalWeight float64
+	// RareHitWeight is the terminal weight summed over branches whose
+	// trajectory saw any CP downtime: an unbiased estimate of the
+	// probability that a NAIVE replication would observe an outage at all,
+	// which is what sizes the naive replication count a deep tail costs.
+	// The unbiased engine sets it to the plain indicator (1 when the
+	// replication accrued CP downtime, else 0) so the estimate folds
+	// uniformly.
+	RareHitWeight float64
+	// RarePaths counts splitting branches that reached the horizon,
+	// RareSplits threshold crossings that split, and RareKills branches
+	// killed at their creation threshold.
+	RarePaths  int
+	RareSplits int
+	RareKills  int
 }
 
 // New builds a simulator for one replication. The replication index is
@@ -200,6 +233,9 @@ func newSim(cfg Config) *Sim {
 	s.build()
 	if cfg.RaftElectionMax > 0 {
 		s.raft = newSimRaft(s)
+	}
+	if cfg.Rare.Enabled() {
+		s.rare = newRareRun(s)
 	}
 	return s
 }
@@ -222,7 +258,15 @@ func (s *Sim) reset(replication int) {
 		s.hostUp[i] = true
 	}
 	s.cpStart, s.sdpDownAt = 0, 0
-	s.ledger = telemetry.NewLedger()
+	if s.rare != nil {
+		// Rare mode attributes weighted downtime incrementally in its own
+		// maps (branches diverge mid outage, so the ledger's open-interval
+		// model cannot apply); the ledger stays nil.
+		s.ledger = nil
+		s.rare.reset(s)
+	} else {
+		s.ledger = telemetry.NewLedger()
+	}
 	s.cpTime, s.sdpTime = 0, 0
 	for i := range s.hostTime {
 		s.hostTime[i] = 0
@@ -653,6 +697,9 @@ const cancelCheckMask = 4095
 // a zero Result (a partial replication is a biased sample, never folded).
 // A nil done compiles to the plain uncancellable run.
 func (s *Sim) runCancel(done <-chan struct{}) (Result, bool) {
+	if s.rare != nil {
+		return s.runRareCancel(done)
+	}
 	// Initial failure schedule: everything starts up.
 	for i := range s.entities {
 		s.schedule(s.exp(s.entities[i].mtbf), i, false)
@@ -733,8 +780,12 @@ func (s *Sim) runCancel(done <-chan struct{}) (Result, bool) {
 		Hours:                horizon,
 		Events:               s.nEvents,
 		CPAvailability:       s.cpTime / horizon,
+		CPUnavailability:     (horizon - s.cpTime) / horizon,
 		CPOutages:            s.cpOutages,
 		SharedDPAvailability: s.sdpTime / horizon,
+	}
+	if s.cpTime < horizon {
+		res.RareHitWeight = 1
 	}
 	if s.cpOutages > 0 {
 		res.CPMeanOutageHours = s.cpDowntime / float64(s.cpOutages)

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"math"
+)
+
+// TailRow is one deep-tail availability estimate for the rare-event tail
+// table: a labelled configuration with its LR-weighted unavailability,
+// convergence diagnostics, and the replication-count speedup over naive
+// Monte Carlo at the same precision.
+type TailRow struct {
+	// Label names the configuration (placement, option, series point).
+	Label string
+	// Unavailability is the LR-weighted CP unavailability estimate and
+	// HalfWidth its confidence half-width.
+	Unavailability float64
+	HalfWidth      float64
+	// Replications is the rare-event replication count actually spent;
+	// ESS the effective sample size of the terminal weights.
+	Replications int
+	ESS          float64
+	// HitProb is the estimated probability that one naive replication
+	// would observe any CP downtime — the quantity that sizes the naive
+	// baseline.
+	HitProb float64
+	// NaiveReplications is the extrapolated naive replication count to the
+	// same relative error; Speedup its ratio to Replications. Zero when
+	// the baseline is not estimable (no hits observed).
+	NaiveReplications float64
+	Speedup           float64
+	// Splits and Kills summarize importance-splitting activity.
+	Splits int
+	Kills  int
+}
+
+// Nines converts an unavailability into "nines of availability":
+// 1e-9 → 9.0, 3.2e-8 → 7.5. Infinite for a zero estimate.
+func Nines(unavailability float64) float64 {
+	if unavailability <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log10(unavailability)
+}
+
+// NaiveReplications extrapolates the replication count naive Monte Carlo
+// would need to estimate an unavailability with relative error relErr at
+// normal quantile z, given the probability hitProb that a single naive
+// replication observes any downtime. The bound models the dominant
+// rare-event variance term — the Bernoulli mass of seeing an outage at
+// all — so it is a floor on the true naive cost (downtime-magnitude
+// spread only adds to it): z²·(1/p − 1)/ε². Returns 0 when hitProb or
+// relErr is not positive (no baseline estimable).
+func NaiveReplications(hitProb, relErr, z float64) float64 {
+	if hitProb <= 0 || relErr <= 0 || z <= 0 {
+		return 0
+	}
+	return z * z * (1/hitProb - 1) / (relErr * relErr)
+}
+
+// TailTable renders deep-tail rows: unavailability with its nines,
+// relative error, effective sample size, and the naive-MC speedup.
+func TailTable(title string, rows []TailRow) Table {
+	t := Table{
+		Title: title,
+		Columns: []string{
+			"configuration", "unavailability", "nines", "rel err",
+			"reps", "ESS", "splits", "naive reps", "speedup",
+		},
+	}
+	for _, r := range rows {
+		rel := math.Inf(1)
+		if r.Unavailability > 0 {
+			rel = r.HalfWidth / r.Unavailability
+		}
+		nines := "inf"
+		if n := Nines(r.Unavailability); !math.IsInf(n, 1) {
+			nines = fmt.Sprintf("%.2f", n)
+		}
+		naive, speedup := "-", "-"
+		if r.NaiveReplications > 0 {
+			naive = fmt.Sprintf("%.3g", r.NaiveReplications)
+			if r.Speedup > 0 {
+				speedup = fmt.Sprintf("%.3gx", r.Speedup)
+			}
+		}
+		t.AddRow(
+			r.Label,
+			fmt.Sprintf("%.3e ± %.1e", r.Unavailability, r.HalfWidth),
+			nines,
+			fmt.Sprintf("%.1f%%", rel*100),
+			r.Replications,
+			fmt.Sprintf("%.0f", r.ESS),
+			r.Splits,
+			naive,
+			speedup,
+		)
+	}
+	return t
+}

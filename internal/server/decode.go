@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sdnavail/internal/analytic"
+	"sdnavail/internal/mc"
 	"sdnavail/internal/profile"
 	"sdnavail/internal/topology"
 )
@@ -63,6 +64,34 @@ type mcRequest struct {
 	MaxReps  int
 	Seed     int64
 	Headless float64
+
+	// Rare switches the run to the rare-event engine (forced failures +
+	// importance splitting with likelihood-ratio correction) and
+	// relative-error stopping on the CP unavailability. The schedule
+	// fields are the explicit biasing knobs; all zero means auto-select.
+	Rare            bool
+	RareBias        float64
+	RareHWBias      float64
+	RareLinkBias    float64
+	RareSplitLevels []int
+	RareSplitFactor int
+	RelTarget       float64
+}
+
+// rareSchedule builds the explicit rare-event schedule from the decoded
+// knobs. The zero value (nothing set) means "auto-select".
+func (r mcRequest) rareSchedule() mc.RareEventConfig {
+	rc := mc.RareEventConfig{
+		ProcessBias:  r.RareBias,
+		HardwareBias: r.RareHWBias,
+		LinkBias:     r.RareLinkBias,
+		SplitLevels:  r.RareSplitLevels,
+		SplitFactor:  r.RareSplitFactor,
+	}
+	if len(rc.SplitLevels) > 0 && rc.SplitFactor == 0 {
+		rc.SplitFactor = 3
+	}
+	return rc
 }
 
 // soakRequest parameterizes a live virtual-time soak.
@@ -77,7 +106,9 @@ type soakRequest struct {
 var (
 	modelParams = []string{"profile", "topology", "cluster", "scenario", "compute",
 		"ac", "av", "ah", "ar", "a", "as", "timeout"}
-	mcParams   = append([]string{"horizon", "reps", "ci_target", "min_reps", "max_reps", "seed", "headless"}, modelParams...)
+	mcParams = append([]string{"horizon", "reps", "ci_target", "min_reps", "max_reps", "seed", "headless",
+		"rare", "rare_bias", "rare_hw_bias", "rare_link_bias",
+		"rare_split_levels", "rare_split_factor", "rel_target"}, modelParams...)
 	soakParams = []string{"hours", "mtbf", "seed", "hosts", "timeout"}
 )
 
@@ -320,6 +351,53 @@ func decodeMC(q url.Values) (mcRequest, error) {
 	}
 	if r.Headless > 1e6 {
 		return r, badf("parameter \"headless\": %g exceeds 1e6 hours", r.Headless)
+	}
+
+	if s := q.Get("rare"); s != "" {
+		v, perr := strconv.ParseBool(s)
+		if perr != nil {
+			return r, badf("parameter \"rare\": %q is not a boolean", s)
+		}
+		r.Rare = v
+	}
+	if r.RareBias, err = parseNonNegFloat(q, "rare_bias", 0); err != nil {
+		return r, err
+	}
+	if r.RareHWBias, err = parseNonNegFloat(q, "rare_hw_bias", 0); err != nil {
+		return r, err
+	}
+	if r.RareLinkBias, err = parseNonNegFloat(q, "rare_link_bias", 0); err != nil {
+		return r, err
+	}
+	if s := q.Get("rare_split_levels"); s != "" {
+		for _, tok := range strings.Split(s, ",") {
+			lv, perr := strconv.Atoi(strings.TrimSpace(tok))
+			if perr != nil {
+				return r, badf("parameter \"rare_split_levels\": %q is not an integer", tok)
+			}
+			r.RareSplitLevels = append(r.RareSplitLevels, lv)
+		}
+	}
+	if r.RareSplitFactor, err = parseIntRange(q, "rare_split_factor", 0, 0, 64); err != nil {
+		return r, err
+	}
+	if r.RelTarget, err = parseNonNegFloat(q, "rel_target", 0); err != nil {
+		return r, err
+	}
+	if r.RelTarget >= 1 {
+		return r, badf("parameter \"rel_target\": %g must be below 1 (it is a relative error)", r.RelTarget)
+	}
+	if !r.Rare {
+		// Rare knobs without rare=true would silently do nothing — fail
+		// loud, same policy as unknown parameters.
+		if r.RareBias != 0 || r.RareHWBias != 0 || r.RareLinkBias != 0 ||
+			len(r.RareSplitLevels) > 0 || r.RareSplitFactor != 0 || r.RelTarget != 0 {
+			return r, badf("rare_* and rel_target parameters require rare=true")
+		}
+	} else if verr := r.rareSchedule().Validate(); verr != nil {
+		// The explicit schedule is validated at decode time so a bad bias
+		// factor is a 400, not a simulator error surfaced as a 500.
+		return r, badf("rare schedule: %v", verr)
 	}
 	return r, nil
 }

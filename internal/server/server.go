@@ -395,6 +395,15 @@ type mcResponse struct {
 	Converged    bool         `json:"converged"`
 	Truncated    bool         `json:"truncated"`
 	ElapsedMS    int64        `json:"elapsed_ms"`
+
+	// Rare-event fields, present only when the request set rare=true: the
+	// LR-weighted CP unavailability with its effective sample size, the
+	// estimated naive hit probability, and the splitting activity.
+	CPUnavailability *intervalJSON `json:"cp_unavailability,omitempty"`
+	RareESS          float64       `json:"rare_ess,omitempty"`
+	RareHitProb      float64       `json:"rare_hit_prob,omitempty"`
+	RareSplits       int           `json:"rare_splits,omitempty"`
+	RareKills        int           `json:"rare_kills,omitempty"`
 }
 
 // handleMC runs an adaptive Monte Carlo sweep under the request deadline,
@@ -438,7 +447,21 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		MinReps:  req.MinReps,
 		MaxReps:  req.MaxReps,
 	}
-	if req.CITarget == 0 {
+	switch {
+	case req.Rare:
+		// Rare mode: the biasing schedule (explicit, else auto-selected
+		// from the configuration) plus relative-error stopping on the CP
+		// unavailability; max_reps bounds the spend.
+		rc := req.rareSchedule()
+		if !rc.Enabled() {
+			rc = sweep.AutoRare(cfg)
+		}
+		cfg.Rare = rc
+		opt.RelTarget = req.RelTarget
+		if opt.RelTarget == 0 {
+			opt.RelTarget = 0.10
+		}
+	case req.CITarget == 0:
 		opt.MaxReps = req.Reps
 		if opt.MinReps > opt.MaxReps {
 			opt.MinReps = opt.MaxReps
@@ -454,7 +477,7 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 	if res.Truncated {
 		s.timeouts.Inc()
 	}
-	writeJSON(w, http.StatusOK, mcResponse{
+	resp := mcResponse{
 		Profile:  req.Model.ProfileName,
 		Topology: req.Model.TopoName,
 		CP: intervalJSON{Mean: res.Estimate.CP.Mean,
@@ -467,7 +490,19 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		Converged:    res.Converged,
 		Truncated:    res.Truncated,
 		ElapsedMS:    time.Since(start).Milliseconds(),
-	})
+	}
+	if req.Rare {
+		resp.CPUnavailability = &intervalJSON{
+			Mean:      res.Estimate.CPUnavailability.Mean,
+			HalfWidth: res.Estimate.CPUnavailability.HalfWide,
+			Level:     res.Estimate.CPUnavailability.Level,
+		}
+		resp.RareESS = res.Estimate.RareESS
+		resp.RareHitProb = res.Estimate.RareHitProb
+		resp.RareSplits = res.Estimate.RareSplits
+		resp.RareKills = res.Estimate.RareKills
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // soakResponse is the live-soak result.

@@ -151,6 +151,55 @@ func TestMCEndpoint(t *testing.T) {
 	}
 }
 
+// TestMCEndpointRare: a rare-mode query runs the biased engine with
+// relative-error stopping and reports the unavailability block; bad rare
+// parameters are 400s.
+func TestMCEndpointRare(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	var got mcResponse
+	url := ts.URL + "/api/v1/mc?topology=small&scenario=1&horizon=200&rare=true&rare_bias=8&min_reps=8&max_reps=64&seed=7"
+	if code := getJSON(t, url, &got); code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if got.CPUnavailability == nil {
+		t.Fatal("rare response missing cp_unavailability")
+	}
+	if got.CPUnavailability.Mean < 0 {
+		t.Errorf("negative unavailability %g", got.CPUnavailability.Mean)
+	}
+	if got.RareESS <= 0 {
+		t.Errorf("ESS %g, want > 0", got.RareESS)
+	}
+	if got.RareHitProb < 0 || got.RareHitProb > 1 {
+		t.Errorf("hit probability %g outside [0, 1]", got.RareHitProb)
+	}
+	if got.Replications <= 0 {
+		t.Errorf("replications %d, want > 0", got.Replications)
+	}
+
+	var plain mcResponse
+	if code := getJSON(t, ts.URL+"/api/v1/mc?topology=small&horizon=200&reps=4", &plain); code != http.StatusOK {
+		t.Fatalf("plain query status %d, want 200", code)
+	}
+	if plain.CPUnavailability != nil {
+		t.Error("plain response carries the rare block")
+	}
+
+	for _, qs := range []string{
+		"?rare=true&rare_bias=0.5",        // deceleration rejected
+		"?rare=true&rare_split_levels=2x", // malformed levels
+		"?rare=true&rare_split_factor=99", // factor out of range
+		"?rare=maybe",                     // not a boolean
+		"?rare_bias=4",                    // rare knob without rare=true
+		"?rare=true&rel_target=1.5",       // relative error ≥ 1
+	} {
+		var body errorBody
+		if code := getJSON(t, ts.URL+"/api/v1/mc"+qs, &body); code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", qs, code)
+		}
+	}
+}
+
 // TestMCEndpointTruncatesAtDeadline: an over-sized query with a short
 // ?timeout= answers 200 with the partial estimate, truncated=true, within
 // the deadline plus scheduling slack — not an error and not a hang.

@@ -112,6 +112,11 @@ func zFor(level float64) float64 {
 	}
 }
 
+// Z returns the standard normal quantile behind the two-sided confidence
+// level, for callers that extrapolate sample-size requirements from an
+// interval (naive-MC baselines, power calculations).
+func Z(level float64) float64 { return zFor(level) }
+
 // ConfidenceInterval returns a normal-approximation interval for the
 // accumulated samples at the given level. With fewer than two samples the
 // half-width is zero.

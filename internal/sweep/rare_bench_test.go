@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"sdnavail/internal/analytic"
+	"sdnavail/internal/markov"
+	"sdnavail/internal/mc"
+	"sdnavail/internal/profile"
+	"sdnavail/internal/report"
+	"sdnavail/internal/stats"
+	"sdnavail/internal/topology"
+)
+
+// benchKofNConfig builds the 2-of-3 manual-restart reduction whose
+// unavailability the exact Markov solver pins: per-process MTBF 5000 h,
+// repair 1 h, so steady-state per-process unavailability is ~2e-4 and the
+// quorum (two simultaneously down) sits near 1.2e-7 — deep enough that
+// naive Monte Carlo at this horizon almost never observes an outage.
+func benchKofNConfig(horizon float64) mc.Config {
+	prof := &profile.Profile{
+		Name:         "kofn-bench",
+		Description:  "2-of-3 manual-restart reduction",
+		ClusterRoles: []profile.Role{profile.Control},
+		Processes: []profile.Process{{
+			Name:    "svc",
+			Role:    profile.Control,
+			Restart: profile.ManualRestart,
+			CP:      profile.Majority,
+			DP:      profile.NotRequired,
+		}},
+	}
+	topo := &topology.Topology{
+		Name:        "kofn-bench",
+		Kind:        topology.Custom,
+		ClusterSize: 3,
+		Roles:       []profile.Role{profile.Control},
+	}
+	rack := topology.Rack{Name: "R"}
+	for i := 0; i < 3; i++ {
+		rack.Hosts = append(rack.Hosts, topology.Host{
+			Name: "H" + string(rune('0'+i)),
+			VMs: []topology.VM{{
+				Name:       "V" + string(rune('0'+i)),
+				Placements: []topology.Placement{{Role: profile.Control, Node: i}},
+			}},
+		})
+	}
+	topo.Racks = []topology.Rack{rack}
+	return mc.Config{
+		Profile:           prof,
+		Topology:          topo,
+		Scenario:          analytic.SupervisorNotRequired,
+		ProcessMTBF:       5000,
+		AutoRestart:       0.1,
+		ManualRestart:     1,
+		MaintenanceWindow: 10,
+		VMMTBF:            1e15, VMRepair: 1,
+		HostMTBF: 1e15, HostRepair: 1,
+		RackMTBF: 1e15, RackRepair: 1,
+		ComputeHosts: 0,
+		Horizon:      horizon,
+		Seed:         1,
+	}
+}
+
+// TestWriteRareBenchArtifact measures the rare-event engine's
+// replication-count speedup over naive Monte Carlo on the 2-of-3
+// reduction (~1.2e-7 unavailability) and writes the artifact to
+// $BENCH_RARE_OUT. The naive baseline is the hit-probability
+// extrapolation z²·(1/p−1)/ε² — a floor on the true naive cost — so the
+// recorded speedup is conservative. The run must reach 10% relative
+// error, agree with the exact Markov transient solver, and beat the
+// naive baseline by at least 50x, or the step fails.
+func TestWriteRareBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_RARE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_RARE_OUT to write the benchmark artifact")
+	}
+	cfg := benchKofNConfig(50)
+	cfg.Rare = mc.RareEventConfig{
+		ProcessBias: 30,
+		SplitLevels: []int{2},
+		SplitFactor: 3,
+	}
+	const relTarget = 0.10
+	opt := Options{
+		Confidence: 0.99,
+		RelTarget:  relTarget,
+		MinReps:    64,
+		MaxReps:    1 << 19,
+		Batch:      4096,
+	}
+	results, err := Run([]Point{{ID: "kofn-2of3", Config: cfg}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	est := r.Estimate
+	if !r.Converged {
+		t.Fatalf("did not reach %.0f%% relative error within %d replications (rel err %.1f%%)",
+			relTarget*100, opt.MaxReps, stats.RelativeError(est.CPUnavailability)*100)
+	}
+
+	exactDown, err := markov.KofNExpectedDownTime(2, 3, 1/cfg.ProcessMTBF, 1/cfg.ManualRestart, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactDown / cfg.Horizon
+	ci := est.CPUnavailability
+	if diff := ci.Mean - exact; diff < -4*ci.HalfWide || diff > 4*ci.HalfWide {
+		t.Fatalf("estimate %.4e disagrees with exact %.4e beyond 4 half-widths (±%.1e)",
+			ci.Mean, exact, ci.HalfWide)
+	}
+
+	rel := stats.RelativeError(ci)
+	z := stats.Z(opt.Confidence)
+	naive := report.NaiveReplications(est.RareHitProb, rel, z)
+	if naive <= 0 {
+		t.Fatal("no naive baseline estimable: hit probability is zero")
+	}
+	speedup := naive / float64(r.Replications)
+	if speedup < 50 {
+		t.Fatalf("replication-count speedup %.1fx below the 50x floor (rare %d reps, naive %.3g)",
+			speedup, r.Replications, naive)
+	}
+
+	artifact := struct {
+		Description       string  `json:"description"`
+		ExactU            float64 `json:"exact_unavailability"`
+		EstimateU         float64 `json:"estimated_unavailability"`
+		HalfWidth         float64 `json:"half_width"`
+		RelativeError     float64 `json:"relative_error"`
+		Replications      int     `json:"replications"`
+		ESS               float64 `json:"ess"`
+		HitProbability    float64 `json:"hit_probability"`
+		NaiveReplications float64 `json:"naive_replications_extrapolated"`
+		Speedup           float64 `json:"replication_speedup"`
+		Splits            int     `json:"splits"`
+		Kills             int     `json:"kills"`
+	}{
+		Description: "2-of-3 manual-restart quorum, MTBF 5000 h, repair 1 h, horizon 50 h: " +
+			"rare-event MC (forcing x30 + splitting [2]x3) to 10% relative error vs the " +
+			"hit-probability extrapolation of naive MC at the same precision (a floor on naive cost)",
+		ExactU:            exact,
+		EstimateU:         ci.Mean,
+		HalfWidth:         ci.HalfWide,
+		RelativeError:     rel,
+		Replications:      r.Replications,
+		ESS:               est.RareESS,
+		HitProbability:    est.RareHitProb,
+		NaiveReplications: naive,
+		Speedup:           speedup,
+		Splits:            est.RareSplits,
+		Kills:             est.RareKills,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rare %d reps (ESS %.0f) vs naive %.3g: %.0fx; estimate %.3e vs exact %.3e",
+		r.Replications, est.RareESS, naive, speedup, ci.Mean, exact)
+}

@@ -34,8 +34,17 @@ type Options struct {
 	// CITarget is the sequential-stopping threshold: a point stops
 	// replicating once the CP availability half-width is ≤ CITarget
 	// (checked at MinReps and then every Batch replications). Zero
-	// disables adaptation — every point runs exactly MaxReps.
+	// disables the absolute rule.
 	CITarget float64
+	// RelTarget is the relative-error stopping threshold for deep tails:
+	// a point stops once the CP *unavailability* half-width divided by its
+	// mean is ≤ RelTarget — the natural rule for rare-event runs, where
+	// any fixed absolute width is either unreachable or trivially met.
+	// The rule only fires once the weighted effective sample size has
+	// cleared MinReps, so a degenerate biasing schedule cannot stop on a
+	// deceptively narrow interval. Zero disables the relative rule; when
+	// both targets are zero every point runs exactly MaxReps.
+	RelTarget float64
 	// MinReps is the floor before the first stopping check (default 64).
 	// The Welford variance needs a real sample before the half-width
 	// means anything.
@@ -84,6 +93,9 @@ func (o Options) Validate() error {
 	}
 	if o.CITarget < 0 {
 		return fmt.Errorf("sweep: CI target %g is negative", o.CITarget)
+	}
+	if o.RelTarget < 0 {
+		return fmt.Errorf("sweep: relative-error target %g is negative", o.RelTarget)
 	}
 	if o.MinReps < 2 {
 		return fmt.Errorf("sweep: MinReps %d < 2 (variance needs two samples)", o.MinReps)
@@ -190,15 +202,19 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, err
 // run at the same configuration.
 func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 	var cp, sdp, dp stats.Accumulator
+	var cpU stats.WeightedAccumulator
 	cpModes, dpModes := map[string]float64{}, map[string]float64{}
+	rarePaths, rareSplits, rareKills := 0, 0, 0
+	sumW, hitW := 0.0, 0.0
 	var results []mc.Result
 	if p.Config.KeepResults {
 		results = make([]mc.Result, 0, o.MinReps)
 	}
+	adaptive := o.CITarget > 0 || o.RelTarget > 0
 	n, converged, truncated := 0, false, false
 	for {
 		target := o.MaxReps
-		if o.CITarget > 0 {
+		if adaptive {
 			if n == 0 {
 				target = o.MinReps
 			} else if target = n + o.Batch; target > o.MaxReps {
@@ -214,6 +230,16 @@ func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 			cp.Add(res.CPAvailability)
 			sdp.Add(res.SharedDPAvailability)
 			dp.Add(res.HostDPAvailability)
+			w := res.RareTotalWeight
+			if w <= 0 {
+				w = 1
+			}
+			cpU.Add(res.CPUnavailability/w, w)
+			sumW += w
+			hitW += res.RareHitWeight
+			rarePaths += res.RarePaths
+			rareSplits += res.RareSplits
+			rareKills += res.RareKills
 			for m, h := range res.CPDowntimeByMode {
 				cpModes[m] += h
 			}
@@ -227,11 +253,16 @@ func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 		if truncated {
 			break
 		}
-		if o.CITarget <= 0 {
+		if !adaptive {
 			converged = true // fixed-count run: the contract is the count
 			break
 		}
-		if cp.ConfidenceInterval(o.Confidence).HalfWide <= o.CITarget {
+		ciOK := o.CITarget == 0 ||
+			cp.ConfidenceInterval(o.Confidence).HalfWide <= o.CITarget
+		relOK := o.RelTarget == 0 ||
+			(stats.RelativeError(cpU.ConfidenceInterval(o.Confidence)) <= o.RelTarget &&
+				cpU.ESS() >= float64(o.MinReps))
+		if ciOK && relOK {
 			converged = true
 			break
 		}
@@ -253,6 +284,12 @@ func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 			CP:               cp.ConfidenceInterval(o.Confidence),
 			SharedDP:         sdp.ConfidenceInterval(o.Confidence),
 			HostDP:           dp.ConfidenceInterval(o.Confidence),
+			CPUnavailability: cpU.ConfidenceInterval(o.Confidence),
+			RareESS:          cpU.ESS(),
+			RareHitProb:      hitProb(hitW, sumW),
+			RarePaths:        rarePaths,
+			RareSplits:       rareSplits,
+			RareKills:        rareKills,
 			CPDowntimeByMode: cpModes,
 			DPDowntimeByMode: dpModes,
 			Results:          results,
@@ -263,4 +300,13 @@ func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 		Converged:    converged,
 		Truncated:    truncated,
 	}
+}
+
+// hitProb folds the weighted hit indicator into the self-normalized hit
+// probability (0 when nothing folded).
+func hitProb(hitW, sumW float64) float64 {
+	if sumW <= 0 {
+		return 0
+	}
+	return hitW / sumW
 }

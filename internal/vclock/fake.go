@@ -28,6 +28,11 @@ type Fake struct {
 	// chance to run at the current instant first.
 	ops     uint64
 	waiters map[*waiter]struct{}
+	// armSeq orders waiters armed at the same deadline: the advance path
+	// fires exactly one waiter per step, in (deadline, arm order), so
+	// goroutines whose deadlines coincide wake one at a time in a
+	// deterministic order instead of racing the scheduler.
+	armSeq uint64
 	// work counts outstanding deliveries (AddWork/DoneWork): messages or
 	// notifications handed to goroutines that have not yet consumed them.
 	// The clock never advances while work is outstanding — it closes the
@@ -43,6 +48,7 @@ type waiter struct {
 	fire     chan time.Time // buffered(1); sends coalesce
 	period   time.Duration  // > 0 for tickers
 	parked   bool           // a goroutine is park-counted on this waiter
+	seq      uint64         // arm order; ties on deadline fire in this order
 }
 
 // NewFake returns a Fake clock reading start. A zero start defaults to a
@@ -79,7 +85,7 @@ func (f *Fake) SleepOr(d time.Duration, cancel <-chan struct{}) bool {
 		return true
 	}
 	f.mu.Lock()
-	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1)}
+	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1), seq: f.nextSeqLocked()}
 	f.waiters[w] = struct{}{}
 	f.parkLocked(w)
 	quiet := f.quietLocked()
@@ -125,7 +131,7 @@ func (f *Fake) NewTimer(d time.Duration) Timer {
 func (f *Fake) newTimer(d time.Duration) *waiter {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1)}
+	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1), seq: f.nextSeqLocked()}
 	if d <= 0 {
 		w.fire <- f.now
 		return w
@@ -142,7 +148,7 @@ func (f *Fake) NewTicker(d time.Duration) Ticker {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1), period: d}
+	w := &waiter{deadline: f.now.Add(d), fire: make(chan time.Time, 1), period: d, seq: f.nextSeqLocked()}
 	f.waiters[w] = struct{}{}
 	return &fakeTicker{f: f, w: w}
 }
@@ -236,7 +242,8 @@ func (f *Fake) Advance(d time.Duration) {
 			break
 		}
 		f.now = next
-		f.fireDueLocked()
+		for f.fireNextDueLocked() {
+		}
 	}
 	f.now = target
 }
@@ -313,15 +320,19 @@ func (f *Fake) tryAdvance() {
 	}
 }
 
-// advanceLocked hops virtual time deadline by deadline until a fire
-// actually wakes a parked goroutine (which then runs and re-triggers the
-// next advance when it re-parks), or until no parked goroutine is waiting
-// on any deadline. Hopping through deadlines nobody currently observes —
-// a ticker whose owner is parked elsewhere with a tick already buffered,
-// so the fresh tick coalesces and wakes no one — is essential: stopping
-// after one such fire would strand the clock with everyone parked and no
-// goroutine left to trigger the next advance (e.g. a prober whose CP
-// probe outlasts its sampling period). Callers hold f.mu.
+// advanceLocked hops virtual time deadline by deadline — firing exactly
+// one waiter per hop — until a fire actually wakes a parked goroutine
+// (which then runs and re-triggers the next advance when it re-parks), or
+// until no parked goroutine is waiting on any deadline. One waiter at a
+// time is what makes coincident deadlines deterministic: when several
+// sleepers share an instant, only the earliest-armed one wakes; the rest
+// stay parked until it re-parks, so their relative order is arm order,
+// never scheduler order. Hopping through deadlines nobody currently
+// observes — a ticker whose owner is parked elsewhere with a tick already
+// buffered, so the fresh tick coalesces and wakes no one — is essential:
+// stopping after one such fire would strand the clock with everyone
+// parked and no goroutine left to trigger the next advance (e.g. a prober
+// whose CP probe outlasts its sampling period). Callers hold f.mu.
 func (f *Fake) advanceLocked() {
 	for {
 		// Only deadlines with a park-counted owner can wake anyone; with
@@ -346,7 +357,9 @@ func (f *Fake) advanceLocked() {
 			f.now = next
 		}
 		parkedBefore := f.parked
-		f.fireDueLocked()
+		if !f.fireNextDueLocked() {
+			return
+		}
 		if f.parked < parkedBefore {
 			return
 		}
@@ -366,26 +379,42 @@ func (f *Fake) nextDeadlineLocked() (time.Time, bool) {
 	return min, found
 }
 
-// fireDueLocked delivers every waiter whose deadline is at or before the
-// current virtual time. One-shot waiters are removed; tickers rearm one
-// period after the deadline that fired (sends into the buffered channel
+// nextSeqLocked returns the next arm-order sequence number.
+func (f *Fake) nextSeqLocked() uint64 {
+	f.armSeq++
+	return f.armSeq
+}
+
+// fireNextDueLocked delivers the single due waiter with the earliest
+// (deadline, arm order), reporting whether one fired. One-shot waiters
+// are removed; tickers rearm one period after the deadline that fired,
+// keeping their original arm order (sends into the buffered channel
 // coalesce, so a slow consumer sees one tick, not a backlog).
-func (f *Fake) fireDueLocked() {
+func (f *Fake) fireNextDueLocked() bool {
+	var due *waiter
 	for w := range f.waiters {
 		if w.deadline.After(f.now) {
 			continue
 		}
-		select {
-		case w.fire <- f.now:
-		default:
+		if due == nil || w.deadline.Before(due.deadline) ||
+			(w.deadline.Equal(due.deadline) && w.seq < due.seq) {
+			due = w
 		}
-		if w.period > 0 {
-			w.deadline = w.deadline.Add(w.period)
-		} else {
-			delete(f.waiters, w)
-		}
-		f.unparkLocked(w)
 	}
+	if due == nil {
+		return false
+	}
+	select {
+	case due.fire <- f.now:
+	default:
+	}
+	if due.period > 0 {
+		due.deadline = due.deadline.Add(due.period)
+	} else {
+		delete(f.waiters, due)
+	}
+	f.unparkLocked(due)
+	return true
 }
 
 type fakeTimer struct {

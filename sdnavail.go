@@ -7,10 +7,12 @@ import (
 	"sdnavail/internal/analytic"
 	"sdnavail/internal/chaos"
 	"sdnavail/internal/cluster"
+	"sdnavail/internal/experiments"
 	"sdnavail/internal/markov"
 	"sdnavail/internal/mc"
 	"sdnavail/internal/profile"
 	"sdnavail/internal/relmath"
+	"sdnavail/internal/report"
 	"sdnavail/internal/server"
 	"sdnavail/internal/stats"
 	"sdnavail/internal/sweep"
@@ -582,6 +584,95 @@ func SimulateContext(ctx context.Context, cfg SimConfig, replications int, level
 // SoakResult.Truncated — a clean partial result, not a torn one.
 func RunSoakContext(ctx context.Context, sc SoakConfig) (SoakResult, error) {
 	return chaos.RunSoakContext(ctx, sc)
+}
+
+// ---- rare-event acceleration (deep availability tails) ----
+
+// RareEventConfig parameterizes the simulator's rare-event acceleration
+// layer via SimConfig.Rare: forced-failure biasing per entity kind and
+// multilevel importance splitting, both corrected by exact likelihood
+// ratios so the unavailability estimator stays unbiased. The zero value
+// disables the layer; the simulator is then bit-identical to the plain
+// event loop.
+type RareEventConfig = mc.RareEventConfig
+
+// RareConfigError is the typed validation error for rare-event
+// configurations.
+type RareConfigError = mc.RareConfigError
+
+// WeightedAccumulator folds likelihood-ratio-weighted samples: weighted
+// mean, Kish effective sample size, and confidence intervals over the
+// per-replication estimates.
+type WeightedAccumulator = stats.WeightedAccumulator
+
+// RelativeError returns HalfWide/|Mean| of an interval — the scale-free
+// precision measure rare-event stopping rules use (+Inf at mean zero).
+func RelativeError(ci Interval) float64 { return stats.RelativeError(ci) }
+
+// AutoRareSchedule selects a biasing schedule for the configuration:
+// forcing factors sized to the horizon's likelihood-ratio drift budget
+// and splitting levels derived from the quorum min-cut. Configurations
+// whose tail is easy come back with weaker factors, degrading gracefully
+// toward the identity (a disabled schedule).
+func AutoRareSchedule(cfg SimConfig) RareEventConfig { return sweep.AutoRare(cfg) }
+
+// KofNExpectedDownTime solves the repairable k-of-n birth-death chain's
+// expected downtime over [0, t] exactly (uniformization), starting
+// all-up — the transient anchor the rare-event estimator is proven
+// unbiased against.
+func KofNExpectedDownTime(m, n int, lambda, mu, t float64) (float64, error) {
+	return markov.KofNExpectedDownTime(m, n, lambda, mu, t)
+}
+
+// ReportTable is a rendered result table (Text, CSV, Markdown).
+type ReportTable = report.Table
+
+// TailRow is one deep-tail estimate in a tail-availability table.
+type TailRow = report.TailRow
+
+// TailAvailabilityTable renders deep-tail rows: unavailability with its
+// nines, relative error, effective sample size, and the extrapolated
+// replication-count speedup over naive Monte Carlo.
+func TailAvailabilityTable(title string, rows []TailRow) ReportTable {
+	return report.TailTable(title, rows)
+}
+
+// UnavailabilityNines converts an unavailability into nines of
+// availability (1e-9 → 9).
+func UnavailabilityNines(u float64) float64 { return report.Nines(u) }
+
+// NaiveTailReplications extrapolates the replication count naive Monte
+// Carlo would need for relative error relErr at normal quantile z, given
+// the probability hitProb that one naive replication observes any
+// downtime (SimEstimate.RareHitProb).
+func NaiveTailReplications(hitProb, relErr, z float64) float64 {
+	return report.NaiveReplications(hitProb, relErr, z)
+}
+
+// TailPoint is one labelled deep-tail configuration for RunTailStudy.
+type TailPoint = experiments.TailPoint
+
+// TailSweepResult is one tail-study point's outcome (a sweep result).
+type TailSweepResult = sweep.Result
+
+// RunTailStudy estimates each point's deep-tail CP unavailability with
+// the rare-event engine (auto-selecting a biasing schedule for points
+// without one), stopping at the options' relative-error target, and
+// renders the tail-availability table with the naive-MC speedup.
+func RunTailStudy(points []TailPoint, opt SweepOptions) ([]TailSweepResult, ReportTable, error) {
+	return experiments.TailStudy(points, opt)
+}
+
+// RunTailStudyContext is RunTailStudy under a cancellable context.
+func RunTailStudyContext(ctx context.Context, points []TailPoint, opt SweepOptions) ([]TailSweepResult, ReportTable, error) {
+	return experiments.TailStudyContext(ctx, points, opt)
+}
+
+// DeepTailPlacementPoints builds the nine-nines placement comparison:
+// the most rack-concentrated and the most spread placements of the given
+// controller count at reference-grade parameters, ready for RunTailStudy.
+func DeepTailPlacementPoints(controllers int, horizon float64, seed int64) ([]TailPoint, error) {
+	return experiments.DeepTailPlacementPoints(controllers, horizon, seed)
 }
 
 // ---- resident availability service (availd) ----
