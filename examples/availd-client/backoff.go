@@ -1,0 +1,60 @@
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Retry pacing for shed (429) responses: decorrelated jitter with a hard
+// total-sleep budget. Fixed Retry-After honoring synchronizes every shed
+// client into retry waves that re-saturate the gate in lockstep;
+// decorrelated jitter (sleep = min(cap, uniform(base, 3×previous)))
+// spreads the retries out while still backing off under sustained
+// pressure, and the budget bounds how long a client will keep paying for
+// a saturated server before reporting failure.
+type backoff struct {
+	base   time.Duration
+	cap    time.Duration
+	budget time.Duration // total sleep remaining before giving up
+	prev   time.Duration
+	rng    *rand.Rand
+}
+
+// newBackoff builds a policy. seed makes the jitter reproducible in tests.
+func newBackoff(base, cap, budget time.Duration, seed int64) *backoff {
+	if base < time.Millisecond {
+		base = time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &backoff{base: base, cap: cap, budget: budget, rng: rand.New(rand.NewSource(seed))}
+}
+
+// next picks the sleep before the next retry. retryAfter is the server's
+// Retry-After hint (zero when absent) and floors the delay — the jitter
+// only ever waits longer than the server asked, never less. ok is false
+// when the remaining budget cannot cover the delay: the caller should
+// stop retrying.
+func (b *backoff) next(retryAfter time.Duration) (d time.Duration, ok bool) {
+	hi := 3 * b.prev
+	if hi < b.base {
+		hi = b.base
+	}
+	if hi > b.cap {
+		hi = b.cap
+	}
+	d = b.base
+	if span := int64(hi - b.base); span > 0 {
+		d = b.base + time.Duration(b.rng.Int63n(span+1))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > b.budget {
+		return 0, false
+	}
+	b.budget -= d
+	b.prev = d
+	return d, true
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBounds: every delay stays within [base, cap] no matter
+// how long the pressure lasts.
+func TestBackoffDelayBounds(t *testing.T) {
+	base, cap := 10*time.Millisecond, 80*time.Millisecond
+	bo := newBackoff(base, cap, time.Hour, 1)
+	for i := 0; i < 200; i++ {
+		d, ok := bo.next(0)
+		if !ok {
+			t.Fatalf("delay %d refused with an hour of budget left", i)
+		}
+		if d < base || d > cap {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, base, cap)
+		}
+	}
+}
+
+// TestBackoffDecorrelatedGrowth: under sustained pressure the upper edge
+// of the jitter window must actually grow (up to the cap) — a policy that
+// always sleeps near base is synchronized-retry bait.
+func TestBackoffDecorrelatedGrowth(t *testing.T) {
+	base, cap := 10*time.Millisecond, 500*time.Millisecond
+	bo := newBackoff(base, cap, time.Hour, 42)
+	max := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		d, _ := bo.next(0)
+		if d > max {
+			max = d
+		}
+	}
+	if max < 5*base {
+		t.Errorf("100 draws never exceeded %v; the window is not widening", max)
+	}
+	if max > cap {
+		t.Errorf("draw %v exceeded the %v cap", max, cap)
+	}
+}
+
+// TestBackoffRetryAfterFloor: the server's hint floors the delay — the
+// client may wait longer than asked, never less.
+func TestBackoffRetryAfterFloor(t *testing.T) {
+	bo := newBackoff(time.Millisecond, 10*time.Millisecond, time.Hour, 1)
+	hint := 250 * time.Millisecond
+	d, ok := bo.next(hint)
+	if !ok {
+		t.Fatal("refused with budget to spare")
+	}
+	if d < hint {
+		t.Errorf("delay %v below the server's Retry-After floor %v", d, hint)
+	}
+}
+
+// TestBackoffBudgetExhaustion: the total sleep is bounded — once the
+// budget cannot cover the next delay the policy says stop, and the sum of
+// granted delays never exceeds the budget.
+func TestBackoffBudgetExhaustion(t *testing.T) {
+	budget := 100 * time.Millisecond
+	bo := newBackoff(10*time.Millisecond, 40*time.Millisecond, budget, 7)
+	var total time.Duration
+	stopped := false
+	for i := 0; i < 1000; i++ {
+		d, ok := bo.next(0)
+		if !ok {
+			stopped = true
+			break
+		}
+		total += d
+	}
+	if !stopped {
+		t.Fatal("1000 retries never exhausted a 100ms budget")
+	}
+	if total > budget {
+		t.Errorf("granted %v of sleep against a %v budget", total, budget)
+	}
+}
+
+// TestBackoffReproducible: the jitter is seeded, so two policies with the
+// same seed draw the same schedule — what makes shed tests deterministic.
+func TestBackoffReproducible(t *testing.T) {
+	a := newBackoff(5*time.Millisecond, 50*time.Millisecond, time.Hour, 99)
+	b := newBackoff(5*time.Millisecond, 50*time.Millisecond, time.Hour, 99)
+	for i := 0; i < 50; i++ {
+		da, _ := a.next(0)
+		db, _ := b.next(0)
+		if da != db {
+			t.Fatalf("draw %d diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+// TestGetRetryShedRecover: a server that sheds twice then answers must be
+// survived transparently — getRetry eats the 429s, paces itself, and
+// returns the eventual 200 body.
+func TestGetRetryShedRecover(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"value": 7}`))
+	}))
+	defer ts.Close()
+	var out struct {
+		Value int `json:"value"`
+	}
+	if err := getRetry(ts.Client(), ts.URL, 5, &out); err != nil {
+		t.Fatalf("getRetry through two sheds: %v", err)
+	}
+	if out.Value != 7 {
+		t.Errorf("decoded %d, want 7", out.Value)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want 3 (2 sheds + success)", n)
+	}
+}
+
+// TestGetRetryBudgetSpent: a Retry-After hint larger than the client's
+// whole retry budget means waiting is pointless — the client reports the
+// spent budget instead of sleeping past it.
+func TestGetRetryBudgetSpent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "11") // 11s > the 10s total budget
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	start := time.Now()
+	err := getRetry(ts.Client(), ts.URL, 5, nil)
+	if err == nil || !strings.Contains(err.Error(), "retry budget is spent") {
+		t.Fatalf("err = %v, want a spent retry budget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("client slept %v before giving up; should refuse an unaffordable wait outright", elapsed)
+	}
+}
+
+// TestGetRetryRetriesExhausted: persistent shed with affordable waits
+// ends after the configured attempt count with the status error.
+func TestGetRetryRetriesExhausted(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	err := getRetry(ts.Client(), ts.URL, 2, nil)
+	if err == nil || !strings.Contains(err.Error(), "status 429") {
+		t.Fatalf("err = %v, want the terminal 429", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want 3 (initial + 2 retries)", n)
+	}
+}

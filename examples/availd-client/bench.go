@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnavail/internal/stats"
+)
+
+// Bench mode: a closed-loop load harness that measures the scaling layer
+// end to end and writes a machine-readable BENCH_availd.json artifact —
+// single-node vs sharded MC throughput, cold vs warm persistent-store
+// latency, and stream time-to-first-estimate. Every phase reports latency
+// quantiles so -max-concurrent/-max-queue can be calibrated against a
+// tail-latency SLO (-bench-slo-ms): if the p99 blows the SLO while sheds
+// stay at zero, the queue is too deep; if sheds dominate while p99 is
+// comfortable, capacity is too tight.
+
+type benchConfig struct {
+	base      string // single-node availd (required)
+	shardBase string // coordinator availd (phase skipped when empty)
+	storeBase string // store-enabled availd (phase skipped when empty)
+	out       string
+
+	requests int
+	clients  int
+	reps     int
+	horizon  int
+	streams  int
+	sloMS    float64
+	timeout  time.Duration
+}
+
+// benchPhase is one workload's measurement.
+type benchPhase struct {
+	Name           string  `json:"name"`
+	Requests       int     `json:"requests"`
+	Clients        int     `json:"clients"`
+	OK             int     `json:"ok"`
+	Shed           int     `json:"shed"`
+	Errors         int     `json:"errors"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	RepsPerSec     float64 `json:"reps_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P90Ms          float64 `json:"p90_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+	SLOMs          float64 `json:"slo_ms,omitempty"`
+	SLOMet         *bool   `json:"slo_met,omitempty"`
+}
+
+// streamBench measures progressive streaming: how early the first CI
+// snapshot lands relative to the full run.
+type streamBench struct {
+	Streams           int     `json:"streams"`
+	FirstSnapshotMs   float64 `json:"first_snapshot_ms_p50"`
+	TotalMs           float64 `json:"total_ms_p50"`
+	FirstFraction     float64 `json:"first_snapshot_fraction"`
+	FirstSnapshotReps int     `json:"first_snapshot_reps"`
+	TargetReps        int     `json:"target_reps"`
+	Snapshots         int     `json:"snapshots_per_stream_p50"`
+}
+
+// benchReport is the BENCH_availd.json schema.
+type benchReport struct {
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	When       string `json:"when"`
+	RepsPerReq int    `json:"reps_per_request"`
+	Horizon    int    `json:"horizon_hours"`
+
+	Single  *benchPhase `json:"single,omitempty"`
+	Sharded *benchPhase `json:"sharded,omitempty"`
+	// SpeedupX is sharded/single MC throughput (reps/sec ratio). On a
+	// 1-CPU host every process shares the core, so ~1.0 is the honest
+	// ceiling; the scaling headline needs >= shard-count cores.
+	SpeedupX float64 `json:"speedup_x,omitempty"`
+
+	StoreCold *benchPhase `json:"store_cold,omitempty"`
+	StoreWarm *benchPhase `json:"store_warm,omitempty"`
+	// WarmOverCold is warm p50 / cold p50 — the acceptance bar is < 0.01.
+	WarmOverCold float64 `json:"warm_over_cold_latency_ratio,omitempty"`
+
+	Stream *streamBench `json:"stream,omitempty"`
+}
+
+// runBench drives all phases and writes the artifact.
+func runBench(cfg benchConfig, out io.Writer) error {
+	client := &http.Client{Timeout: cfg.timeout}
+	rep := benchReport{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		When:       time.Now().UTC().Format(time.RFC3339),
+		RepsPerReq: cfg.reps,
+		Horizon:    cfg.horizon,
+	}
+
+	mcQuery := func(seed int) string {
+		return "/api/v1/mc?topology=large&horizon=" + strconv.Itoa(cfg.horizon) +
+			"&reps=" + strconv.Itoa(cfg.reps) + "&seed=" + strconv.Itoa(seed)
+	}
+
+	fmt.Fprintf(out, "bench: single-node MC throughput (%d requests, %d clients)\n", cfg.requests, cfg.clients)
+	single := closedLoop(client, cfg.base, "single", cfg, mcQuery, 0)
+	rep.Single = &single
+
+	if cfg.shardBase != "" {
+		fmt.Fprintf(out, "bench: sharded MC throughput via %s\n", cfg.shardBase)
+		sharded := closedLoop(client, cfg.shardBase, "sharded", cfg, mcQuery, 0)
+		rep.Sharded = &sharded
+		if single.RepsPerSec > 0 {
+			rep.SpeedupX = sharded.RepsPerSec / single.RepsPerSec
+		}
+	}
+
+	if cfg.storeBase != "" {
+		// Same seed set cold then warm: the second pass must hit disk.
+		fmt.Fprintf(out, "bench: persistent store cold/warm via %s\n", cfg.storeBase)
+		cold := closedLoop(client, cfg.storeBase, "store_cold", cfg, mcQuery, 1_000_000)
+		warm := closedLoop(client, cfg.storeBase, "store_warm", cfg, mcQuery, 1_000_000)
+		rep.StoreCold, rep.StoreWarm = &cold, &warm
+		if cold.P50Ms > 0 {
+			rep.WarmOverCold = warm.P50Ms / cold.P50Ms
+		}
+	}
+
+	fmt.Fprintf(out, "bench: stream time-to-first-estimate (%d streams)\n", cfg.streams)
+	sb, err := benchStreams(client, cfg)
+	if err != nil {
+		fmt.Fprintf(out, "bench: stream phase failed: %v\n", err)
+	} else {
+		rep.Stream = &sb
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bench: wrote %s\n", cfg.out)
+	if rep.SpeedupX > 0 {
+		fmt.Fprintf(out, "bench: sharded speedup %.2fx (on %d CPUs)\n", rep.SpeedupX, rep.CPUs)
+	}
+	if rep.WarmOverCold > 0 {
+		fmt.Fprintf(out, "bench: warm-store latency %.4fx of cold\n", rep.WarmOverCold)
+	}
+	if rep.Stream != nil {
+		fmt.Fprintf(out, "bench: first stream snapshot at %.0f ms (%.1f%% of run)\n",
+			rep.Stream.FirstSnapshotMs, 100*rep.Stream.FirstFraction)
+	}
+	return nil
+}
+
+// closedLoop fires cfg.requests requests (distinct seeds offset by
+// seedBase) from cfg.clients concurrent workers, each issuing the next
+// request as soon as its previous one answers.
+func closedLoop(client *http.Client, base, name string, cfg benchConfig, query func(seed int) string, seedBase int) benchPhase {
+	ph := benchPhase{Name: name, Requests: cfg.requests, Clients: cfg.clients}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var latencies []float64
+	var okReps int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Get(base + query(seedBase+i))
+				lat := time.Since(t0).Seconds() * 1000
+				mu.Lock()
+				if err != nil {
+					ph.Errors++
+				} else {
+					switch resp.StatusCode {
+					case http.StatusOK:
+						ph.OK++
+						latencies = append(latencies, lat)
+						var mc struct {
+							Replications int `json:"replications"`
+						}
+						if json.NewDecoder(resp.Body).Decode(&mc) == nil {
+							okReps += int64(mc.Replications)
+						}
+					case http.StatusTooManyRequests:
+						ph.Shed++
+					default:
+						ph.Errors++
+					}
+					resp.Body.Close()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	ph.WallSeconds = time.Since(start).Seconds()
+	if ph.WallSeconds > 0 {
+		ph.RequestsPerSec = float64(ph.OK) / ph.WallSeconds
+		ph.RepsPerSec = float64(okReps) / ph.WallSeconds
+	}
+	sum := stats.Summarize(latencies)
+	ph.P50Ms, ph.P90Ms, ph.P99Ms, ph.MaxMs = sum.P50, sum.P90, sum.P99, sum.Max
+	if cfg.sloMS > 0 {
+		ph.SLOMs = cfg.sloMS
+		met := sum.P99 <= cfg.sloMS
+		ph.SLOMet = &met
+	}
+	return ph
+}
+
+// benchStreams opens SSE runs and measures time-to-first-snapshot.
+func benchStreams(client *http.Client, cfg benchConfig) (streamBench, error) {
+	sb := streamBench{Streams: cfg.streams}
+	var firsts, totals, snaps []float64
+	for i := 0; i < cfg.streams; i++ {
+		url := cfg.base + "/api/v1/mc/stream?topology=large&horizon=" + strconv.Itoa(cfg.horizon) +
+			"&reps=" + strconv.Itoa(cfg.reps) + "&seed=" + strconv.Itoa(2_000_000+i)
+		first, total, n, firstReps, target, err := runOneStream(client, url)
+		if err != nil {
+			return sb, err
+		}
+		firsts = append(firsts, first)
+		totals = append(totals, total)
+		snaps = append(snaps, float64(n))
+		sb.FirstSnapshotReps, sb.TargetReps = firstReps, target
+	}
+	sb.FirstSnapshotMs = stats.Summarize(firsts).P50
+	sb.TotalMs = stats.Summarize(totals).P50
+	sb.Snapshots = int(stats.Summarize(snaps).P50)
+	if sb.TotalMs > 0 {
+		sb.FirstFraction = sb.FirstSnapshotMs / sb.TotalMs
+	}
+	return sb, nil
+}
+
+// runOneStream consumes one SSE response, timing the first snapshot and
+// the terminal result.
+func runOneStream(client *http.Client, url string) (firstMs, totalMs float64, snapshots, firstReps, targetReps int, err error) {
+	t0 := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, 0, 0, fmt.Errorf("stream status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "snapshot":
+				snapshots++
+				if snapshots == 1 {
+					firstMs = time.Since(t0).Seconds() * 1000
+					var snap struct {
+						Replications int `json:"replications"`
+						TargetReps   int `json:"target_reps"`
+					}
+					if json.Unmarshal([]byte(data), &snap) == nil {
+						firstReps, targetReps = snap.Replications, snap.TargetReps
+					}
+				}
+			case "result":
+				totalMs = time.Since(t0).Seconds() * 1000
+				return firstMs, totalMs, snapshots, firstReps, targetReps, nil
+			case "error":
+				return 0, 0, snapshots, 0, 0, fmt.Errorf("stream error event: %s", data)
+			}
+		}
+	}
+	return 0, 0, snapshots, 0, 0, fmt.Errorf("stream ended without a result event")
+}

@@ -55,9 +55,38 @@ func run(args []string, out io.Writer) error {
 		timeout    = flag.Duration("timeout", 15*time.Second, "client-side budget per request (set above the server deadline)")
 		retries    = flag.Int("retries", 3, "retry attempts after a 429 shed")
 		expectShed = flag.Bool("expect-shed", false, "fail unless the burst saw at least one 429 (smoke mode: prove the gate engages)")
+
+		bench        = flag.Bool("bench", false, "run the closed-loop benchmark instead of the demo/smoke sequence")
+		benchOut     = flag.String("bench-out", "BENCH_availd.json", "benchmark artifact path")
+		shardBase    = flag.String("shard-base", "", "sharding-coordinator availd base URL (bench: skipped when empty)")
+		storeBase    = flag.String("store-base", "", "store-enabled availd base URL (bench: skipped when empty)")
+		benchReqs    = flag.Int("bench-requests", 16, "requests per benchmark phase")
+		benchClients = flag.Int("bench-clients", 2, "concurrent closed-loop clients per benchmark phase")
+		benchReps    = flag.Int("bench-reps", 256, "MC replications per benchmark request")
+		benchHorizon = flag.Int("bench-horizon", 20000, "MC horizon hours per benchmark request")
+		benchStreams = flag.Int("bench-streams", 3, "SSE streams in the time-to-first-estimate phase")
+		benchSLOMs   = flag.Float64("bench-slo-ms", 0, "p99 latency SLO in ms recorded per phase (0 = off)")
 	)
 	if err := flag.Parse(args); err != nil {
 		return err
+	}
+	if *bench {
+		if *benchReqs < 1 || *benchClients < 1 || *benchStreams < 0 {
+			return fmt.Errorf("-bench-requests and -bench-clients must be >= 1, -bench-streams >= 0")
+		}
+		return runBench(benchConfig{
+			base:      *base,
+			shardBase: *shardBase,
+			storeBase: *storeBase,
+			out:       *benchOut,
+			requests:  *benchReqs,
+			clients:   *benchClients,
+			reps:      *benchReps,
+			horizon:   *benchHorizon,
+			streams:   *benchStreams,
+			sloMS:     *benchSLOMs,
+			timeout:   *timeout,
+		}, out)
 	}
 	if *burst < 1 || *retries < 0 {
 		return fmt.Errorf("-burst must be >= 1 and -retries >= 0")
@@ -139,22 +168,22 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// getRetry fetches url into v, honoring Retry-After on 429 up to retries
-// times. Any other non-200 is an error.
+// getRetry fetches url into v, retrying 429 sheds with decorrelated
+// jitter (floored at the server's Retry-After hint) up to retries times
+// within a total sleep budget. Any other non-200 is an error.
 func getRetry(client *http.Client, url string, retries int, v any) error {
+	bo := newBackoff(100*time.Millisecond, 2*time.Second, 10*time.Second, time.Now().UnixNano())
 	for attempt := 0; ; attempt++ {
 		resp, err := client.Get(url)
 		if err != nil {
 			return err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
-			wait := time.Second
-			if s := resp.Header.Get("Retry-After"); s != "" {
-				if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
-					wait = time.Duration(secs) * time.Second
-				}
-			}
 			resp.Body.Close()
+			wait, ok := bo.next(parseRetryAfter(resp))
+			if !ok {
+				return fmt.Errorf("shed %d times and the retry budget is spent", attempt+1)
+			}
 			time.Sleep(wait)
 			continue
 		}
@@ -165,4 +194,17 @@ func getRetry(client *http.Client, url string, retries int, v any) error {
 		}
 		return json.NewDecoder(resp.Body).Decode(v)
 	}
+}
+
+// parseRetryAfter reads the server's shed hint (0 when absent/invalid).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

@@ -310,6 +310,15 @@ func (p *prober) sampleOnce() {
 	p.mu.Unlock()
 }
 
+// seal freezes the sampling cadence at the current virtual instant: the
+// ticker is stopped, so no tick past this moment can ever fire, while a
+// probe already in flight is left to finish. Drivers that park themselves
+// during teardown (the soak's failure-loop drain) call seal first —
+// otherwise the parked driver makes the system quiescent and the clock
+// can hop to the next probe deadline, recording a sample past the horizon
+// or not, depending on scheduling.
+func (p *prober) seal() { p.ticker.Stop() }
+
 func (p *prober) halt() []Sample {
 	close(p.stop)
 	<-p.done

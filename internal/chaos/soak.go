@@ -70,6 +70,17 @@ type SoakConfig struct {
 	// of the aggregate RunSoak creates itself — callers that want the raw
 	// trace or registry can supply their own and keep a handle on it.
 	Telemetry *telemetry.Telemetry
+
+	// Progress, when non-nil, observes the soak mid-run: it is called
+	// with the virtual hours covered and failures injected so far, every
+	// ProgressEveryHours of virtual time (default Hours/10 when unset or
+	// out of range). Observation only chunks the main wait — the failure
+	// schedule, probe cadence, and every derived timing are untouched, so
+	// a watched soak reports exactly what an unwatched one would. The
+	// callback runs on the soak's own goroutine and must not block long.
+	Progress func(hoursDone float64, failures int) `json:"-"`
+	// ProgressEveryHours is the virtual-time observation period.
+	ProgressEveryHours float64
 }
 
 // withDefaults resolves zero fields.
@@ -115,6 +126,9 @@ func (sc SoakConfig) Validate() error {
 	}
 	if sc.Hours > maxSoakHours {
 		return fmt.Errorf("chaos: soak horizon %g h exceeds the %g h a virtual clock can represent", sc.Hours, float64(maxSoakHours))
+	}
+	if sc.ProgressEveryHours < 0 {
+		return fmt.Errorf("chaos: soak progress period %g is negative", sc.ProgressEveryHours)
 	}
 	if sc.ProcessMTBF < 10*sc.OperatorResponse || sc.ProcessMTBF < 10*sc.AutoRestart {
 		return fmt.Errorf("chaos: soak MTBF %g must dominate repair times %g/%g", sc.ProcessMTBF, sc.AutoRestart, sc.OperatorResponse)
@@ -305,8 +319,41 @@ func RunSoakContext(ctx context.Context, sc SoakConfig) (SoakResult, error) {
 		}()
 	}
 
-	completed := clk.SleepOr(hoursToDuration(sc.Hours), ctx.Done())
+	completed := true
+	if sc.Progress == nil {
+		completed = clk.SleepOr(hoursToDuration(sc.Hours), ctx.Done())
+	} else {
+		every := sc.ProgressEveryHours
+		if every <= 0 || every > sc.Hours {
+			every = sc.Hours / 10
+		}
+		remaining := sc.Hours
+		for remaining > 0 {
+			step := every
+			if step > remaining {
+				step = remaining
+			}
+			if !clk.SleepOr(hoursToDuration(step), ctx.Done()) {
+				completed = false
+				break
+			}
+			remaining -= step
+			mu.Lock()
+			n := failures
+			mu.Unlock()
+			sc.Progress(sc.Hours-remaining, n)
+		}
+	}
 	horizon := clk.Since(start)
+
+	// Seal the probe cadence at the horizon before tearing anything down.
+	// The drain below parks the driver, and with the driver parked the
+	// system can look quiescent — the clock would then hop to the next
+	// probe tick and record a sample past the horizon, or not, depending
+	// on wall-clock scheduling. One extra sample is enough to change the
+	// reported availability, so the same soak would flip between two
+	// answers run to run.
+	p.seal()
 
 	close(stop)
 	loopsDone := make(chan struct{})

@@ -108,6 +108,63 @@ func TestSoakConfigValidate(t *testing.T) {
 	}
 }
 
+// TestSoakWatchedMatchesUnwatched pins the Progress contract: observation
+// only chunks the main wait, so a watched soak must report exactly what an
+// unwatched one would — same probe samples, same failure count, same
+// availability, bit for bit. This also guards the teardown race it once
+// exposed: with the driver parked while the failure loops drained, the
+// clock could hop to the next probe tick and record a sample past the
+// horizon on some runs but not others, flipping the reported availability
+// between two answers for the same configuration.
+func TestSoakWatchedMatchesUnwatched(t *testing.T) {
+	base := SoakConfig{Hours: 50, ProcessMTBF: 25, Seed: 3}
+	plain, err := RunSoak(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	watched := base
+	// A period that divides the probe cadence, so driver wakes coincide
+	// with probe ticks — the adversarial alignment for clock tie-breaking.
+	watched.ProgressEveryHours = 2.5
+	calls := 0
+	watched.Progress = func(hoursDone float64, failures int) { calls++ }
+	w, err := RunSoak(watched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 20 {
+		t.Errorf("progress called %d times, want 20 (50h / 2.5h)", calls)
+	}
+	if got, want := len(w.Report.Samples), len(plain.Report.Samples); got != want {
+		t.Fatalf("watched soak took %d probe samples, unwatched %d", got, want)
+	}
+	for i := range w.Report.Samples {
+		if w.Report.Samples[i].At != plain.Report.Samples[i].At {
+			t.Fatalf("sample %d timestamp diverged: watched %v, unwatched %v",
+				i, w.Report.Samples[i].At, plain.Report.Samples[i].At)
+		}
+	}
+	if w.Failures != plain.Failures || w.OperatorRestarts != plain.OperatorRestarts {
+		t.Errorf("watched injected %d failures / %d restarts, unwatched %d / %d",
+			w.Failures, w.OperatorRestarts, plain.Failures, plain.OperatorRestarts)
+	}
+	if w.Report.CPAvailability != plain.Report.CPAvailability ||
+		w.Report.DPAvailability != plain.Report.DPAvailability {
+		t.Errorf("watched availability cp=%v dp=%v, unwatched cp=%v dp=%v",
+			w.Report.CPAvailability, w.Report.DPAvailability,
+			plain.Report.CPAvailability, plain.Report.DPAvailability)
+	}
+	// No sample may outrun the horizon: the prober is sealed the instant
+	// the driver's wait completes.
+	for _, res := range []SoakResult{plain, w} {
+		for _, s := range res.Report.Samples {
+			if s.At > res.Report.Duration {
+				t.Fatalf("probe sample at %v past the %v horizon", s.At, res.Report.Duration)
+			}
+		}
+	}
+}
+
 // TestSoakContextCancelTruncates: cancelling a soak mid-horizon must
 // return a clean partial result — hours actually covered, availability
 // report and attribution ledger finalized at that shorter horizon — with

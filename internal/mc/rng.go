@@ -18,6 +18,17 @@ type rng struct {
 // seed resets the stream. Identical seeds replay identical draws.
 func (r *rng) seed(s int64) { r.state = uint64(s) }
 
+// ReplicationSeed derives the RNG seed for one replication of a run
+// configured with base seed. The derivation is a pure function of the
+// base seed and the global replication index — never of which process or
+// goroutine runs the replication, or of what ran before it — so any
+// partition of the index range [0, R) across workers reproduces exactly
+// the samples a single process would draw. That property is what lets a
+// sharded run (sweep.RunRemote) merge to a bit-identical estimate.
+func ReplicationSeed(seed int64, replication int) int64 {
+	return seed + int64(replication)*1_000_003
+}
+
 // Uint64 advances the stream by the golden-ratio increment and mixes.
 func (r *rng) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -246,7 +246,7 @@ func newSim(cfg Config) *Sim {
 // slices keep their backing arrays, so a warmed-up Sim replays a fresh
 // replication without rebuilding or reallocating anything but the ledger.
 func (s *Sim) reset(replication int) {
-	s.rng.seed(s.cfg.Seed + int64(replication)*1_000_003)
+	s.rng.seed(ReplicationSeed(s.cfg.Seed, replication))
 	s.events.reset()
 	s.seq = 0
 	s.now = 0

@@ -15,13 +15,6 @@ import (
 // key collapses to one evaluation, and memory stays bounded whatever the
 // key cardinality.
 
-// memoCall is one in-flight computation; latecomers block on done.
-type memoCall struct {
-	done chan struct{}
-	val  any
-	err  error
-}
-
 // memoEntry is one cached value in the LRU list.
 type memoEntry struct {
 	key string
@@ -34,7 +27,7 @@ type memoCache struct {
 	max     int
 	ll      *list.List               // front = most recent
 	entries map[string]*list.Element // key -> *memoEntry element
-	calls   map[string]*memoCall
+	flight  flightGroup
 
 	hits      *telemetry.Counter
 	misses    *telemetry.Counter
@@ -50,7 +43,6 @@ func newMemoCache(max int, reg *telemetry.Registry) *memoCache {
 		max:       max,
 		ll:        list.New(),
 		entries:   map[string]*list.Element{},
-		calls:     map[string]*memoCall{},
 		hits:      reg.Counter("cache_hits_total"),
 		misses:    reg.Counter("cache_misses_total"),
 		evictions: reg.Counter("cache_evictions_total"),
@@ -65,68 +57,49 @@ func newMemoCache(max int, reg *telemetry.Registry) *memoCache {
 // released with the panic re-raised in the computing goroutine only —
 // the per-request recovery middleware turns it into that request's 500.
 func (c *memoCache) Do(key string, fn func() (any, error)) (val any, cached bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.ll.MoveToFront(el)
-		val = el.Value.(*memoEntry).val
-		c.mu.Unlock()
+	if val, ok := c.lookup(key); ok {
 		c.hits.Inc()
 		return val, true, nil
 	}
-	if call, ok := c.calls[key]; ok {
-		c.mu.Unlock()
-		<-call.done
-		return call.val, false, call.err
-	}
-	call := &memoCall{done: make(chan struct{})}
-	c.calls[key] = call
-	c.mu.Unlock()
-	c.misses.Inc()
-
-	completed := false
-	defer func() {
-		if !completed {
-			// fn panicked: release waiters with an error result, drop the
-			// in-flight marker, and let the panic continue to the caller's
-			// recovery middleware.
-			call.err = errPanicked
-			c.finish(key, call, false)
+	val, _, err = c.flight.Do(key, func() (any, error) {
+		c.misses.Inc()
+		v, err := fn()
+		if err == nil {
+			c.store(key, v)
 		}
-	}()
-	call.val, call.err = fn()
-	completed = true
-	c.finish(key, call, call.err == nil)
-	return call.val, false, call.err
+		return v, err
+	})
+	return val, false, err
 }
 
-// errPanicked is the error waiters on a panicked computation observe.
-var errPanicked = &panicError{}
-
-type panicError struct{}
-
-func (*panicError) Error() string { return "server: evaluation panicked" }
-
-// finish publishes a completed (or abandoned) call: removes the in-flight
-// marker, optionally stores the value in the LRU, and wakes waiters.
-func (c *memoCache) finish(key string, call *memoCall, store bool) {
+// lookup checks the LRU, promoting a hit to most-recent.
+func (c *memoCache) lookup(key string) (any, bool) {
 	c.mu.Lock()
-	delete(c.calls, key)
-	if store {
-		if el, ok := c.entries[key]; ok {
-			el.Value.(*memoEntry).val = call.val
-			c.ll.MoveToFront(el)
-		} else {
-			c.entries[key] = c.ll.PushFront(&memoEntry{key: key, val: call.val})
-			for c.ll.Len() > c.max {
-				oldest := c.ll.Back()
-				c.ll.Remove(oldest)
-				delete(c.entries, oldest.Value.(*memoEntry).key)
-				c.evictions.Inc()
-			}
-		}
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
 	}
-	c.mu.Unlock()
-	close(call.done)
+	c.ll.MoveToFront(el)
+	return el.Value.(*memoEntry).val, true
+}
+
+// store inserts a computed value, evicting from the cold end past max.
+func (c *memoCache) store(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*memoEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&memoEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*memoEntry).key)
+		c.evictions.Inc()
+	}
 }
 
 // Len returns the number of cached entries.

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net/url"
+	"reflect"
+	"testing"
+)
+
+// mustValues parses a raw query string.
+func mustValues(t *testing.T, qs string) url.Values {
+	t.Helper()
+	q, err := url.ParseQuery(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestAnalyticKeyCanonical is the memo-key regression test: permuted
+// parameter order, re-spelled floats, mixed case names and explicitly
+// spelled defaults must all collapse to one cache key — and a genuinely
+// different computation must not.
+func TestAnalyticKeyCanonical(t *testing.T) {
+	base, err := decodeAnalytic(mustValues(t, "profile=opencontrail&topology=large&scenario=2&ac=0.99"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []string{
+		"ac=0.99&scenario=2&topology=large&profile=opencontrail",             // permuted order
+		"profile=OpenContrail&topology=LARGE&scenario=2&ac=0.99",             // case-folded names
+		"profile=opencontrail&topology=large&scenario=2&ac=0.9900000",        // re-spelled float
+		"profile=opencontrail&topology=large&scenario=2&ac=9.9e-1",           // scientific notation
+		"profile=opencontrail&topology=large&scenario=2&ac=0.99&cluster=3",   // explicit default
+		"profile=opencontrail&topology=large&scenario=2&ac=0.99&av=0.9995",   // explicit default param
+		"profile=opencontrail&topology=large&scenario=2&ac=0.99&timeout=30s", // timeout never keys
+	}
+	for _, qs := range same {
+		req, err := decodeAnalytic(mustValues(t, qs))
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		if req.Key() != base.Key() {
+			t.Errorf("equivalent query %q produced a different key:\n%s\n%s", qs, req.Key(), base.Key())
+		}
+	}
+	diff := []string{
+		"profile=opencontrail&topology=large&scenario=1&ac=0.99",
+		"profile=opencontrail&topology=large&scenario=2&ac=0.991",
+		"profile=onos&topology=large&scenario=2&ac=0.99",
+		"profile=opencontrail&topology=large&scenario=2&ac=0.99&cluster=5",
+	}
+	for _, qs := range diff {
+		req, err := decodeAnalytic(mustValues(t, qs))
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		if req.Key() == base.Key() {
+			t.Errorf("distinct query %q collided with the base key", qs)
+		}
+	}
+}
+
+// TestMCCanonicalRoundTrip: decoding a request's canonical encoding must
+// reproduce the same computation — identical canonical form (a fixpoint),
+// identical digest, identical resolved rare schedule — which is what lets
+// a shard worker reproduce the coordinator's digest from the forwarded
+// query string. The decoded struct may differ in normalized fields (an
+// implied split factor becomes explicit), so the comparison is over the
+// canonical form, not the raw struct.
+func TestMCCanonicalRoundTrip(t *testing.T) {
+	queries := []string{
+		"topology=small&horizon=200&reps=32&seed=7",
+		"topology=large&ci_target=0.001&min_reps=16&max_reps=512&headless=0.25",
+		"profile=onos&cluster=5&scenario=1&horizon=5000&seed=-3",
+		"topology=small&scenario=1&rare=true&rare_bias=8&min_reps=8&max_reps=64",
+		"topology=small&scenario=1&rare=true&rare_bias=4&rare_split_levels=1,2&rel_target=0.2",
+	}
+	for _, qs := range queries {
+		req, err := decodeMC(mustValues(t, qs))
+		if err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		canon := mcCanonical(req)
+		again, err := decodeMC(mustValues(t, canon))
+		if err != nil {
+			t.Fatalf("canonical form of %q does not decode: %v\n%s", qs, err, canon)
+		}
+		if got := mcCanonical(again); got != canon {
+			t.Errorf("%q: canonical form is not a fixpoint\nfirst:  %s\nsecond: %s", qs, canon, got)
+		}
+		if mcDigest(again) != mcDigest(req) {
+			t.Errorf("%q: digest not stable across the round trip", qs)
+		}
+		if !reflect.DeepEqual(again.rareSchedule(), req.rareSchedule()) {
+			t.Errorf("%q: resolved rare schedule changed across the round trip", qs)
+		}
+	}
+}
+
+// TestMCDigestSemantics: the digest keys the computation, so spelling must
+// not matter and the deadline must not either — but any parameter that
+// changes the result must.
+func TestMCDigestSemantics(t *testing.T) {
+	base, err := decodeMC(mustValues(t, "topology=small&horizon=200&reps=32&seed=7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := decodeMC(mustValues(t, "seed=7&reps=32&horizon=200.0&topology=small&timeout=2s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcDigest(same) != mcDigest(base) {
+		t.Error("permuted/re-spelled/deadlined query changed the digest")
+	}
+	for _, qs := range []string{
+		"topology=small&horizon=200&reps=32&seed=8",
+		"topology=small&horizon=201&reps=32&seed=7",
+		"topology=small&horizon=200&reps=64&seed=7",
+		"topology=medium&horizon=200&reps=32&seed=7",
+	} {
+		req, err := decodeMC(mustValues(t, qs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mcDigest(req) == mcDigest(base) {
+			t.Errorf("distinct computation %q shares the base digest", qs)
+		}
+	}
+}

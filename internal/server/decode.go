@@ -44,16 +44,6 @@ type modelRequest struct {
 	Compute     int
 }
 
-// Key canonicalizes the request into the memo-cache key: every field that
-// influences the evaluation, in fixed order, with full float precision.
-func (m modelRequest) Key() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d|%x|%x|%x|%x|%x|%x",
-		m.ProfileName, m.TopoName, m.Cluster, m.Scenario, m.Compute,
-		math.Float64bits(m.Params.AC), math.Float64bits(m.Params.AV),
-		math.Float64bits(m.Params.AH), math.Float64bits(m.Params.AR),
-		math.Float64bits(m.Params.A), math.Float64bits(m.Params.AS))
-}
-
 // mcRequest parameterizes a Monte Carlo what-if sweep.
 type mcRequest struct {
 	Model    modelRequest
@@ -109,7 +99,8 @@ var (
 	mcParams = append([]string{"horizon", "reps", "ci_target", "min_reps", "max_reps", "seed", "headless",
 		"rare", "rare_bias", "rare_hw_bias", "rare_link_bias",
 		"rare_split_levels", "rare_split_factor", "rel_target"}, modelParams...)
-	soakParams = []string{"hours", "mtbf", "seed", "hosts", "timeout"}
+	shardParams = append([]string{"rep_lo", "rep_hi", "digest"}, mcParams...)
+	soakParams  = []string{"hours", "mtbf", "seed", "hosts", "timeout"}
 )
 
 // rejectUnknown 400s on any query key outside the allowed set.
@@ -311,6 +302,46 @@ func decodeMC(q url.Values) (mcRequest, error) {
 	if err := rejectUnknown(q, mcParams); err != nil {
 		return mcRequest{}, err
 	}
+	return decodeMCValues(q)
+}
+
+// shardRange addresses one worker's slice of a sharded run: the global
+// replication index range [Lo, Hi) plus the coordinator's view of the
+// canonical request digest, which the worker must reproduce.
+type shardRange struct {
+	Lo, Hi int
+	Digest string
+}
+
+// decodeMCShard parses a coordinator-to-worker shard request: a full MC
+// request plus the replication range and expected digest.
+func decodeMCShard(q url.Values) (mcRequest, shardRange, error) {
+	if err := rejectUnknown(q, shardParams); err != nil {
+		return mcRequest{}, shardRange{}, err
+	}
+	r, err := decodeMCValues(q)
+	if err != nil {
+		return r, shardRange{}, err
+	}
+	if q.Get("rep_lo") == "" || q.Get("rep_hi") == "" {
+		return r, shardRange{}, badf("shard request needs rep_lo and rep_hi")
+	}
+	sr := shardRange{Digest: q.Get("digest")}
+	if sr.Lo, err = parseIntRange(q, "rep_lo", 0, 0, 1<<20); err != nil {
+		return r, sr, err
+	}
+	if sr.Hi, err = parseIntRange(q, "rep_hi", 0, 1, 1<<20); err != nil {
+		return r, sr, err
+	}
+	if sr.Hi <= sr.Lo {
+		return r, sr, badf("parameter \"rep_hi\": %d must exceed rep_lo %d", sr.Hi, sr.Lo)
+	}
+	return r, sr, nil
+}
+
+// decodeMCValues parses the MC parameters proper (the caller has already
+// vetted the key set against its endpoint's allowlist).
+func decodeMCValues(q url.Values) (mcRequest, error) {
 	m, err := decodeModel(q)
 	if err != nil {
 		return mcRequest{}, err

@@ -1,0 +1,62 @@
+package server
+
+import "sync"
+
+// flightGroup collapses concurrent computations of the same key to one
+// execution whose result every caller shares — the singleflight behind
+// the analytic memo cache, reused verbatim in front of the persistent MC
+// result store so a thundering herd on a cold digest costs one sweep.
+
+// flightCall is one in-flight computation; latecomers block on done.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// Do runs fn for key — at most once concurrently per key. Callers that
+// arrive while a computation is in flight block and share its result;
+// shared reports which side of that a caller was on. If fn panics, the
+// panic propagates in the computing goroutine only (the per-request
+// recovery middleware turns it into that request's 500) and waiters are
+// released with errPanicked.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-call.done
+		return call.val, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			call.err = errPanicked
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(call.done)
+	}()
+	call.val, call.err = fn()
+	completed = true
+	return call.val, false, call.err
+}
+
+// errPanicked is the error waiters on a panicked computation observe.
+var errPanicked = &panicError{}
+
+type panicError struct{}
+
+func (*panicError) Error() string { return "server: evaluation panicked" }

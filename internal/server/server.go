@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -75,6 +76,17 @@ type Config struct {
 	// CacheSize bounds the analytic memoization LRU (default 4096
 	// entries).
 	CacheSize int
+	// ShardWorkers lists worker availd base URLs (e.g.
+	// "http://127.0.0.1:8081"). When non-empty this instance runs MC
+	// requests as a coordinator: each replication budget is split across
+	// the workers by global replication index and the samples are merged
+	// into a bit-identical estimate (see shard.go). Empty means compute
+	// in-process.
+	ShardWorkers []string
+	// StoreDir enables the persistent result store: a content-addressed
+	// on-disk cache of completed MC responses keyed by the canonical
+	// request digest (see store.go). Empty disables it.
+	StoreDir string
 	// Telemetry receives the server's metrics (request counts, latencies,
 	// shed/panic counters, cache hit rates). Nil creates a private
 	// aggregate; either way it is exposed on /metrics.
@@ -122,18 +134,30 @@ func (c Config) Validate() error {
 	if c.CacheSize < 1 {
 		return fmt.Errorf("server: CacheSize %d must be >= 1", c.CacheSize)
 	}
+	for _, w := range c.ShardWorkers {
+		u, err := url.Parse(w)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("server: shard worker %q is not an http(s) base URL", w)
+		}
+	}
 	return nil
 }
 
 // Server is the resident availability service.
 type Server struct {
-	cfg   Config
-	tel   *telemetry.Telemetry
-	gate  *gate
-	cache *memoCache
-	mux   *http.ServeMux
-	http  *http.Server
-	ln    net.Listener
+	cfg    Config
+	tel    *telemetry.Telemetry
+	gate   *gate
+	cache  *memoCache
+	store  *resultStore // nil unless Config.StoreDir is set
+	shards *shardClient // nil unless Config.ShardWorkers is set
+	mux    *http.ServeMux
+	http   *http.Server
+	ln     net.Listener
+
+	// mcFlight collapses concurrent identical MC requests to one compute
+	// when the persistent store is on (misses hit disk once, not N times).
+	mcFlight flightGroup
 
 	draining atomic.Bool
 	// baseCancel cancels every in-flight request's context (set by Serve).
@@ -143,6 +167,10 @@ type Server struct {
 	panics   *telemetry.Counter
 	timeouts *telemetry.Counter
 	latency  *telemetry.Histogram
+
+	shardDigestRejects *telemetry.Counter
+	streamSnapshots    *telemetry.Counter
+	streamCancels      *telemetry.Counter
 
 	// mcRun and soakRun are the evaluation entry points, fields so the
 	// self-chaos tests can substitute slow or panicking workloads.
@@ -168,15 +196,39 @@ func New(cfg Config) (*Server, error) {
 		timeouts: reg.Counter("http_timeouts_total"),
 		latency: reg.Histogram("http_request_seconds",
 			[]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30}),
-		mcRun:   sweep.RunContext,
-		soakRun: chaos.RunSoakContext,
+		shardDigestRejects: reg.Counter("availd_shard_digest_rejects_total"),
+		streamSnapshots:    reg.Counter("availd_stream_snapshots_total"),
+		streamCancels:      reg.Counter("availd_stream_cancels_total"),
+		mcRun:              sweep.RunContext,
+		soakRun:            chaos.RunSoakContext,
+	}
+	// Shard/store counters register unconditionally so /metrics surfaces
+	// them (at zero) even on instances with the features off.
+	reg.Counter("availd_shard_merges_total")
+	reg.Counter("availd_shard_reassigns_total")
+	reg.Counter("availd_store_hits_total")
+	reg.Counter("availd_store_misses_total")
+	reg.Counter("availd_store_writes_total")
+	reg.Counter("availd_store_corrupt_total")
+	if len(cfg.ShardWorkers) > 0 {
+		s.shards = newShardClient(cfg.ShardWorkers, reg)
+	}
+	if cfg.StoreDir != "" {
+		store, err := newResultStore(cfg.StoreDir, reg)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
 	}
 	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.Handle("/api/v1/analytic", s.instrument("analytic", s.handleAnalytic))
 	s.mux.Handle("/api/v1/mc", s.instrument("mc", s.handleMC))
+	s.mux.Handle("/api/v1/mc/shard", s.instrument("mc_shard", s.handleMCShard))
+	s.mux.Handle("/api/v1/mc/stream", s.instrument("mc_stream", s.handleMCStream))
 	s.mux.Handle("/api/v1/soak", s.instrument("soak", s.handleSoak))
+	s.mux.Handle("/api/v1/soak/stream", s.instrument("soak_stream", s.handleSoakStream))
 	s.http = &http.Server{Handler: s.mux}
 	return s, nil
 }
@@ -257,12 +309,19 @@ func (s *Server) Serve(ctx context.Context) error {
 // serving everyone else.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 	hits := s.tel.Metrics.Counter("http_handler_" + name + "_total")
+	// Per-endpoint latency distribution alongside the global one: tail
+	// latency is an availability dimension, and a p99 dominated by soaks
+	// must not hide an analytic-path regression (or vice versa).
+	lat := s.tel.Metrics.Histogram("http_request_seconds_"+name,
+		[]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Inc()
 		hits.Inc()
 		start := time.Now()
 		defer func() {
-			s.latency.Observe(time.Since(start).Seconds())
+			elapsed := time.Since(start).Seconds()
+			s.latency.Observe(elapsed)
+			lat.Observe(elapsed)
 			if rec := recover(); rec != nil {
 				s.panics.Inc()
 				// Headers may already be gone if the handler panicked
@@ -284,15 +343,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Code carries a machine-readable
+// discriminator for typed failures (shard protocol errors).
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // fail maps an error to its HTTP status: bad requests 400, shed 429 with
-// Retry-After, everything else 500.
+// Retry-After, shard coordination failures 502, everything else 500.
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	var bad *badRequestError
+	var se *shardError
 	switch {
 	case errors.As(err, &bad):
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: bad.msg})
@@ -301,6 +363,10 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		// either way the work never ran and a retry later can succeed.
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.As(err, &se):
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: se.Error(), Code: se.Code})
+	case errors.Is(err, sweep.ErrNoReplications):
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error(), Code: codeNoWorkers})
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
@@ -396,6 +462,15 @@ type mcResponse struct {
 	Truncated    bool         `json:"truncated"`
 	ElapsedMS    int64        `json:"elapsed_ms"`
 
+	// Stored reports the answer came from the persistent result store
+	// (elapsed_ms then still describes the original compute cost).
+	Stored bool `json:"stored,omitempty"`
+	// Shards and ShardReassigns describe a coordinator-mode run: how many
+	// workers the budget fanned out across, and how many died mid-run and
+	// had their slices taken over.
+	Shards         int `json:"shards,omitempty"`
+	ShardReassigns int `json:"shard_reassigns,omitempty"`
+
 	// Rare-event fields, present only when the request set rare=true: the
 	// LR-weighted CP unavailability with its effective sample size, the
 	// estimated naive hit probability, and the splitting activity.
@@ -406,34 +481,14 @@ type mcResponse struct {
 	RareKills        int           `json:"rare_kills,omitempty"`
 }
 
-// handleMC runs an adaptive Monte Carlo sweep under the request deadline,
-// gated by bounded admission. A deadlined sweep answers 200 with the
-// partial estimate and truncated=true.
-func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	req, err := decodeMC(q)
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	timeout, err := parseTimeout(q, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
-	if err != nil {
-		s.fail(w, err)
-		return
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
-	if err := s.gate.acquire(ctx); err != nil {
-		s.fail(w, err)
-		return
-	}
-	defer s.gate.release()
-
+// mcPlan resolves a decoded request into the simulator configuration and
+// adaptive options — the one translation both the plain endpoint and the
+// shard worker apply, so a coordinator and its workers always agree on
+// what a canonical query means.
+func mcPlan(req mcRequest) (mc.Config, sweep.Options, error) {
 	topo, err := topology.ByKind(req.Model.Kind, req.Model.Profile.ClusterRoles, req.Model.Cluster)
 	if err != nil {
-		s.fail(w, err)
-		return
+		return mc.Config{}, sweep.Options{}, err
 	}
 	cfg := mc.NewConfig(req.Model.Profile, topo, req.Model.Scenario, req.Model.Params)
 	cfg.Horizon = req.Horizon
@@ -467,16 +522,52 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 			opt.MinReps = opt.MaxReps
 		}
 	}
-	start := time.Now()
-	results, err := s.mcRun(ctx, []sweep.Point{{ID: "what-if", Config: cfg}}, opt)
-	if err != nil {
-		s.fail(w, err)
-		return
+	return cfg, opt, nil
+}
+
+// computeMC is the full MC evaluation path behind both the plain and the
+// streaming endpoint: admission, planning, execution (in-process or
+// fanned out across shard workers), response assembly. emit, when
+// non-nil, observes partial results on the progressive-snapshot schedule.
+func (s *Server) computeMC(ctx context.Context, req mcRequest, emit func(sweep.Result)) (mcResponse, error) {
+	if err := s.gate.acquire(ctx); err != nil {
+		return mcResponse{}, err
 	}
-	res := results[0]
+	defer s.gate.release()
+
+	cfg, opt, err := mcPlan(req)
+	if err != nil {
+		return mcResponse{}, err
+	}
+	start := time.Now()
+	var res sweep.Result
+	var info shardRunInfo
+	if s.shards != nil {
+		res, info, err = s.shards.run(ctx, req, opt, emit)
+	} else {
+		if emit != nil {
+			opt.Progress = func(_ int, partial sweep.Result) { emit(partial) }
+		}
+		var results []sweep.Result
+		results, err = s.mcRun(ctx, []sweep.Point{{ID: "what-if", Config: cfg}}, opt)
+		if err == nil {
+			res = results[0]
+		}
+	}
+	if err != nil {
+		return mcResponse{}, err
+	}
 	if res.Truncated {
 		s.timeouts.Inc()
 	}
+	resp := buildMCResponse(req, res, start)
+	resp.Shards = info.workers
+	resp.ShardReassigns = info.reassigns
+	return resp, nil
+}
+
+// buildMCResponse assembles the response body from a sweep result.
+func buildMCResponse(req mcRequest, res sweep.Result, start time.Time) mcResponse {
 	resp := mcResponse{
 		Profile:  req.Model.ProfileName,
 		Topology: req.Model.TopoName,
@@ -502,7 +593,59 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		resp.RareSplits = res.Estimate.RareSplits
 		resp.RareKills = res.Estimate.RareKills
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// handleMC runs an adaptive Monte Carlo sweep under the request deadline,
+// gated by bounded admission. A deadlined sweep answers 200 with the
+// partial estimate and truncated=true. With the persistent store on, the
+// request digest is checked on disk first and concurrent identical misses
+// collapse to one compute via singleflight; completed (non-truncated)
+// answers are persisted.
+func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req, err := decodeMC(q)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	timeout, err := parseTimeout(q, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	if s.store == nil {
+		resp, err := s.computeMC(ctx, req, nil)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	digest := mcDigest(req)
+	val, _, err := s.mcFlight.Do(digest, func() (any, error) {
+		if resp, ok := s.store.get(digest); ok {
+			resp.Stored = true
+			return resp, nil
+		}
+		resp, err := s.computeMC(ctx, req, nil)
+		if err != nil {
+			return mcResponse{}, err
+		}
+		if !resp.Truncated {
+			s.store.put(digest, resp)
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, val.(mcResponse))
 }
 
 // soakResponse is the live-soak result.

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardWorkers spins up n worker availd instances and returns their base
+// URLs.
+func shardWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	bases := make([]string, n)
+	for i := range bases {
+		_, ts := testServer(t, Config{})
+		bases[i] = ts.URL
+	}
+	return bases
+}
+
+// normalizeMC zeroes the fields that legitimately vary between a local and
+// a sharded run — wall-clock and fan-out bookkeeping. Everything else,
+// estimate bits included, must match exactly.
+func normalizeMC(r mcResponse) mcResponse {
+	r.ElapsedMS = 0
+	r.Shards = 0
+	r.ShardReassigns = 0
+	return r
+}
+
+// TestShardedBitIdentical is the tentpole acceptance test: the same MC
+// query answered by a single process and by a coordinator fanning out to
+// 1, 2 and 3 worker processes must produce byte-for-byte identical
+// estimates — fixed-count, adaptive and rare-event alike. The workers are
+// real availd instances behind real HTTP; only wall-clock fields are
+// normalized.
+func TestShardedBitIdentical(t *testing.T) {
+	queries := []struct {
+		name string
+		qs   string
+	}{
+		{"fixed", "/api/v1/mc?topology=small&horizon=200&reps=48&seed=7"},
+		{"adaptive", "/api/v1/mc?topology=small&horizon=200&ci_target=0.002&min_reps=8&max_reps=128&seed=7"},
+		{"rare", "/api/v1/mc?topology=small&scenario=1&horizon=200&rare=true&rare_bias=8&min_reps=8&max_reps=64&seed=7"},
+	}
+	_, single := testServer(t, Config{})
+	for _, tc := range queries {
+		t.Run(tc.name, func(t *testing.T) {
+			var want mcResponse
+			if code := getJSON(t, single.URL+tc.qs, &want); code != http.StatusOK {
+				t.Fatalf("single-process status %d", code)
+			}
+			for _, workers := range []int{1, 2, 3} {
+				_, coord := testServer(t, Config{ShardWorkers: shardWorkers(t, workers)})
+				var got mcResponse
+				if code := getJSON(t, coord.URL+tc.qs, &got); code != http.StatusOK {
+					t.Fatalf("%d workers: status %d", workers, code)
+				}
+				if got.Shards != workers {
+					t.Errorf("%d workers: response reports %d shards", workers, got.Shards)
+				}
+				if !reflect.DeepEqual(normalizeMC(got), normalizeMC(want)) {
+					t.Errorf("%d workers: sharded estimate diverges from single-process\nsharded: %+v\nsingle:  %+v",
+						workers, normalizeMC(got), normalizeMC(want))
+				}
+			}
+		})
+	}
+}
+
+// TestShardWorkerDiesReassigned: a coordinator with one live and one dead
+// worker must still answer the bit-identical estimate — the dead worker's
+// slices are taken over — and account the reassignment.
+func TestShardWorkerDiesReassigned(t *testing.T) {
+	_, single := testServer(t, Config{})
+	qs := "/api/v1/mc?topology=small&horizon=200&reps=32&seed=7"
+	var want mcResponse
+	getJSON(t, single.URL+qs, &want)
+
+	_, live := testServer(t, Config{})
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from the first fetch
+
+	coord, coordTS := testServer(t, Config{ShardWorkers: []string{dead.URL, live.URL}})
+	var got mcResponse
+	if code := getJSON(t, coordTS.URL+qs, &got); code != http.StatusOK {
+		t.Fatalf("status %d, want 200 despite a dead worker", code)
+	}
+	if got.Truncated {
+		t.Error("reassigned run reported truncated")
+	}
+	if got.ShardReassigns < 1 {
+		t.Errorf("shard_reassigns %d, want >= 1", got.ShardReassigns)
+	}
+	if !reflect.DeepEqual(normalizeMC(got), normalizeMC(want)) {
+		t.Errorf("estimate after reassignment diverges from single-process:\ngot:  %+v\nwant: %+v",
+			normalizeMC(got), normalizeMC(want))
+	}
+	if v := coord.tel.Metrics.Counter("availd_shard_reassigns_total").Value(); v < 1 {
+		t.Errorf("availd_shard_reassigns_total = %d, want >= 1", v)
+	}
+}
+
+// TestShardAllWorkersDead: with every worker unreachable there is no
+// honest partial — the coordinator answers 502 with the typed code.
+func TestShardAllWorkersDead(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	_, coord := testServer(t, Config{ShardWorkers: []string{dead.URL}})
+	var body errorBody
+	code := getJSON(t, coord.URL+"/api/v1/mc?topology=small&horizon=200&reps=8", &body)
+	if code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", code)
+	}
+	if body.Code != codeNoWorkers {
+		t.Errorf("error code %q, want %q", body.Code, codeNoWorkers)
+	}
+}
+
+// TestShardDigestMismatchFatal: a worker whose response carries a foreign
+// digest is computing something else — the coordinator must refuse to
+// merge and answer 502 with the typed code, and count the rejection.
+func TestShardDigestMismatchFatal(t *testing.T) {
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, shardResponse{Digest: strings.Repeat("f", 64)})
+	}))
+	t.Cleanup(liar.Close)
+	coord, coordTS := testServer(t, Config{ShardWorkers: []string{liar.URL}})
+	var body errorBody
+	code := getJSON(t, coordTS.URL+"/api/v1/mc?topology=small&horizon=200&reps=8", &body)
+	if code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", code)
+	}
+	if body.Code != codeDigestMismatch {
+		t.Errorf("error code %q, want %q", body.Code, codeDigestMismatch)
+	}
+	if v := coord.tel.Metrics.Counter("availd_shard_digest_rejects_total").Value(); v < 1 {
+		t.Errorf("availd_shard_digest_rejects_total = %d, want >= 1", v)
+	}
+}
+
+// TestShardTruncatedFallback: a worker that answers an honest partial (its
+// deadline fired mid-slice) must yield a coordinator answer that is a 200
+// truncated partial — the deadline contract survives the fan-out.
+func TestShardTruncatedFallback(t *testing.T) {
+	worker, _ := testServer(t, Config{})
+	// Proxy the real worker handler but keep only the first half of every
+	// slice, flagged truncated — exactly what a deadline produces.
+	lossy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		worker.Handler().ServeHTTP(rec, r)
+		if rec.Code != http.StatusOK {
+			w.WriteHeader(rec.Code)
+			w.Write(rec.Body.Bytes())
+			return
+		}
+		var sr shardResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+			t.Errorf("proxy decode: %v", err)
+		}
+		if keep := len(sr.Samples) / 2; keep < len(sr.Samples) {
+			sr.Samples = sr.Samples[:keep]
+			sr.Truncated = true
+		}
+		writeJSON(w, http.StatusOK, sr)
+	}))
+	t.Cleanup(lossy.Close)
+
+	_, coord := testServer(t, Config{ShardWorkers: []string{lossy.URL}})
+	var got mcResponse
+	if code := getJSON(t, coord.URL+"/api/v1/mc?topology=small&horizon=200&reps=32&seed=7", &got); code != http.StatusOK {
+		t.Fatalf("status %d, want 200 truncated partial", code)
+	}
+	if !got.Truncated || got.Converged {
+		t.Fatalf("Truncated=%v Converged=%v; want true, false", got.Truncated, got.Converged)
+	}
+	if got.Replications <= 0 || got.Replications >= 32 {
+		t.Errorf("partial replications %d, want in (0, 32)", got.Replications)
+	}
+	if got.CP.Mean <= 0 || got.CP.Mean > 1 {
+		t.Errorf("partial CP mean %g outside (0, 1]", got.CP.Mean)
+	}
+}
+
+// TestShardEndpointDigestCheck: the worker side refuses a range whose
+// digest it cannot reproduce — 409 with the typed code, before any
+// compute.
+func TestShardEndpointDigestCheck(t *testing.T) {
+	worker, ts := testServer(t, Config{})
+	var body errorBody
+	code := getJSON(t, ts.URL+"/api/v1/mc/shard?topology=small&horizon=200&rep_lo=0&rep_hi=4&digest="+strings.Repeat("0", 64), &body)
+	if code != http.StatusConflict {
+		t.Fatalf("status %d, want 409", code)
+	}
+	if body.Code != codeDigestMismatch {
+		t.Errorf("error code %q, want %q", body.Code, codeDigestMismatch)
+	}
+	if v := worker.tel.Metrics.Counter("availd_shard_digest_rejects_total").Value(); v < 1 {
+		t.Errorf("worker digest-reject counter = %d, want >= 1", v)
+	}
+}
+
+// TestShardEndpointValidation: the range parameters are mandatory and
+// ordered.
+func TestShardEndpointValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, qs := range []string{
+		"?topology=small&horizon=200",                       // no range
+		"?topology=small&horizon=200&rep_lo=4",              // half a range
+		"?topology=small&horizon=200&rep_lo=8&rep_hi=8",     // empty range
+		"?topology=small&horizon=200&rep_lo=8&rep_hi=4",     // inverted
+		"?topology=small&horizon=200&rep_lo=-1&rep_hi=4",    // negative
+		"?topology=small&horizon=200&rep_lo=0&rep_hi=4&x=1", // unknown key
+	} {
+		if code := getJSON(t, ts.URL+"/api/v1/mc/shard"+qs, nil); code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", qs, code)
+		}
+	}
+}
+
+// TestShardEndpointSamples: a valid shard request answers exactly the
+// requested global index range, digest-tagged.
+func TestShardEndpointSamples(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req, err := decodeMC(mustValues(t, "topology=small&horizon=200&reps=32&seed=7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr shardResponse
+	url := ts.URL + "/api/v1/mc/shard?" + mcCanonical(req) + "&rep_lo=8&rep_hi=16&digest=" + mcDigest(req)
+	if code := getJSON(t, url, &sr); code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if sr.Truncated {
+		t.Error("tiny slice truncated")
+	}
+	if len(sr.Samples) != 8 {
+		t.Fatalf("got %d samples, want 8", len(sr.Samples))
+	}
+	for i, s := range sr.Samples {
+		if s.Rep != 8+i {
+			t.Errorf("sample %d carries global index %d, want %d", i, s.Rep, 8+i)
+		}
+	}
+	if sr.Digest != mcDigest(req) {
+		t.Error("worker echoed a different digest")
+	}
+}

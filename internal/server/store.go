@@ -1,0 +1,130 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sdnavail/internal/telemetry"
+)
+
+// Persistent result store: a content-addressed on-disk cache in front of
+// the MC path. The address is the SHA-256 of the canonical request
+// encoding (mcDigest), so every spelling of the same what-if hits the
+// same entry across process restarts; the stored value is the full
+// mcResponse — estimate, CI metadata, convergence flags — wrapped in a
+// checksummed envelope. Integrity failures are self-healing: a bad
+// checksum or unparsable payload deletes the entry and the request
+// recomputes; nothing ever crashes on a corrupt file. Truncated partials
+// are never stored — a deadline-shaped answer must not masquerade as the
+// converged one for a later, more patient caller.
+
+// storeEnvelope is the on-disk format: the payload bytes plus their
+// SHA-256, verified on every read.
+type storeEnvelope struct {
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+type resultStore struct {
+	dir string
+
+	hits    *telemetry.Counter
+	misses  *telemetry.Counter
+	writes  *telemetry.Counter
+	corrupt *telemetry.Counter
+}
+
+// newResultStore opens (creating if needed) the store rooted at dir.
+func newResultStore(dir string, reg *telemetry.Registry) (*resultStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: result store: %w", err)
+	}
+	return &resultStore{
+		dir:     dir,
+		hits:    reg.Counter("availd_store_hits_total"),
+		misses:  reg.Counter("availd_store_misses_total"),
+		writes:  reg.Counter("availd_store_writes_total"),
+		corrupt: reg.Counter("availd_store_corrupt_total"),
+	}, nil
+}
+
+// path shards entries across 256 subdirectories by digest prefix.
+func (st *resultStore) path(digest string) string {
+	return filepath.Join(st.dir, digest[:2], digest+".json")
+}
+
+// get loads the stored response for digest. A missing entry is a miss; a
+// corrupt one (bad checksum, unparsable) is deleted, counted, and
+// reported as a miss so the caller recomputes.
+func (st *resultStore) get(digest string) (mcResponse, bool) {
+	raw, err := os.ReadFile(st.path(digest))
+	if err != nil {
+		st.misses.Inc()
+		return mcResponse{}, false
+	}
+	var env storeEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return st.drop(digest)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return st.drop(digest)
+	}
+	var resp mcResponse
+	if err := json.Unmarshal(env.Payload, &resp); err != nil {
+		return st.drop(digest)
+	}
+	st.hits.Inc()
+	return resp, true
+}
+
+// drop removes a corrupt entry and reports a miss.
+func (st *resultStore) drop(digest string) (mcResponse, bool) {
+	st.corrupt.Inc()
+	_ = os.Remove(st.path(digest))
+	st.misses.Inc()
+	return mcResponse{}, false
+}
+
+// put persists resp under digest atomically: temp file in the final
+// directory, fsync-free write, rename. A half-written file can never be
+// observed at the final path, and concurrent writers of the same digest
+// race benignly (identical content). Write failures are silent — the
+// store is a cache, not a system of record.
+func (st *resultStore) put(digest string, resp mcResponse) {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(payload)
+	raw, err := json.Marshal(storeEnvelope{SHA256: hex.EncodeToString(sum[:]), Payload: payload})
+	if err != nil {
+		return
+	}
+	path := st.path(digest)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	st.writes.Inc()
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdnavail/internal/sweep"
+)
+
+// storeQuery is the store tests' reference request; storeQueryAlt spells
+// the identical computation differently (permuted order, re-spelled
+// float, explicit default) — the canonical digest must unify them.
+const (
+	storeQuery    = "/api/v1/mc?topology=small&horizon=200&reps=16&seed=9"
+	storeQueryAlt = "/api/v1/mc?seed=9&reps=16&horizon=200.0&topology=small&cluster=3"
+)
+
+// storedFile locates the single entry a store test wrote.
+func storedFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*", "*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("store holds %d entries (%v), want exactly 1", len(matches), err)
+	}
+	return matches[0]
+}
+
+// TestStoreColdThenWarm: the first query computes and persists; a
+// differently-spelled identical query answers from disk, bit-identical,
+// flagged stored. Counters account both paths.
+func TestStoreColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testServer(t, Config{StoreDir: dir})
+
+	var cold mcResponse
+	if code := getJSON(t, ts.URL+storeQuery, &cold); code != http.StatusOK {
+		t.Fatalf("cold status %d", code)
+	}
+	if cold.Stored {
+		t.Error("cold query claims stored")
+	}
+	storedFile(t, dir)
+
+	var warm mcResponse
+	if code := getJSON(t, ts.URL+storeQueryAlt, &warm); code != http.StatusOK {
+		t.Fatalf("warm status %d", code)
+	}
+	if !warm.Stored {
+		t.Error("re-spelled identical query missed the store")
+	}
+	warm.Stored = false
+	if !reflect.DeepEqual(warm, cold) {
+		t.Errorf("stored answer differs from computed:\nwarm: %+v\ncold: %+v", warm, cold)
+	}
+	reg := s.tel.Metrics
+	if v := reg.Counter("availd_store_hits_total").Value(); v != 1 {
+		t.Errorf("store hits = %d, want 1", v)
+	}
+	if v := reg.Counter("availd_store_misses_total").Value(); v != 1 {
+		t.Errorf("store misses = %d, want 1", v)
+	}
+	if v := reg.Counter("availd_store_writes_total").Value(); v != 1 {
+		t.Errorf("store writes = %d, want 1", v)
+	}
+}
+
+// TestStoreSurvivesRestart: the store is persistent — a fresh server over
+// the same directory serves the previous process's results.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := testServer(t, Config{StoreDir: dir})
+	var cold mcResponse
+	getJSON(t, ts1.URL+storeQuery, &cold)
+
+	_, ts2 := testServer(t, Config{StoreDir: dir})
+	var warm mcResponse
+	if code := getJSON(t, ts2.URL+storeQuery, &warm); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !warm.Stored {
+		t.Error("restarted server missed the persisted entry")
+	}
+	warm.Stored = false
+	if !reflect.DeepEqual(warm, cold) {
+		t.Error("persisted answer differs across restart")
+	}
+}
+
+// TestStoreCorruptionSelfHeals: flipping a byte in the stored entry must
+// not crash or serve garbage — the entry is dropped, counted, recomputed
+// bit-identically and re-persisted.
+func TestStoreCorruptionSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testServer(t, Config{StoreDir: dir})
+	var cold mcResponse
+	getJSON(t, ts.URL+storeQuery, &cold)
+
+	path := storedFile(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var again mcResponse
+	if code := getJSON(t, ts.URL+storeQuery, &again); code != http.StatusOK {
+		t.Fatalf("status %d after corruption, want 200 recompute", code)
+	}
+	if again.Stored {
+		t.Error("corrupt entry served as a store hit")
+	}
+	again.ElapsedMS, cold.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(again, cold) {
+		t.Error("recomputed answer differs from the original")
+	}
+	if v := s.tel.Metrics.Counter("availd_store_corrupt_total").Value(); v != 1 {
+		t.Errorf("store corrupt = %d, want 1", v)
+	}
+	// The recompute re-persisted a good entry: the next query hits.
+	var healed mcResponse
+	getJSON(t, ts.URL+storeQuery, &healed)
+	if !healed.Stored {
+		t.Error("store did not heal after the corrupt entry was dropped")
+	}
+}
+
+// TestStoreNeverKeepsTruncated: a deadline-truncated partial must not be
+// persisted — the next, more patient caller deserves the full computation.
+func TestStoreNeverKeepsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Config{StoreDir: dir})
+	var partial mcResponse
+	url := ts.URL + "/api/v1/mc?topology=large&horizon=2000&reps=1048576&timeout=100ms"
+	if code := getJSON(t, url, &partial); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !partial.Truncated {
+		t.Fatal("probe query not truncated; deadline too generous")
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "*", "*.json")); len(matches) != 0 {
+		t.Errorf("truncated partial persisted: %v", matches)
+	}
+}
+
+// TestStoreSingleflight: with the store on, N concurrent identical cold
+// queries must collapse to one compute — the rest wait on the leader and
+// share its answer.
+func TestStoreSingleflight(t *testing.T) {
+	s, ts := testServer(t, Config{MaxConcurrent: 8, MaxQueue: 16, StoreDir: t.TempDir()})
+	var computes atomic.Int64
+	realRun := s.mcRun
+	s.mcRun = func(ctx context.Context, pts []sweep.Point, opt sweep.Options) ([]sweep.Result, error) {
+		computes.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the leader so followers pile up
+		return realRun(ctx, pts, opt)
+	}
+	const clients = 6
+	responses := make([]mcResponse, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if code := getJSON(t, ts.URL+storeQuery, &responses[i]); code != http.StatusOK {
+				t.Errorf("client %d: status %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("%d concurrent identical queries ran %d computes, want 1", clients, n)
+	}
+	first := responses[0]
+	first.Stored = false
+	for i, r := range responses[1:] {
+		r.Stored = false
+		if !reflect.DeepEqual(r, first) {
+			t.Errorf("client %d answer differs from client 0", i+1)
+		}
+	}
+}

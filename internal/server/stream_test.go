@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes a response body into its event sequence.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	var events []sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	name := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			events = append(events, sseEvent{name: name, data: strings.TrimPrefix(line, "data: ")})
+		}
+	}
+	return events
+}
+
+// TestMCStreamMatchesPlain: the stream's terminal result must equal the
+// plain endpoint's answer bit for bit, after at least one CI snapshot —
+// and the first snapshot must land within 10% of the replication budget.
+func TestMCStreamMatchesPlain(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	// horizon=2000 so even the 8-replication first snapshot has seen CP
+	// failures: a saturated mean of 1 would make the half-width assertion
+	// below vacuous (zero variance is a legitimate degenerate CI).
+	qs := "?topology=small&horizon=2000&reps=256&min_reps=8&seed=5"
+	var plain mcResponse
+	if code := getJSON(t, ts.URL+"/api/v1/mc"+qs, &plain); code != http.StatusOK {
+		t.Fatalf("plain status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/mc/stream" + qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	events := readSSE(t, resp)
+	if len(events) == 0 {
+		t.Fatal("empty stream")
+	}
+	var snapshots []streamSnapshot
+	var result mcResponse
+	sawResult := false
+	for _, ev := range events {
+		switch ev.name {
+		case "snapshot":
+			var snap streamSnapshot
+			if err := json.Unmarshal([]byte(ev.data), &snap); err != nil {
+				t.Fatalf("snapshot payload: %v", err)
+			}
+			snapshots = append(snapshots, snap)
+		case "result":
+			if err := json.Unmarshal([]byte(ev.data), &result); err != nil {
+				t.Fatalf("result payload: %v", err)
+			}
+			sawResult = true
+		case "error":
+			t.Fatalf("stream error event: %s", ev.data)
+		}
+	}
+	if !sawResult {
+		t.Fatal("stream ended without a result event")
+	}
+	if len(snapshots) == 0 {
+		t.Fatal("no snapshot events before the result")
+	}
+	if first := snapshots[0].Replications; first*10 > 256 {
+		t.Errorf("first snapshot at %d replications — past 10%% of the 256 budget", first)
+	}
+	for _, snap := range snapshots {
+		if snap.TargetReps != 256 {
+			t.Errorf("snapshot targets %d reps, want 256", snap.TargetReps)
+		}
+		if snap.CP.Mean <= 0 || snap.CP.Mean > 1 {
+			t.Errorf("snapshot CP mean %g outside (0, 1]", snap.CP.Mean)
+		}
+		if snap.CP.HalfWidth <= 0 {
+			t.Error("snapshot without a CI half-width")
+		}
+	}
+	result.ElapsedMS, plain.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(result, plain) {
+		t.Errorf("streamed result diverges from plain endpoint:\nstream: %+v\nplain:  %+v", result, plain)
+	}
+}
+
+// TestMCStreamStoreHit: a stream over a stored computation answers one
+// immediate result event flagged stored — no snapshots, no compute.
+func TestMCStreamStoreHit(t *testing.T) {
+	_, ts := testServer(t, Config{StoreDir: t.TempDir()})
+	qs := "?topology=small&horizon=200&reps=16&seed=9"
+	var plain mcResponse
+	getJSON(t, ts.URL+"/api/v1/mc"+qs, &plain)
+
+	resp, err := http.Get(ts.URL + "/api/v1/mc/stream" + qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp)
+	if len(events) != 1 || events[0].name != "result" {
+		t.Fatalf("store-hit stream produced %d events (first %q), want exactly one result", len(events), events[0].name)
+	}
+	var result mcResponse
+	if err := json.Unmarshal([]byte(events[0].data), &result); err != nil {
+		t.Fatal(err)
+	}
+	if !result.Stored {
+		t.Error("store-hit stream result not flagged stored")
+	}
+}
+
+// TestMCStreamClientDisconnect: hanging up mid-stream must cancel the
+// compute — the cancellation counter moves and the admission slot frees
+// up promptly for the next request.
+func TestMCStreamClientDisconnect(t *testing.T) {
+	s, ts := testServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/api/v1/mc/stream?topology=large&horizon=1000000&reps=1048576&min_reps=2&timeout=30s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first snapshot so the run is demonstrably in flight, then
+	// hang up.
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended before a snapshot: %v", err)
+		}
+		if strings.HasPrefix(line, "event: snapshot") {
+			break
+		}
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.tel.Metrics.Counter("availd_stream_cancels_total").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("availd_stream_cancels_total never moved after the client hung up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The gate slot must be free again: a small query on the 1-slot server
+	// answers 200, not a shed.
+	var after mcResponse
+	if code := getJSON(t, ts.URL+"/api/v1/mc?topology=small&horizon=200&reps=4", &after); code != http.StatusOK {
+		t.Errorf("post-disconnect query status %d: the cancelled run is still holding the slot", code)
+	}
+}
+
+// TestSoakStream: the soak stream emits progress snapshots with growing
+// virtual hours, then a result identical to the plain soak endpoint.
+func TestSoakStream(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	qs := "?hours=50&mtbf=25&seed=3"
+	var plain soakResponse
+	if code := getJSON(t, ts.URL+"/api/v1/soak"+qs, &plain); code != http.StatusOK {
+		t.Fatalf("plain soak status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/soak/stream" + qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp)
+	var snaps []soakSnapshot
+	var result soakResponse
+	sawResult := false
+	for _, ev := range events {
+		switch ev.name {
+		case "snapshot":
+			var snap soakSnapshot
+			if err := json.Unmarshal([]byte(ev.data), &snap); err != nil {
+				t.Fatal(err)
+			}
+			snaps = append(snaps, snap)
+		case "result":
+			if err := json.Unmarshal([]byte(ev.data), &result); err != nil {
+				t.Fatal(err)
+			}
+			sawResult = true
+		case "error":
+			t.Fatalf("soak stream error: %s", ev.data)
+		}
+	}
+	if !sawResult {
+		t.Fatal("soak stream ended without a result")
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("soak stream emitted %d snapshots, want several", len(snaps))
+	}
+	for i, snap := range snaps {
+		if snap.TargetHrs != 50 {
+			t.Errorf("snapshot target %g hours, want 50", snap.TargetHrs)
+		}
+		if i > 0 && snap.Hours <= snaps[i-1].Hours {
+			t.Errorf("virtual hours not increasing: %g then %g", snaps[i-1].Hours, snap.Hours)
+		}
+	}
+	result.ElapsedMS, plain.ElapsedMS = 0, 0
+	if result != plain {
+		t.Errorf("streamed soak diverges from plain endpoint:\nstream: %+v\nplain:  %+v", result, plain)
+	}
+}

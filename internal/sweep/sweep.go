@@ -22,7 +22,6 @@ import (
 	"sync/atomic"
 
 	"sdnavail/internal/mc"
-	"sdnavail/internal/stats"
 )
 
 // Options tunes the adaptive engine. The zero value of any field selects
@@ -58,6 +57,14 @@ type Options struct {
 	// Workers sizes the shared pool that sweep points fan out across
 	// (default GOMAXPROCS, never more than the point count).
 	Workers int
+	// Progress, when non-nil, observes the run mid-flight: it is called
+	// with the point's index and a partial Result at a geometric schedule
+	// of replication counts (the first snapshot lands by MinReps and by 5%
+	// of MaxReps, whichever is earlier). Snapshots are taken between
+	// replications and never alter the fold, so a run with Progress set is
+	// bit-identical to one without. The callback runs on the point's
+	// worker goroutine; callbacks for different points may be concurrent.
+	Progress func(point int, partial Result) `json:"-"`
 }
 
 // withDefaults resolves zero fields.
@@ -187,7 +194,7 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, err
 				if i >= len(points) {
 					return
 				}
-				results[i] = runPoint(ctx, points[i], sessions[i], opt)
+				results[i] = runPoint(ctx, i, points[i], sessions[i], opt)
 			}
 		}()
 	}
@@ -200,17 +207,13 @@ func RunContext(ctx context.Context, points []Point, opt Options) ([]Result, err
 // per-mode downtime; replication r uses the same derived seed it would
 // under mc.Run, so a converged sweep point is a prefix of the fixed-count
 // run at the same configuration.
-func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
-	var cp, sdp, dp stats.Accumulator
-	var cpU stats.WeightedAccumulator
-	cpModes, dpModes := map[string]float64{}, map[string]float64{}
-	rarePaths, rareSplits, rareKills := 0, 0, 0
-	sumW, hitW := 0.0, 0.0
-	var results []mc.Result
-	if p.Config.KeepResults {
-		results = make([]mc.Result, 0, o.MinReps)
-	}
+func runPoint(ctx context.Context, idx int, p Point, ss *mc.Session, o Options) Result {
+	f := newPointFold(p.Config.KeepResults, o.MinReps)
 	adaptive := o.CITarget > 0 || o.RelTarget > 0
+	snap := 0
+	if o.Progress != nil {
+		snap = firstSnapshot(o)
+	}
 	n, converged, truncated := 0, false, false
 	for {
 		target := o.MaxReps
@@ -221,33 +224,24 @@ func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 				target = o.MaxReps
 			}
 		}
-		for ; n < target; n++ {
-			res, ok := ss.ReplicateContext(ctx, n)
-			if !ok {
-				truncated = true
-				break
+		for n < target && !truncated {
+			// Pause at the next snapshot boundary if one lands inside this
+			// batch; the boundary only splits the loop, never the fold.
+			bound := target
+			if o.Progress != nil && snap > n && snap < target {
+				bound = snap
 			}
-			cp.Add(res.CPAvailability)
-			sdp.Add(res.SharedDPAvailability)
-			dp.Add(res.HostDPAvailability)
-			w := res.RareTotalWeight
-			if w <= 0 {
-				w = 1
+			for ; n < bound; n++ {
+				res, ok := ss.ReplicateContext(ctx, n)
+				if !ok {
+					truncated = true
+					break
+				}
+				f.add(res)
 			}
-			cpU.Add(res.CPUnavailability/w, w)
-			sumW += w
-			hitW += res.RareHitWeight
-			rarePaths += res.RarePaths
-			rareSplits += res.RareSplits
-			rareKills += res.RareKills
-			for m, h := range res.CPDowntimeByMode {
-				cpModes[m] += h
-			}
-			for m, h := range res.DPDowntimeByMode {
-				dpModes[m] += h
-			}
-			if results != nil {
-				results = append(results, res)
+			if !truncated && o.Progress != nil && n >= snap {
+				o.Progress(idx, f.result(p, o, false, false))
+				snap = nextSnapshot(snap, n, o)
 			}
 		}
 		if truncated {
@@ -257,12 +251,7 @@ func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 			converged = true // fixed-count run: the contract is the count
 			break
 		}
-		ciOK := o.CITarget == 0 ||
-			cp.ConfidenceInterval(o.Confidence).HalfWide <= o.CITarget
-		relOK := o.RelTarget == 0 ||
-			(stats.RelativeError(cpU.ConfidenceInterval(o.Confidence)) <= o.RelTarget &&
-				cpU.ESS() >= float64(o.MinReps))
-		if ciOK && relOK {
+		if f.met(o) {
 			converged = true
 			break
 		}
@@ -270,36 +259,7 @@ func runPoint(ctx context.Context, p Point, ss *mc.Session, o Options) Result {
 			break
 		}
 	}
-	if n > 0 {
-		for m := range cpModes {
-			cpModes[m] /= float64(n)
-		}
-		for m := range dpModes {
-			dpModes[m] /= float64(n)
-		}
-	}
-	return Result{
-		Point: p,
-		Estimate: mc.Estimate{
-			CP:               cp.ConfidenceInterval(o.Confidence),
-			SharedDP:         sdp.ConfidenceInterval(o.Confidence),
-			HostDP:           dp.ConfidenceInterval(o.Confidence),
-			CPUnavailability: cpU.ConfidenceInterval(o.Confidence),
-			RareESS:          cpU.ESS(),
-			RareHitProb:      hitProb(hitW, sumW),
-			RarePaths:        rarePaths,
-			RareSplits:       rareSplits,
-			RareKills:        rareKills,
-			CPDowntimeByMode: cpModes,
-			DPDowntimeByMode: dpModes,
-			Results:          results,
-			Replications:     n,
-			Truncated:        truncated,
-		},
-		Replications: n,
-		Converged:    converged,
-		Truncated:    truncated,
-	}
+	return f.result(p, o, converged, truncated)
 }
 
 // hitProb folds the weighted hit indicator into the self-normalized hit

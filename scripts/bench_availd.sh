@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# bench_availd.sh — closed-loop scaling benchmark for availd.
+#
+# Builds availd and the example client, boots a fleet on loopback —
+#   one single-node instance          (baseline MC throughput)
+#   four workers behind a coordinator (sharded fan-out)
+#   one store-enabled instance        (cold/warm persistent cache)
+# — then drives the client's -bench harness, which writes the
+# BENCH_availd.json artifact (throughput, latency quantiles, warm/cold
+# ratio, stream time-to-first-estimate).
+#
+# Environment:
+#   BENCH_AVAILD_OUT   artifact path   (default: <repo>/BENCH_availd.json)
+#   BENCH_AVAILD_PORT  first port used (default: 18180; seven are taken)
+# Extra arguments are passed through to the client, e.g.
+#   scripts/bench_availd.sh -bench-reps 2048 -bench-requests 8
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${BENCH_AVAILD_OUT:-$ROOT/BENCH_availd.json}"
+PORT="${BENCH_AVAILD_PORT:-18180}"
+BIN="$(mktemp -d)"
+STORE="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  local pid
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$BIN" "$STORE"
+}
+trap cleanup EXIT
+
+echo "bench: building availd and availd-client"
+go -C "$ROOT" build -o "$BIN/availd" ./cmd/availd
+go -C "$ROOT" build -o "$BIN/availd-client" ./examples/availd-client
+
+start() { # start <port> [extra availd flags...]
+  local port=$1
+  shift
+  "$BIN/availd" -addr "127.0.0.1:$port" -timeout 2m "$@" \
+    >"$BIN/availd-$port.log" 2>&1 &
+  PIDS+=("$!")
+}
+
+wait_ready() { # wait_ready <port>
+  local i
+  for i in $(seq 1 50); do
+    if curl -fsS "http://127.0.0.1:$1/readyz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "bench: availd on port $1 never became ready" >&2
+  cat "$BIN/availd-$1.log" >&2 || true
+  return 1
+}
+
+SINGLE=$PORT
+W1=$((PORT + 1)) W2=$((PORT + 2)) W3=$((PORT + 3)) W4=$((PORT + 4))
+COORD=$((PORT + 5))
+STOREP=$((PORT + 6))
+
+echo "bench: starting fleet (single :$SINGLE, workers :$W1-:$W4, coordinator :$COORD, store :$STOREP)"
+start "$SINGLE"
+for p in "$W1" "$W2" "$W3" "$W4"; do start "$p"; done
+start "$COORD" -shard-workers \
+  "http://127.0.0.1:$W1,http://127.0.0.1:$W2,http://127.0.0.1:$W3,http://127.0.0.1:$W4"
+start "$STOREP" -store "$STORE"
+for p in "$SINGLE" "$W1" "$W2" "$W3" "$W4" "$COORD" "$STOREP"; do wait_ready "$p"; done
+
+"$BIN/availd-client" -bench \
+  -base "http://127.0.0.1:$SINGLE" \
+  -shard-base "http://127.0.0.1:$COORD" \
+  -store-base "http://127.0.0.1:$STOREP" \
+  -bench-out "$OUT" \
+  -timeout 3m \
+  "$@"
+
+echo "bench: artifact at $OUT"
